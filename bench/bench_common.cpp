@@ -1,0 +1,191 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/strutil.hpp"
+
+namespace glimpse::bench {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+std::vector<const searchspace::Task*> Setup::all_tasks() const {
+  std::vector<const searchspace::Task*> out;
+  for (const auto& m : models)
+    for (const auto& t : m.tasks()) out.push_back(&t);
+  return out;
+}
+
+std::vector<const searchspace::Task*> Setup::representative_tasks(
+    const searchspace::TaskSet& model) const {
+  using searchspace::TemplateKind;
+  std::vector<const searchspace::Task*> out;
+  // First and last direct conv, middle winograd, first dense.
+  const searchspace::Task* first_conv = nullptr;
+  const searchspace::Task* last_conv = nullptr;
+  std::vector<const searchspace::Task*> winos;
+  const searchspace::Task* dense = nullptr;
+  for (const auto& t : model.tasks()) {
+    switch (t.kind()) {
+      case TemplateKind::kConv2d:
+        if (!first_conv) first_conv = &t;
+        last_conv = &t;
+        break;
+      case TemplateKind::kConv2dWinograd: winos.push_back(&t); break;
+      case TemplateKind::kDense:
+        if (!dense) dense = &t;
+        break;
+    }
+  }
+  if (first_conv) out.push_back(first_conv);
+  if (last_conv && last_conv != first_conv) out.push_back(last_conv);
+  if (!winos.empty()) out.push_back(winos[winos.size() / 2]);
+  if (dense) out.push_back(dense);
+  return out;
+}
+
+Setup make_setup() {
+  Setup s;
+  for (auto& m : searchspace::evaluation_models()) s.models.emplace_back(std::move(m));
+  s.eval_gpus = hwspec::evaluation_gpus();
+  std::vector<std::string> excluded;
+  for (const auto* g : s.eval_gpus) excluded.push_back(g->name);
+  s.train_gpus = hwspec::training_gpus(excluded);
+  return s;
+}
+
+Pretrained pretrain(const Setup& setup, std::size_t samples_per_pair) {
+  Pretrained p;
+  Rng rng(kBenchSeed);
+  double t0 = now_s();
+
+  // Offline dataset: every evaluation task measured on *training* GPUs only
+  // (strictly leave-target-hardware-out: no eval-GPU measurement is ever
+  // seen offline).
+  std::vector<const hwspec::GpuSpec*> dataset_gpus = setup.train_gpus;
+  // A spread of 10 GPUs across generations keeps pretraining fast without
+  // hurting coverage.
+  if (dataset_gpus.size() > 10) {
+    std::vector<const hwspec::GpuSpec*> picked;
+    for (std::size_t i = 0; i < 10; ++i)
+      picked.push_back(dataset_gpus[i * dataset_gpus.size() / 10]);
+    dataset_gpus = std::move(picked);
+  }
+  p.dataset = std::make_unique<tuning::OfflineDataset>(
+      tuning::OfflineDataset::generate(setup.all_tasks(), dataset_gpus,
+                                       samples_per_pair, rng));
+  std::fprintf(stderr, "[pretrain] dataset: %zu samples (%.1fs)\n", p.dataset->size(),
+               now_s() - t0);
+
+  core::PriorTrainOptions prior_opts;
+  prior_opts.epochs = 26;
+  core::MetaTrainOptions meta_opts;
+  meta_opts.max_groups = 64;
+  meta_opts.epochs = 28;
+  double t1 = now_s();
+  p.artifacts = core::pretrain_glimpse(*p.dataset, setup.train_gpus,
+                                       core::default_blueprint_dim(), rng, prior_opts,
+                                       meta_opts);
+  std::fprintf(stderr, "[pretrain] glimpse artifacts (%.1fs)\n", now_s() - t1);
+
+  double t2 = now_s();
+  p.dgp_embedder = baselines::pretrain_dgp_embedder(
+      *p.dataset, rng, {.embed_dim = 10, .hidden = 24, .pretrain_epochs = 6});
+  std::fprintf(stderr, "[pretrain] dgp embedder (%.1fs)\n", now_s() - t2);
+
+  // Transfer model for AutoTVM+TL. Real transfer learning trains on *tuning
+  // logs* of other (network, hardware) combinations — traces that are
+  // heavily concentrated around the regions optimal for the SOURCE
+  // hardware, which is precisely why the paper finds it "prone to being
+  // misguided" on a different target. We emulate a log by taking, from each
+  // source (task, GPU) group, its top 25 % configurations (the exploitation
+  // phase of a trace) plus a thin random tail (its exploration phase).
+  double t3 = now_s();
+  std::vector<tuning::TuningRecord> storage;
+  std::vector<const searchspace::Task*> storage_tasks;
+  for (const auto& group : p.dataset->groups()) {
+    std::vector<std::size_t> order = group.sample_indices;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return p.dataset->samples()[a].score > p.dataset->samples()[b].score;
+    });
+    std::size_t top = order.size() / 4;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i >= top && i % 8 != 0) continue;  // thin exploration tail
+      const auto& s = p.dataset->samples()[order[i]];
+      tuning::TuningRecord r;
+      r.task_name = s.task->name();
+      r.hw_name = s.hw->name;
+      r.config = s.config;
+      r.valid = s.valid;
+      r.gflops = s.gflops;
+      storage.push_back(std::move(r));
+      storage_tasks.push_back(s.task);
+    }
+  }
+  std::vector<const tuning::TuningRecord*> recs;
+  std::vector<const searchspace::Task*> rec_tasks;
+  std::size_t stride = std::max<std::size_t>(1, storage.size() / 20000);
+  for (std::size_t i = 0; i < storage.size(); i += stride) {
+    recs.push_back(&storage[i]);
+    rec_tasks.push_back(storage_tasks[i]);
+  }
+  p.transfer_model = baselines::fit_transfer_model(recs, rec_tasks, rng);
+  std::fprintf(stderr, "[pretrain] transfer model (%.1fs); total %.1fs\n",
+               now_s() - t3, now_s() - t0);
+  return p;
+}
+
+Method random_method() { return {"Random", baselines::random_factory()}; }
+
+Method autotvm_method(const Pretrained& p, bool transfer_learning) {
+  if (transfer_learning)
+    return {"AutoTVM+TL", baselines::autotvm_factory({}, p.transfer_model)};
+  return {"AutoTVM", baselines::autotvm_factory()};
+}
+
+Method chameleon_method(const Pretrained&) {
+  return {"Chameleon", baselines::chameleon_factory()};
+}
+
+Method dgp_method(const Pretrained& p) {
+  return {"DGP", baselines::dgp_factory(p.dgp_embedder)};
+}
+
+Method glimpse_method(const Pretrained& p, core::GlimpseOptions options) {
+  return {"Glimpse", core::glimpse_factory(p.artifacts, options)};
+}
+
+tuning::Trace run_one(const Method& method, const searchspace::Task& task,
+                      const hwspec::GpuSpec& hw, const tuning::SessionOptions& options,
+                      double* gpu_seconds) {
+  std::uint64_t seed = hash_combine(hash_combine(fnv1a(method.name), task.seed()),
+                                    hw.seed());
+  auto tuner = method.factory(task, hw, seed);
+  gpusim::SimMeasurer measurer;
+  tuning::Trace trace = tuning::run_session(*tuner, task, hw, measurer, options);
+  if (gpu_seconds) *gpu_seconds = measurer.elapsed_seconds();
+  return trace;
+}
+
+tuning::SessionOptions e2e_session_options() {
+  tuning::SessionOptions o;
+  o.max_trials = 320;
+  o.batch_size = 8;
+  o.plateau_trials = 44;
+  return o;
+}
+
+std::string fmt(double v, int digits) { return strformat("%.*f", digits, v); }
+std::string fmt_pct(double fraction, int digits) {
+  return strformat("%.*f%%", digits, fraction * 100.0);
+}
+std::string fmt_ratio(double v, int digits) { return strformat("%.*fx", digits, v); }
+
+}  // namespace glimpse::bench

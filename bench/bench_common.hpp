@@ -1,0 +1,83 @@
+// Shared experiment harness for the figure/table reproduction benches.
+//
+// Every bench binary: builds the evaluation setup (3 models, 4 GPUs),
+// pretrains the leave-eval-GPUs-out artifacts once, then runs the tuning
+// sessions its figure needs and prints a paper-style table.
+//
+// Scaling note (documented in EXPERIMENTS.md): the paper's experiments run
+// hundreds of trials per task on physical GPUs over days; these benches run
+// the same protocol on the simulator with plateau early-stopping and, for
+// per-task figures, a representative task subset, sized so the whole bench
+// suite completes in minutes on one CPU core. Relative orderings — the
+// paper's claims — are preserved; absolute GPU-hours are simulated.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/chameleon.hpp"
+#include "baselines/dgp.hpp"
+#include "baselines/random_tuner.hpp"
+#include "common/table.hpp"
+#include "glimpse/glimpse_tuner.hpp"
+#include "searchspace/models.hpp"
+#include "tuning/metrics.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 20220712;  // DAC'22 week
+
+/// The paper's evaluation setting: AlexNet / ResNet-18 / VGG-16 on the four
+/// GPUs of Table 1, with the rest of the database as training population.
+struct Setup {
+  std::vector<searchspace::TaskSet> models;
+  std::vector<const hwspec::GpuSpec*> eval_gpus;
+  std::vector<const hwspec::GpuSpec*> train_gpus;
+
+  std::vector<const searchspace::Task*> all_tasks() const;
+  /// A representative task subset per model (first direct conv, a mid
+  /// direct conv, a winograd, a dense) for per-task sweep figures.
+  std::vector<const searchspace::Task*> representative_tasks(
+      const searchspace::TaskSet& model) const;
+};
+Setup make_setup();
+
+/// Everything trained offline (once per bench process).
+struct Pretrained {
+  std::unique_ptr<tuning::OfflineDataset> dataset;  ///< over train_gpus only
+  core::GlimpseArtifacts artifacts;
+  std::shared_ptr<const gp::DeepKernelGp> dgp_embedder;
+  std::shared_ptr<const ml::GbtRegressor> transfer_model;  ///< for AutoTVM+TL
+};
+/// Train all shared artifacts; prints progress to stderr.
+Pretrained pretrain(const Setup& setup, std::size_t samples_per_pair = 150);
+
+/// Named tuner factories in presentation order.
+struct Method {
+  std::string name;
+  tuning::TunerFactory factory;
+};
+Method random_method();
+Method autotvm_method(const Pretrained& p, bool transfer_learning = false);
+Method chameleon_method(const Pretrained& p);
+Method dgp_method(const Pretrained& p);
+Method glimpse_method(const Pretrained& p, core::GlimpseOptions options = {});
+
+/// Run one session with a per-(method, task, gpu) deterministic seed.
+tuning::Trace run_one(const Method& method, const searchspace::Task& task,
+                      const hwspec::GpuSpec& hw, const tuning::SessionOptions& options,
+                      double* gpu_seconds = nullptr);
+
+/// Session options used by the end-to-end experiments (plateau stopping).
+tuning::SessionOptions e2e_session_options();
+
+/// Format helpers.
+std::string fmt(double v, int digits = 2);
+std::string fmt_pct(double fraction, int digits = 1);
+std::string fmt_ratio(double v, int digits = 2);
+
+}  // namespace glimpse::bench

@@ -1,0 +1,78 @@
+// Figure 4: quality of the first 100 sampled configurations for Random,
+// AutoTVM, Chameleon, and Glimpse on four representative (GPU, model, task)
+// combinations. The paper plots the 100 sorted GFLOPS values per method;
+// we print quartiles of each sorted curve plus the best value.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace glimpse;
+
+namespace {
+
+std::vector<double> initial_gflops(const bench::Method& method,
+                                   const searchspace::Task& task,
+                                   const hwspec::GpuSpec& hw, std::size_t n) {
+  tuning::SessionOptions opts;
+  opts.max_trials = n;
+  opts.batch_size = 8;
+  auto trace = bench::run_one(method, task, hw, opts);
+  std::vector<double> gf;
+  for (const auto& t : trace.trials)
+    gf.push_back(t.result.valid ? t.result.gflops : 0.0);
+  gf.resize(n, 0.0);
+  std::sort(gf.rbegin(), gf.rend());
+  return gf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: initial sampled configurations (100 per method) ===\n");
+  std::printf("Sorted-curve summary: best / p25 / median / p75 of 100 samples, "
+              "in GFLOPS.\n\n");
+
+  bench::Setup setup = bench::make_setup();
+  bench::Pretrained pre = bench::pretrain(setup);
+
+  struct Combo {
+    const char* gpu;
+    std::size_t model;   // index into setup.models
+    std::size_t task;    // 0-based task index
+    const char* label;
+  };
+  // The paper's four panels: Titan Xp/ResNet-18/L7, 2070S/ResNet-18/L12,
+  // 2080Ti/VGG-16/L17, 3090/AlexNet/L8.
+  const std::vector<Combo> combos = {
+      {"Titan Xp", 1, 6, "Titan Xp / ResNet-18 / L7"},
+      {"RTX 2070 Super", 1, 11, "RTX 2070 Super / ResNet-18 / L12"},
+      {"RTX 2080 Ti", 2, 16, "RTX 2080 Ti / VGG-16 / L17"},
+      {"RTX 3090", 0, 7, "RTX 3090 / AlexNet / L8"},
+  };
+
+  std::vector<bench::Method> methods = {
+      bench::random_method(), bench::autotvm_method(pre),
+      bench::chameleon_method(pre), bench::glimpse_method(pre)};
+
+  for (const auto& combo : combos) {
+    const auto* gpu = hwspec::find_gpu(combo.gpu);
+    const auto& task = setup.models[combo.model].task(combo.task);
+    std::printf("--- %s (%s) ---\n", combo.label, task.name().c_str());
+    TextTable table({"method", "best", "p25", "median", "p75", "valid/100"});
+    for (const auto& m : methods) {
+      auto gf = initial_gflops(m, task, *gpu, 100);
+      std::size_t valid = 0;
+      for (double v : gf)
+        if (v > 0.0) ++valid;
+      table.add(m.name, bench::fmt(gf[0], 0), bench::fmt(gf[24], 0),
+                bench::fmt(gf[49], 0), bench::fmt(gf[74], 0), std::to_string(valid));
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper): Glimpse's curve dominates — its prior-driven\n"
+              "initial samples start near-optimal while the blind methods ramp up.\n");
+  return 0;
+}

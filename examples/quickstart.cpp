@@ -1,0 +1,84 @@
+// Quickstart: tune one convolution layer for one GPU with Glimpse.
+//
+// Walks the whole public API surface in ~80 lines:
+//   1. pick a hardware target from the datasheet database,
+//   2. describe a workload and get its tuning task (knob space included),
+//   3. pretrain Glimpse's offline artifacts (Blueprint + H + meta-optimizer
+//      + validity ensemble) on simulated logs from *other* GPUs,
+//   4. run the tuning session and inspect the result.
+#include <cstdio>
+
+#include "glimpse/glimpse_tuner.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/task.hpp"
+#include "tuning/dataset.hpp"
+#include "tuning/session.hpp"
+
+using namespace glimpse;
+
+int main() {
+  // 1. Hardware target: any entry of the public datasheet database.
+  const hwspec::GpuSpec* target = hwspec::find_gpu("RTX 2080 Ti");
+  if (!target) return 1;
+  std::printf("Target: %s (%s, %d SMs, %.0f GFLOPS peak)\n\n", target->name.c_str(),
+              to_string(target->arch), target->num_sms, target->fp32_gflops);
+
+  // 2. Workload: ResNet-18's last 3x3 convolution stage.
+  searchspace::ConvShape shape;
+  shape.c = 512;
+  shape.h = shape.w = 7;
+  shape.k = 512;
+  shape.kh = shape.kw = 3;
+  shape.stride = 1;
+  shape.pad = 1;
+  searchspace::Task task("quickstart.conv", searchspace::TemplateKind::kConv2d, shape);
+  std::printf("Task: %s\nSearch space: %.3g configurations\n\n",
+              task.conv_shape().to_string().c_str(), task.space().size());
+
+  // 3. Offline pretraining — leave the target GPU out, exactly as a
+  //    deployment engineer facing a brand-new device would.
+  Rng rng(7);
+  auto train_gpus = hwspec::training_gpus({target->name});
+  // Keep a spread of generations (every other database entry).
+  std::vector<const hwspec::GpuSpec*> spread;
+  for (std::size_t i = 0; i < 12; ++i)
+    spread.push_back(train_gpus[i * train_gpus.size() / 12]);
+  train_gpus = spread;
+  // A real deployment would pretrain once on a broad (task x GPU) corpus
+  // (see bench/bench_common.cpp); for a single-task quickstart we simply
+  // sample that task more densely.
+  auto dataset = tuning::OfflineDataset::generate({&task}, train_gpus, 500, rng);
+  core::GlimpseArtifacts artifacts = core::pretrain_glimpse(
+      dataset, train_gpus, core::default_blueprint_dim(), rng);
+  std::printf("Pretrained on %zu offline samples from %zu other GPUs.\n",
+              dataset.size(), train_gpus.size());
+  std::printf("Blueprint: %zu dims (information loss %.4f)\n\n",
+              artifacts.encoder->dim(), artifacts.encoder->information_loss());
+
+  // 4. Tune.
+  core::GlimpseTuner tuner(task, *target, /*seed=*/1, artifacts);
+  gpusim::SimMeasurer measurer;
+  tuning::SessionOptions options;
+  options.max_trials = 160;
+  options.batch_size = 8;
+  options.plateau_trials = 48;
+  tuning::Trace trace = tuning::run_session(tuner, task, *target, measurer, options);
+
+  std::printf("Tuning finished: %zu measurements, %.0f simulated GPU-seconds\n",
+              trace.trials.size(), trace.total_cost_s());
+  std::printf("Best: %.0f GFLOPS (%.3f ms/layer), %.1f%% of device peak\n",
+              trace.best_gflops(), trace.best_latency() * 1e3,
+              100.0 * trace.best_gflops() / target->fp32_gflops);
+  std::printf("Invalid measurements: %zu (sampler rejected %zu candidates early)\n",
+              trace.num_invalid(), tuner.num_rejected_by_sampler());
+
+  // Show the winning configuration.
+  double best = trace.best_gflops();
+  for (const auto& t : trace.trials) {
+    if (t.result.valid && t.result.gflops == best) {
+      std::printf("\nWinning config: %s\n", task.space().to_string(t.config).c_str());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "baselines/autotvm.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::baselines {
+
+using searchspace::config_features;
+
+namespace {
+
+/// Feature representation available to naive cross-run cost-model transfer:
+/// the raw knob choices (normalized option indices, padded to a fixed knob
+/// count). For the *same task on different hardware* these align exactly —
+/// the model faithfully reuses the other GPUs' experience — but they carry
+/// no hardware conditioning and only crude meaning across shapes, which is
+/// why the paper finds transfer learning "prone to being misguided" (§4.1).
+linalg::Vector tl_features(const searchspace::Task& task,
+                           const tuning::Config& config) {
+  constexpr std::size_t kMaxKnobs = 8;
+  linalg::Vector f(kMaxKnobs, 0.0);
+  const auto& space = task.space();
+  for (std::size_t k = 0; k < space.num_knobs() && k < kMaxKnobs; ++k)
+    f[k] = static_cast<double>(config[k]) /
+           static_cast<double>(space.knob(k).num_options());
+  return f;
+}
+
+}  // namespace
+
+std::shared_ptr<const ml::GbtRegressor> fit_transfer_model(
+    const std::vector<const tuning::TuningRecord*>& records,
+    const std::vector<const searchspace::Task*>& record_tasks, Rng& rng,
+    ml::GbtOptions options) {
+  GLIMPSE_CHECK(records.size() == record_tasks.size());
+  if (records.size() < 16) return nullptr;
+
+  // Normalize each record's gflops by its (task, hw) group's best so scores
+  // are comparable across layers and devices.
+  std::map<std::pair<std::string, std::string>, double> group_best;
+  for (const auto* r : records) {
+    auto key = std::make_pair(r->task_name, r->hw_name);
+    auto [it, inserted] = group_best.try_emplace(key, r->gflops);
+    if (!inserted) it->second = std::max(it->second, r->gflops);
+  }
+
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  rows.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto* r = records[i];
+    double best = group_best[{r->task_name, r->hw_name}];
+    rows.push_back(tl_features(*record_tasks[i], r->config));
+    y.push_back((r->valid && best > 0.0) ? r->gflops / best : 0.0);
+  }
+
+  auto model = std::make_shared<ml::GbtRegressor>(options);
+  model->fit(linalg::Matrix::from_rows(rows), y, rng);
+  return model;
+}
+
+AutoTvmTuner::AutoTvmTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                           std::uint64_t seed, AutoTvmOptions options,
+                           std::shared_ptr<const ml::GbtRegressor> transfer_model)
+    : TunerBase(task, hw, seed),
+      options_(options),
+      transfer_model_(std::move(transfer_model)),
+      local_model_(options.gbt) {}
+
+std::size_t AutoTvmTuner::num_valid_measured() const {
+  std::size_t n = 0;
+  for (const auto& r : measured_results_)
+    if (r.valid) ++n;
+  return n;
+}
+
+bool AutoTvmTuner::model_ready() const {
+  return local_fitted_ || transfer_model_ != nullptr;
+}
+
+double AutoTvmTuner::score(const tuning::Config& c) const {
+  if (local_fitted_) return local_model_.predict(config_features(task_, c));
+  GLIMPSE_CHECK(transfer_model_ != nullptr);
+  return transfer_model_->predict(tl_features(task_, c));
+}
+
+void AutoTvmTuner::maybe_refit() {
+  if (!needs_refit_ || num_valid_measured() < options_.min_data_to_fit) return;
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  rows.reserve(measured_configs_.size());
+  for (std::size_t i = 0; i < measured_configs_.size(); ++i) {
+    rows.push_back(config_features(task_, measured_configs_[i]));
+    y.push_back((measured_results_[i].valid && best_gflops_ > 0.0)
+                    ? measured_results_[i].gflops / best_gflops_
+                    : 0.0);
+  }
+  local_model_.fit(linalg::Matrix::from_rows(rows), y, rng_);
+  local_fitted_ = true;
+  needs_refit_ = false;
+}
+
+std::vector<tuning::Config> AutoTvmTuner::propose(std::size_t n) {
+  maybe_refit();
+  std::vector<tuning::Config> out;
+
+  if (!model_ready()) {
+    // Cold start: pure random until the first model fit is possible.
+    for (std::size_t i = 0; i < n; ++i) {
+      tuning::Config c;
+      if (!random_unvisited(c)) break;
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  // Plan candidates by simulated annealing over the model, seeding chains
+  // with the best measured configs.
+  std::vector<tuning::Config> init;
+  if (!best_config_.empty()) init.push_back(best_config_);
+  tuning::SaResult sa = tuning::simulated_annealing(
+      task_.space(), [this](const tuning::Config& c) { return score(c); },
+      options_.plan_size, rng_, options_.sa, std::move(init));
+
+  // Epsilon-greedy batch: top-scoring unvisited candidates plus random picks.
+  std::size_t n_random = static_cast<std::size_t>(options_.epsilon * n + 0.5);
+  std::size_t n_top = n - std::min(n, n_random);
+  for (const auto& c : sa.configs) {
+    if (out.size() >= n_top) break;
+    if (is_visited(c)) continue;
+    mark_visited(c);
+    out.push_back(c);
+  }
+  while (out.size() < n) {
+    tuning::Config c;
+    if (!random_unvisited(c)) break;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void AutoTvmTuner::update(const std::vector<tuning::Config>& configs,
+                          const std::vector<tuning::MeasureResult>& results) {
+  record_results(configs, results);
+  needs_refit_ = true;
+}
+
+tuning::TunerFactory autotvm_factory(
+    AutoTvmOptions options, std::shared_ptr<const ml::GbtRegressor> transfer_model) {
+  return [options, transfer_model](const searchspace::Task& task,
+                                   const hwspec::GpuSpec& hw, std::uint64_t seed) {
+    return std::make_unique<AutoTvmTuner>(task, hw, seed, options, transfer_model);
+  };
+}
+
+}  // namespace glimpse::baselines

@@ -1,0 +1,66 @@
+// AutoTVM baseline (Chen et al., NeurIPS'18 "Learning to optimize tensor
+// programs"): a gradient-boosted-tree cost model fit on measured configs,
+// parallel simulated annealing over the model to plan candidates, and an
+// epsilon-greedy measurement batch. Optionally warm-started from other
+// tasks' logs through a shared-feature transfer model (the paper's
+// "AutoTVM w/ Transfer Learning" arm in Fig. 5).
+#pragma once
+
+#include <memory>
+
+#include "ml/gbt.hpp"
+#include "tuning/records.hpp"
+#include "tuning/sa.hpp"
+#include "tuning/tuner.hpp"
+
+namespace glimpse::baselines {
+
+struct AutoTvmOptions {
+  ml::GbtOptions gbt;
+  tuning::SaOptions sa;
+  double epsilon = 0.12;            ///< random fraction of each batch
+  std::size_t plan_size = 48;       ///< candidate pool kept from annealing
+  std::size_t min_data_to_fit = 12; ///< valid measurements before first fit
+};
+
+/// Transfer model shared across tuners: GBT over the task-independent
+/// derived knob features (the representation AutoTVM-style cost-model
+/// transfer actually has — no workload-shape conditioning), trained on
+/// (normalized-score) records from other (task, hardware) combinations.
+std::shared_ptr<const ml::GbtRegressor> fit_transfer_model(
+    const std::vector<const tuning::TuningRecord*>& records,
+    const std::vector<const searchspace::Task*>& record_tasks, Rng& rng,
+    ml::GbtOptions options = {});
+
+class AutoTvmTuner : public tuning::TunerBase {
+ public:
+  AutoTvmTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+               std::uint64_t seed, AutoTvmOptions options = {},
+               std::shared_ptr<const ml::GbtRegressor> transfer_model = nullptr);
+
+  std::string name() const override {
+    return transfer_model_ ? "AutoTVM+TL" : "AutoTVM";
+  }
+  std::vector<tuning::Config> propose(std::size_t n) override;
+  void update(const std::vector<tuning::Config>& configs,
+              const std::vector<tuning::MeasureResult>& results) override;
+
+ protected:
+  /// Model-based score of a config (local model, else transfer model).
+  double score(const tuning::Config& c) const;
+  bool model_ready() const;
+  void maybe_refit();
+  std::size_t num_valid_measured() const;
+
+  AutoTvmOptions options_;
+  std::shared_ptr<const ml::GbtRegressor> transfer_model_;
+  ml::GbtRegressor local_model_;
+  bool needs_refit_ = true;
+  bool local_fitted_ = false;
+};
+
+tuning::TunerFactory autotvm_factory(
+    AutoTvmOptions options = {},
+    std::shared_ptr<const ml::GbtRegressor> transfer_model = nullptr);
+
+}  // namespace glimpse::baselines

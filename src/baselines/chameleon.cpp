@@ -1,0 +1,134 @@
+#include "baselines/chameleon.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "ml/kmeans.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::baselines {
+
+using searchspace::config_features;
+
+ChameleonTuner::ChameleonTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                               std::uint64_t seed, ChameleonOptions options)
+    : AutoTvmTuner(task, hw, seed, options.base),
+      copts_(options),
+      sa_steps_(options.base.sa.num_steps) {}
+
+tuning::Config ChameleonTuner::synthesize(
+    const std::vector<const tuning::Config*>& members) const {
+  GLIMPSE_CHECK(!members.empty());
+  tuning::Config out(members[0]->size());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    std::map<std::uint32_t, int> votes;
+    for (const auto* m : members) ++votes[(*m)[k]];
+    auto best = votes.begin();
+    for (auto it = votes.begin(); it != votes.end(); ++it)
+      if (it->second > best->second) best = it;
+    out[k] = best->first;
+  }
+  return out;
+}
+
+std::vector<tuning::Config> ChameleonTuner::propose(std::size_t n) {
+  maybe_refit();
+  if (!model_ready()) return AutoTvmTuner::propose(n);
+
+  // Adaptive Exploration: anneal with the current (decayed) step budget.
+  tuning::SaOptions sa_opts = copts_.base.sa;
+  sa_opts.num_steps = sa_steps_;
+  std::vector<tuning::Config> init;
+  if (!best_config_.empty()) init.push_back(best_config_);
+  tuning::SaResult sa = tuning::simulated_annealing(
+      task_.space(), [this](const tuning::Config& c) { return score(c); },
+      copts_.candidate_pool, rng_, sa_opts, std::move(init));
+
+  // Keep unvisited candidates only.
+  std::vector<const tuning::Config*> pool;
+  for (const auto& c : sa.configs)
+    if (!is_visited(c)) pool.push_back(&c);
+  if (pool.size() <= n) {
+    std::vector<tuning::Config> out;
+    for (const auto* c : pool) {
+      mark_visited(*c);
+      out.push_back(*c);
+    }
+    while (out.size() < n) {  // fall back to random to fill the batch
+      tuning::Config c;
+      if (!random_unvisited(c)) break;
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  // Adaptive Sampling: cluster the pool and measure one representative per
+  // cluster. Fewer clusters than the requested batch — redundant
+  // near-duplicate candidates are collapsed, which is how Chameleon spends
+  // fewer real measurements per round than AutoTVM. Each cluster
+  // contributes its best-scoring member, unless the synthesized per-knob
+  // mode config scores higher (Chameleon's "sample synthesis").
+  std::size_t k = std::max<std::size_t>(2, n * 3 / 4);
+  std::vector<linalg::Vector> rows;
+  rows.reserve(pool.size());
+  for (const auto* c : pool) rows.push_back(config_features(task_, *c));
+  ml::KMeansResult km = ml::kmeans(linalg::Matrix::from_rows(rows), k, rng_);
+
+  std::vector<tuning::Config> out;
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<const tuning::Config*> members;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (km.assignment[i] == j) members.push_back(pool[i]);
+    if (members.empty()) continue;
+    const tuning::Config* best_member = members[0];
+    double best_score = score(*best_member);
+    for (const auto* m : members) {
+      double s = score(*m);
+      if (s > best_score) {
+        best_score = s;
+        best_member = m;
+      }
+    }
+    tuning::Config chosen = *best_member;
+    tuning::Config synth = synthesize(members);
+    if (!is_visited(synth) && task_.space().contains(synth) &&
+        score(synth) > best_score)
+      chosen = std::move(synth);
+    if (is_visited(chosen)) continue;
+    mark_visited(chosen);
+    out.push_back(std::move(chosen));
+  }
+  if (out.empty()) {  // degenerate round: fall back to one random probe
+    tuning::Config c;
+    if (random_unvisited(c)) {
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+void ChameleonTuner::update(const std::vector<tuning::Config>& configs,
+                            const std::vector<tuning::MeasureResult>& results) {
+  AutoTvmTuner::update(configs, results);
+  // Adaptive Exploration: decay the annealing budget when a round brings no
+  // meaningful improvement; restore it when progress resumes.
+  if (best_gflops_ <= last_round_best_ * (1.0 + copts_.improve_threshold)) {
+    sa_steps_ = std::max(copts_.min_sa_steps,
+                         static_cast<int>(sa_steps_ * copts_.explore_decay));
+  } else {
+    sa_steps_ = copts_.base.sa.num_steps;
+  }
+  last_round_best_ = best_gflops_;
+}
+
+tuning::TunerFactory chameleon_factory(ChameleonOptions options) {
+  return [options](const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                   std::uint64_t seed) {
+    return std::make_unique<ChameleonTuner>(task, hw, seed, options);
+  };
+}
+
+}  // namespace glimpse::baselines

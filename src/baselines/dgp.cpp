@@ -1,0 +1,124 @@
+#include "baselines/dgp.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::baselines {
+
+using searchspace::transfer_features;
+
+std::shared_ptr<const gp::DeepKernelGp> pretrain_dgp_embedder(
+    const tuning::OfflineDataset& dataset, Rng& rng, gp::DeepKernelOptions options) {
+  GLIMPSE_CHECK(dataset.size() >= 32) << "transfer dataset too small";
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  rows.reserve(dataset.size());
+  for (const auto& s : dataset.samples()) {
+    rows.push_back(transfer_features(*s.task, s.config));
+    y.push_back(s.score);
+  }
+  auto model = std::make_shared<gp::DeepKernelGp>(searchspace::transfer_feature_dim(),
+                                                  options, rng);
+  model->pretrain(linalg::Matrix::from_rows(rows), y, rng);
+  return model;
+}
+
+DgpTuner::DgpTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                   std::uint64_t seed, std::shared_ptr<const gp::DeepKernelGp> embedder,
+                   DgpOptions options)
+    : TunerBase(task, hw, seed), options_(options), embedder_(std::move(embedder)) {
+  GLIMPSE_CHECK(embedder_ != nullptr && embedder_->pretrained());
+}
+
+double DgpTuner::ucb(const tuning::Config& c) const {
+  GLIMPSE_CHECK(gp_.has_value());
+  linalg::Vector e = embedder_->embed(transfer_features(task_, c));
+  gp::GpPrediction p = gp_->predict(e);
+  return p.mean + options_.ucb_kappa * std::sqrt(p.variance);
+}
+
+void DgpTuner::refit_gp() {
+  // Keep every measurement, including invalid ones at score 0, so the GP
+  // learns to steer away from invalid regions.
+  std::vector<std::size_t> valid_rows(measured_results_.size());
+  std::iota(valid_rows.begin(), valid_rows.end(), std::size_t{0});
+  if (valid_rows.size() > options_.max_gp_points) {
+    // Keep the most recent window (the GP tracks the posterior as it narrows).
+    valid_rows.erase(valid_rows.begin(),
+                     valid_rows.end() - static_cast<std::ptrdiff_t>(options_.max_gp_points));
+  }
+  linalg::Matrix x(valid_rows.size(), embedder_->embed(transfer_features(
+                                                           task_, measured_configs_[0]))
+                                          .size());
+  linalg::Vector y(valid_rows.size());
+  for (std::size_t i = 0; i < valid_rows.size(); ++i) {
+    std::size_t r = valid_rows[i];
+    linalg::Vector e = embedder_->embed(transfer_features(task_, measured_configs_[r]));
+    for (std::size_t c = 0; c < e.size(); ++c) x(i, c) = e[c];
+    y[i] = (measured_results_[r].valid && best_gflops_ > 0.0)
+               ? measured_results_[r].gflops / best_gflops_
+               : 0.0;
+  }
+  gp_.emplace(std::make_unique<gp::Matern52Kernel>(options_.gp_lengthscale, 1.0),
+              options_.gp_noise);
+  gp_->fit(x, y);
+  needs_refit_ = false;
+}
+
+std::vector<tuning::Config> DgpTuner::propose(std::size_t n) {
+  std::size_t valid = 0;
+  for (const auto& r : measured_results_)
+    if (r.valid) ++valid;
+
+  std::vector<tuning::Config> out;
+  if (valid < options_.min_data_to_fit) {
+    for (std::size_t i = 0; i < n; ++i) {
+      tuning::Config c;
+      if (!random_unvisited(c)) break;
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  if (needs_refit_) refit_gp();
+
+  std::vector<tuning::Config> init;
+  if (!best_config_.empty()) init.push_back(best_config_);
+  tuning::SaResult sa = tuning::simulated_annealing(
+      task_.space(), [this](const tuning::Config& c) { return ucb(c); },
+      options_.plan_size, rng_, options_.sa, std::move(init));
+
+  for (const auto& c : sa.configs) {
+    if (out.size() >= n) break;
+    if (is_visited(c)) continue;
+    mark_visited(c);
+    out.push_back(c);
+  }
+  while (out.size() < n) {
+    tuning::Config c;
+    if (!random_unvisited(c)) break;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void DgpTuner::update(const std::vector<tuning::Config>& configs,
+                      const std::vector<tuning::MeasureResult>& results) {
+  record_results(configs, results);
+  needs_refit_ = true;
+}
+
+tuning::TunerFactory dgp_factory(std::shared_ptr<const gp::DeepKernelGp> embedder,
+                                 DgpOptions options) {
+  return [embedder, options](const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                             std::uint64_t seed) {
+    return std::make_unique<DgpTuner>(task, hw, seed, embedder, options);
+  };
+}
+
+}  // namespace glimpse::baselines

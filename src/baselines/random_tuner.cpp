@@ -1,0 +1,25 @@
+#include "baselines/random_tuner.hpp"
+
+#include <memory>
+
+namespace glimpse::baselines {
+
+std::vector<tuning::Config> RandomTuner::propose(std::size_t n) {
+  std::vector<tuning::Config> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    tuning::Config c;
+    if (!random_unvisited(c)) break;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+tuning::TunerFactory random_factory() {
+  return [](const searchspace::Task& task, const hwspec::GpuSpec& hw,
+            std::uint64_t seed) {
+    return std::make_unique<RandomTuner>(task, hw, seed);
+  };
+}
+
+}  // namespace glimpse::baselines

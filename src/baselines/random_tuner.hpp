@@ -1,0 +1,19 @@
+// Random search: the weakest baseline (TVM's default fallback, and the
+// "Random" series of the paper's Fig. 4).
+#pragma once
+
+#include "tuning/tuner.hpp"
+
+namespace glimpse::baselines {
+
+class RandomTuner final : public tuning::TunerBase {
+ public:
+  using TunerBase::TunerBase;
+  std::string name() const override { return "Random"; }
+  std::vector<tuning::Config> propose(std::size_t n) override;
+};
+
+/// Factory for the experiment harness.
+tuning::TunerFactory random_factory();
+
+}  // namespace glimpse::baselines

@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace glimpse {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;  // quiet by default; benches raise it
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+CheckFailure::CheckFailure(const char* expr, const char* file, int line) {
+  stream_ << "Check failed: " << expr << " (" << file << ":" << line << ") ";
+}
+
+CheckFailure::~CheckFailure() noexcept(false) { throw CheckError(stream_.str()); }
+
+}  // namespace detail
+}  // namespace glimpse

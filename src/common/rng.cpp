@@ -1,0 +1,42 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace glimpse {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    // Degenerate all-zero weights: fall back to uniform.
+    return index(weights.size());
+  }
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point round-off
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Floyd's algorithm would be ideal for k << n; a partial Fisher-Yates is
+  // simple and fine at the sizes used here (k, n <= a few thousand).
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace glimpse

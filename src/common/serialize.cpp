@@ -1,0 +1,88 @@
+#include "common/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace glimpse {
+
+void TextWriter::tag(const std::string& t) { os_ << t << ' '; }
+
+void TextWriter::scalar(double v) {
+  os_.precision(std::numeric_limits<double>::max_digits10);
+  os_ << v << ' ';
+}
+
+void TextWriter::scalar_u(std::size_t v) { os_ << v << ' '; }
+
+void TextWriter::vector(std::span<const double> v) {
+  scalar_u(v.size());
+  for (double x : v) scalar(x);
+  os_ << '\n';
+}
+
+void TextWriter::matrix(const linalg::Matrix& m) {
+  scalar_u(m.rows());
+  scalar_u(m.cols());
+  for (double x : m.data()) scalar(x);
+  os_ << '\n';
+}
+
+void TextWriter::text(const std::string& s) {
+  // Words only (no embedded whitespace) keep the format trivially tokenizable.
+  for (char c : s)
+    if (std::isspace(static_cast<unsigned char>(c)))
+      throw std::invalid_argument("TextWriter::text: whitespace in token: " + s);
+  os_ << s << ' ';
+}
+
+std::string TextReader::next_token() {
+  std::string tok;
+  if (!(is_ >> tok)) throw std::runtime_error("TextReader: unexpected end of input");
+  return tok;
+}
+
+void TextReader::expect(const std::string& tag) {
+  std::string tok = next_token();
+  if (tok != tag)
+    throw std::runtime_error("TextReader: expected tag '" + tag + "', got '" + tok +
+                             "'");
+}
+
+double TextReader::scalar() {
+  std::string tok = next_token();
+  std::size_t pos = 0;
+  double v = std::stod(tok, &pos);
+  if (pos != tok.size()) throw std::runtime_error("TextReader: bad scalar " + tok);
+  return v;
+}
+
+std::size_t TextReader::scalar_u() {
+  std::string tok = next_token();
+  std::size_t pos = 0;
+  unsigned long long v = std::stoull(tok, &pos);
+  if (pos != tok.size()) throw std::runtime_error("TextReader: bad integer " + tok);
+  return static_cast<std::size_t>(v);
+}
+
+linalg::Vector TextReader::vector() {
+  std::size_t n = scalar_u();
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = scalar();
+  return v;
+}
+
+linalg::Matrix TextReader::matrix() {
+  std::size_t r = scalar_u();
+  std::size_t c = scalar_u();
+  linalg::Matrix m(r, c);
+  auto data = m.data();
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = scalar();
+  return m;
+}
+
+std::string TextReader::text() { return next_token(); }
+
+}  // namespace glimpse

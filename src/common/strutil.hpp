@@ -1,0 +1,26 @@
+// printf-style string formatting and small string helpers.
+// (GCC 12 ships no <format>, so we provide a checked snprintf wrapper.)
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace glimpse {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strformat(const char* fmt, ...);
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strip leading/trailing whitespace.
+std::string trim(const std::string& s);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace glimpse

@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace glimpse {
+
+void TextTable::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < ncols) os << " | ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    os << std::string(width[i], '-');
+    if (i + 1 < ncols) os << "-+-";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace glimpse

@@ -1,0 +1,40 @@
+// ASCII table printer used by the benchmark harness to render paper-style
+// tables/figure data as aligned text.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace glimpse {
+
+/// Column-aligned text table. Rows may be shorter than the header; missing
+/// cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: build a row from already-formatted cells.
+  template <typename... Cells>
+  void add(Cells&&... cells) {
+    add_row({std::string(std::forward<Cells>(cells))...});
+  }
+
+  /// Render with a rule under the header, e.g.
+  ///   model     | search (h) | HV
+  ///   ----------+------------+------
+  ///   AlexNet   | 18.65      | 4.24
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace glimpse

@@ -1,0 +1,294 @@
+#include "glimpse/glimpse_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::core {
+
+using searchspace::Config;
+using searchspace::config_features;
+
+GlimpseArtifacts pretrain_glimpse(const tuning::OfflineDataset& dataset,
+                                  const std::vector<const hwspec::GpuSpec*>& train_gpus,
+                                  std::size_t blueprint_dim, Rng& rng,
+                                  PriorTrainOptions prior_options,
+                                  MetaTrainOptions meta_options) {
+  GlimpseArtifacts a;
+  // The PCA population is the public database — the datasheet list is public
+  // knowledge; only *tuning experience* must exclude the target combination.
+  a.encoder = std::make_shared<BlueprintEncoder>(blueprint_dim);
+
+  auto prior = std::make_shared<PriorGenerator>(blueprint_dim, rng, prior_options);
+  prior->train(dataset, *a.encoder, rng);
+  a.prior = prior;
+
+  auto meta = std::make_shared<MetaOptimizer>(blueprint_dim, rng, meta_options);
+  meta->train(dataset, *a.encoder, *prior, rng);
+  a.meta = meta;
+
+  a.validity = std::make_shared<ValidityEnsemble>(*a.encoder, train_gpus);
+  return a;
+}
+
+void save_artifacts(const GlimpseArtifacts& artifacts, const std::string& path) {
+  GLIMPSE_CHECK(artifacts.encoder && artifacts.prior && artifacts.meta &&
+                artifacts.validity)
+      << "save_artifacts: incomplete artifacts";
+  std::ofstream os(path);
+  GLIMPSE_CHECK(os.good()) << "cannot open " << path;
+  TextWriter w(os);
+  w.tag("glimpse_artifacts_v1");
+  artifacts.encoder->save(w);
+  artifacts.prior->save(w);
+  artifacts.meta->save(w);
+  artifacts.validity->save(w);
+}
+
+GlimpseArtifacts load_artifacts(const std::string& path) {
+  std::ifstream is(path);
+  GLIMPSE_CHECK(is.good()) << "cannot open " << path;
+  TextReader r(is);
+  r.expect("glimpse_artifacts_v1");
+  GlimpseArtifacts a;
+  a.encoder = std::make_shared<BlueprintEncoder>(BlueprintEncoder::load(r));
+  a.prior = std::make_shared<PriorGenerator>(PriorGenerator::load(r));
+  a.meta = std::make_shared<MetaOptimizer>(MetaOptimizer::load(r));
+  a.validity = std::make_shared<ValidityEnsemble>(ValidityEnsemble::load(r));
+  return a;
+}
+
+GlimpseTuner::GlimpseTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                           std::uint64_t seed, GlimpseArtifacts artifacts,
+                           GlimpseOptions options)
+    : TunerBase(task, hw, seed),
+      artifacts_(std::move(artifacts)),
+      options_(options),
+      surrogate_(config_features(task, task.space().random_config(rng_)).size(), rng_,
+                 options.surrogate) {
+  GLIMPSE_CHECK(artifacts_.encoder && artifacts_.prior && artifacts_.meta &&
+                artifacts_.validity)
+      << "GlimpseTuner needs fully pretrained artifacts";
+  blueprint_ = artifacts_.encoder->encode(hw_);
+  prior_.emplace(artifacts_.prior->generate(task_, blueprint_));
+  thresholds_ = artifacts_.validity->thresholds_for(blueprint_);
+
+  // Calibrate the prior-score scale against random configurations so the
+  // prior can be blended into normalized search energies.
+  std::vector<double> scores;
+  for (int i = 0; i < 192; ++i)
+    scores.push_back(prior_->config_score(task_.space().random_config(rng_)));
+  prior_mean_ = mean(scores);
+  prior_std_ = std::max(1e-9, stddev(scores));
+}
+
+double GlimpseTuner::prior_z(const Config& c) const {
+  return (prior_->config_score(c) - prior_mean_) / prior_std_;
+}
+
+bool GlimpseTuner::sampler_accepts(const Config& c) {
+  if (!options_.use_validity) return true;
+  if (artifacts_.validity->accept(task_, c, thresholds_)) return true;
+  ++rejected_by_sampler_;
+  return false;
+}
+
+std::vector<Config> GlimpseTuner::initial_configs(std::size_t n) {
+  return propose_from_prior(n);
+}
+
+std::vector<Config> GlimpseTuner::propose_from_prior(std::size_t n) {
+  std::vector<Config> out;
+  if (options_.use_prior) {
+    // Hedge against a misleading prior (an off-population target): a
+    // quarter of every prior batch is validity-filtered random exploration.
+    std::size_t n_prior = n - n / 4;
+    // Highest-probability combinations first ("enumerate combinations of the
+    // argmax, weighted"), then weighted samples for diversity.
+    for (auto& c : prior_->top_configs(n_prior)) {
+      if (out.size() >= n_prior) break;
+      if (is_visited(c) || !sampler_accepts(c)) continue;
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+    int attempts = 0;
+    int max_attempts = static_cast<int>(n) * 30;
+    while (out.size() < n_prior && attempts++ < max_attempts) {
+      Config c = prior_->sample(rng_);
+      if (is_visited(c) || !sampler_accepts(c)) continue;
+      mark_visited(c);
+      out.push_back(std::move(c));
+    }
+  }
+  // Fallback (and the no-prior ablation): validity-filtered random.
+  int attempts = 0;
+  int max_attempts = static_cast<int>(n) * 30;
+  while (out.size() < n && attempts++ < max_attempts) {
+    Config c;
+    if (!random_unvisited(c)) break;
+    if (!sampler_accepts(c)) continue;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  while (out.size() < n) {  // last resort: unfiltered random
+    Config c;
+    if (!random_unvisited(c)) break;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void GlimpseTuner::maybe_refit_surrogate() {
+  std::size_t valid = 0;
+  for (const auto& r : measured_results_)
+    if (r.valid) ++valid;
+  if (!surrogate_dirty_ || valid < options_.min_data_to_fit) return;
+
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  rows.reserve(measured_configs_.size());
+  for (std::size_t i = 0; i < measured_configs_.size(); ++i) {
+    rows.push_back(config_features(task_, measured_configs_[i]));
+    y.push_back((measured_results_[i].valid && best_gflops_ > 0.0)
+                    ? measured_results_[i].gflops / best_gflops_
+                    : 0.0);
+  }
+  surrogate_.fit(linalg::Matrix::from_rows(rows), y, rng_);
+  surrogate_dirty_ = false;
+}
+
+std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
+  // 1. Simulated annealing with the surrogate as the energy function,
+  //    blended with the (progress-decayed) Blueprint prior.
+  std::vector<Config> init;
+  if (!best_config_.empty()) init.push_back(best_config_);
+  if (options_.use_prior) init.push_back(prior_->sample(rng_));
+  double progress0 = std::min(
+      1.0, static_cast<double>(measured_configs_.size()) /
+               static_cast<double>(std::max<std::size_t>(1, options_.expected_trials)));
+  double prior_w =
+      options_.use_prior ? options_.prior_sa_weight * (1.0 - progress0) : 0.0;
+  // Early in the search the online surrogate is immature; the meta-learned
+  // acquisition carries the offline, Blueprint-conditioned knowledge of the
+  // space into the annealing energy (H parameterizes the surrogate, §3.1);
+  // its influence decays as real measurements accumulate.
+  double meta_w = options_.use_meta ? 0.6 * (1.0 - progress0) : 0.0;
+  tuning::SaResult sa = tuning::simulated_annealing(
+      task_.space(),
+      [this, prior_w, meta_w, progress0](const Config& c) {
+        auto pred = surrogate_.predict(config_features(task_, c));
+        double energy = pred.mean;
+        if (prior_w > 0.0) energy += prior_w * 0.1 * prior_z(c);
+        if (meta_w > 0.0) {
+          MetaFeatures f;
+          f.surrogate_mean = pred.mean;
+          f.surrogate_std = pred.std;
+          f.prior_z = options_.use_prior ? prior_z(c) : 0.0;
+          f.progress = progress0;
+          energy += meta_w * artifacts_.meta->score(
+                                 f, blueprint_, MetaOptimizer::derived_block(task_, c));
+        }
+        return energy;
+      },
+      options_.plan_size, rng_, options_.sa, std::move(init));
+
+  // Unvisited candidates that survive Hardware-Aware Sampling.
+  std::vector<Config> pool;
+  for (auto& c : sa.configs) {
+    if (is_visited(c)) continue;
+    if (!sampler_accepts(c)) continue;
+    pool.push_back(std::move(c));
+  }
+
+  // 2. Hardware-Aware Exploration: the neural acquisition function re-ranks
+  //    the pool using the Blueprint and the optimization progress.
+  std::vector<double> rank_scores(pool.size());
+  if (options_.use_meta && !pool.empty()) {
+    std::vector<double> prior_scores(pool.size(), 0.0);
+    if (options_.use_prior)
+      for (std::size_t i = 0; i < pool.size(); ++i)
+        prior_scores[i] = prior_->config_score(pool[i]);
+    double pm = mean(prior_scores);
+    double ps = std::max(1e-9, stddev(prior_scores));
+    double progress = std::min(
+        1.0, static_cast<double>(measured_configs_.size()) /
+                 static_cast<double>(std::max<std::size_t>(1, options_.expected_trials)));
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      auto pred = surrogate_.predict(config_features(task_, pool[i]));
+      MetaFeatures f;
+      f.surrogate_mean = pred.mean;
+      f.surrogate_std = pred.std;
+      f.prior_z = (prior_scores[i] - pm) / ps;
+      f.progress = progress;
+      rank_scores[i] = artifacts_.meta->score(
+          f, blueprint_, MetaOptimizer::derived_block(task_, pool[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      rank_scores[i] = surrogate_.predict(config_features(task_, pool[i])).mean;
+  }
+
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rank_scores[a] > rank_scores[b];
+  });
+
+  std::size_t n_random = static_cast<std::size_t>(options_.epsilon * n + 0.5);
+  std::size_t n_top = n - std::min(n, n_random);
+  std::vector<Config> out;
+  for (std::size_t i = 0; i < order.size() && out.size() < n_top; ++i) {
+    Config& c = pool[order[i]];
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  // Exploration tail: prior samples (validity-filtered), then random.
+  int attempts = 0;
+  int max_attempts = static_cast<int>(n) * 30;
+  while (out.size() < n && attempts++ < max_attempts) {
+    Config c = options_.use_prior ? prior_->sample(rng_)
+                                  : task_.space().random_config(rng_);
+    if (is_visited(c) || !sampler_accepts(c)) continue;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  while (out.size() < n) {
+    Config c;
+    if (!random_unvisited(c)) break;
+    mark_visited(c);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Config> GlimpseTuner::propose(std::size_t n) {
+  maybe_refit_surrogate();
+  ++rounds_;
+  std::size_t valid = 0;
+  for (const auto& r : measured_results_)
+    if (r.valid) ++valid;
+  if (rounds_ <= options_.init_rounds || valid < options_.min_data_to_fit ||
+      !surrogate_.fitted())
+    return propose_from_prior(n);
+  return propose_from_search(n);
+}
+
+void GlimpseTuner::update(const std::vector<Config>& configs,
+                          const std::vector<tuning::MeasureResult>& results) {
+  record_results(configs, results);
+  surrogate_dirty_ = true;
+}
+
+tuning::TunerFactory glimpse_factory(GlimpseArtifacts artifacts, GlimpseOptions options) {
+  return [artifacts, options](const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                              std::uint64_t seed) {
+    return std::make_unique<GlimpseTuner>(task, hw, seed, artifacts, options);
+  };
+}
+
+}  // namespace glimpse::core

@@ -1,0 +1,113 @@
+// GlimpseTuner: Algorithm 1 of the paper — the hardware-aware Bayesian
+// optimization loop composing the three Blueprint-driven components:
+//
+//   f^ <- H(layer, Blueprint)            // prior distributions (§3.1)
+//   loop:
+//     xs        <- simulated annealing with the surrogate as energy
+//     xs_pruned <- neural acquisition function re-ranks with Blueprint hints (§3.2)
+//     xs_sampled<- validity-ensemble rejection sampling (§3.3)
+//     measure xs_sampled on real hardware; update surrogate
+//
+// Ablation switches (use_prior / use_meta / use_validity) let the benches
+// quantify each component's contribution; with all three off the loop
+// degenerates to surrogate-guided annealing (an AutoTVM-like blind tuner
+// with a neural cost model).
+#pragma once
+
+#include <memory>
+
+#include "glimpse/blueprint.hpp"
+#include "glimpse/meta_optimizer.hpp"
+#include "glimpse/prior_generator.hpp"
+#include "glimpse/surrogate.hpp"
+#include "glimpse/validity_ensemble.hpp"
+#include "tuning/sa.hpp"
+#include "tuning/tuner.hpp"
+
+namespace glimpse::core {
+
+/// Pretrained, shareable Glimpse state: everything derived offline from the
+/// hardware database and the offline dataset (leave-target-out).
+struct GlimpseArtifacts {
+  std::shared_ptr<const BlueprintEncoder> encoder;
+  std::shared_ptr<const PriorGenerator> prior;
+  std::shared_ptr<const MetaOptimizer> meta;
+  std::shared_ptr<const ValidityEnsemble> validity;
+};
+
+/// Train all Glimpse components on an offline dataset and a training-GPU
+/// population (which must exclude the evaluation target for honest
+/// leave-target-out results).
+GlimpseArtifacts pretrain_glimpse(const tuning::OfflineDataset& dataset,
+                                  const std::vector<const hwspec::GpuSpec*>& train_gpus,
+                                  std::size_t blueprint_dim, Rng& rng,
+                                  PriorTrainOptions prior_options = {},
+                                  MetaTrainOptions meta_options = {});
+
+/// Persist pretrained artifacts ("train once offline, ship the file").
+void save_artifacts(const GlimpseArtifacts& artifacts, const std::string& path);
+GlimpseArtifacts load_artifacts(const std::string& path);
+
+struct GlimpseOptions {
+  tuning::SaOptions sa;
+  std::size_t plan_size = 64;        ///< candidate pool from annealing
+  std::size_t init_rounds = 3;       ///< batches drawn from the prior
+  std::size_t min_data_to_fit = 8;   ///< valid samples before surrogate fit
+  std::size_t expected_trials = 400; ///< T in the t/T progress feature
+  double epsilon = 0.10;             ///< random fraction per batch
+  /// Weight of the prior term in the annealing energy, decayed by search
+  /// progress (the prior's influence fades as real measurements accumulate).
+  double prior_sa_weight = 1.0;
+  SurrogateOptions surrogate;
+
+  // Ablation switches.
+  bool use_prior = true;
+  bool use_meta = true;
+  bool use_validity = true;
+};
+
+class GlimpseTuner final : public tuning::TunerBase {
+ public:
+  GlimpseTuner(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+               std::uint64_t seed, GlimpseArtifacts artifacts,
+               GlimpseOptions options = {});
+
+  std::string name() const override { return "Glimpse"; }
+  std::vector<tuning::Config> propose(std::size_t n) override;
+  void update(const std::vector<tuning::Config>& configs,
+              const std::vector<tuning::MeasureResult>& results) override;
+
+  /// Configurations the prior would put first (the paper's Fig. 4 initial
+  /// set): top prior configs plus prior samples, validity-filtered.
+  std::vector<tuning::Config> initial_configs(std::size_t n);
+
+  /// Candidates rejected by Hardware-Aware Sampling so far (telemetry).
+  std::size_t num_rejected_by_sampler() const { return rejected_by_sampler_; }
+
+ private:
+  std::vector<tuning::Config> propose_from_prior(std::size_t n);
+  std::vector<tuning::Config> propose_from_search(std::size_t n);
+  void maybe_refit_surrogate();
+  bool sampler_accepts(const tuning::Config& c);
+
+  GlimpseArtifacts artifacts_;
+  GlimpseOptions options_;
+
+  /// Prior score z-normalized against a random-config sample (so the prior
+  /// term is commensurate with the surrogate's normalized outputs).
+  double prior_z(const tuning::Config& c) const;
+
+  linalg::Vector blueprint_;
+  std::optional<Prior> prior_;
+  double prior_mean_ = 0.0, prior_std_ = 1.0;
+  std::vector<ValidityEnsemble::Thresholds> thresholds_;
+  NeuralSurrogate surrogate_;
+  bool surrogate_dirty_ = true;
+  std::size_t rounds_ = 0;
+  std::size_t rejected_by_sampler_ = 0;
+};
+
+tuning::TunerFactory glimpse_factory(GlimpseArtifacts artifacts,
+                                     GlimpseOptions options = {});
+
+}  // namespace glimpse::core

@@ -1,0 +1,167 @@
+#include "glimpse/meta_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "nn/adam.hpp"
+#include "nn/losses.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::core {
+
+linalg::Vector MetaOptimizer::derived_block(const searchspace::Task& task,
+                                            const searchspace::Config& config) {
+  return searchspace::derived_config_features(task, config);
+}
+
+std::size_t MetaOptimizer::derived_block_dim() {
+  return searchspace::derived_config_feature_dim();
+}
+
+MetaOptimizer::MetaOptimizer(std::size_t blueprint_dim, Rng& rng,
+                             MetaTrainOptions options)
+    : blueprint_dim_(blueprint_dim),
+      options_(options),
+      net_({4 + blueprint_dim + derived_block_dim(), options.hidden, options.hidden, 1},
+           nn::Activation::kRelu, rng) {}
+
+linalg::Vector MetaOptimizer::make_input(const MetaFeatures& f,
+                                         std::span<const double> blueprint,
+                                         std::span<const double> derived) const {
+  GLIMPSE_CHECK(blueprint.size() == blueprint_dim_);
+  GLIMPSE_CHECK(derived.size() == derived_block_dim());
+  linalg::Vector in;
+  in.reserve(net_.input_dim());
+  in.push_back(f.surrogate_mean);
+  in.push_back(f.surrogate_std);
+  in.push_back(f.prior_z);
+  in.push_back(f.progress);
+  in.insert(in.end(), blueprint.begin(), blueprint.end());
+  in.insert(in.end(), derived.begin(), derived.end());
+  return in;
+}
+
+void MetaOptimizer::train(const tuning::OfflineDataset& dataset,
+                          const BlueprintEncoder& encoder, const PriorGenerator& prior,
+                          Rng& rng) {
+  GLIMPSE_CHECK(prior.trained()) << "train the PriorGenerator before the MetaOptimizer";
+
+  struct Example {
+    linalg::Vector input;
+    double target;
+  };
+  std::vector<Example> examples;
+
+  // Sample groups to keep meta-training tractable.
+  std::vector<std::size_t> group_ids(dataset.groups().size());
+  for (std::size_t i = 0; i < group_ids.size(); ++i) group_ids[i] = i;
+  rng.shuffle(group_ids);
+  group_ids.resize(std::min(group_ids.size(), options_.max_groups));
+
+  for (std::size_t gid : group_ids) {
+    const auto& group = dataset.groups()[gid];
+    const auto& samples = dataset.samples();
+    std::vector<std::size_t> pool = group.sample_indices;
+    if (pool.size() < options_.measured_base + options_.candidates_per_stage) continue;
+
+    linalg::Vector blueprint = encoder.encode(*group.hw);
+    Prior task_prior = prior.generate(*group.task, blueprint);
+
+    for (double stage : options_.stages) {
+      // Reconstruct a surrogate state of maturity `stage`: fit on a random
+      // history whose size grows with progress, exactly as the online loop
+      // would have accumulated by then.
+      std::size_t m = options_.measured_base +
+                      static_cast<std::size_t>(
+                          stage * static_cast<double>(options_.measured_full -
+                                                      options_.measured_base));
+      // Small groups: cap the emulated history so candidates remain.
+      m = std::min(m, pool.size() - std::min(pool.size(), options_.candidates_per_stage));
+      if (m < 4) continue;
+      rng.shuffle(pool);
+      std::size_t n_cand = std::min(options_.candidates_per_stage, pool.size() - m);
+      if (n_cand == 0) continue;
+
+      std::vector<linalg::Vector> hist_rows;
+      linalg::Vector hist_y;
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto& s = samples[pool[i]];
+        hist_rows.push_back(searchspace::config_features(*group.task, s.config));
+        hist_y.push_back(s.score);
+      }
+      Rng surrogate_rng = rng.fork(gid * 1000 + static_cast<std::uint64_t>(stage * 100));
+      NeuralSurrogate surrogate(hist_rows[0].size(), surrogate_rng,
+                                {.ensemble = 3, .hidden = 24, .epochs_per_fit = 8});
+      surrogate.fit(linalg::Matrix::from_rows(hist_rows), hist_y, surrogate_rng);
+
+      // Candidates: held-out samples; z-score their prior scores.
+      std::vector<double> prior_scores;
+      for (std::size_t i = m; i < m + n_cand; ++i)
+        prior_scores.push_back(task_prior.config_score(samples[pool[i]].config));
+      double pm = mean(prior_scores);
+      double ps = std::max(1e-9, stddev(prior_scores));
+
+      for (std::size_t i = m; i < m + n_cand; ++i) {
+        const auto& s = samples[pool[i]];
+        auto pred =
+            surrogate.predict(searchspace::config_features(*group.task, s.config));
+        MetaFeatures f;
+        f.surrogate_mean = pred.mean;
+        f.surrogate_std = pred.std;
+        f.prior_z = (prior_scores[i - m] - pm) / ps;
+        f.progress = stage;
+        Example ex;
+        ex.input = make_input(f, blueprint, derived_block(*group.task, s.config));
+        ex.target = s.score;
+        examples.push_back(std::move(ex));
+      }
+    }
+  }
+  GLIMPSE_CHECK(examples.size() >= 64) << "meta-training set too small: "
+                                       << examples.size();
+
+  nn::Adam adam(net_, {.lr = options_.lr});
+  std::size_t batch = std::min<std::size_t>(32, examples.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    auto order = rng.sample_without_replacement(examples.size(), examples.size());
+    for (std::size_t start = 0; start + batch <= examples.size(); start += batch) {
+      nn::MlpParams grad = net_.zero_like();
+      for (std::size_t i = start; i < start + batch; ++i) {
+        const Example& ex = examples[order[i]];
+        nn::Mlp::Cache cache;
+        linalg::Vector out = net_.forward(ex.input, cache);
+        linalg::Vector dout;
+        linalg::Vector target = {ex.target};
+        nn::mse_grad(out, target, dout);
+        grad.axpy(1.0 / static_cast<double>(batch), net_.backward(ex.input, cache, dout));
+      }
+      adam.step(net_, grad);
+    }
+  }
+  trained_ = true;
+}
+
+void MetaOptimizer::save(TextWriter& w) const {
+  GLIMPSE_CHECK(trained_) << "save an untrained MetaOptimizer";
+  w.tag("meta_optimizer");
+  w.scalar_u(blueprint_dim_);
+  net_.save(w);
+}
+
+MetaOptimizer MetaOptimizer::load(TextReader& r) {
+  r.expect("meta_optimizer");
+  std::size_t dim = r.scalar_u();
+  nn::Mlp net = nn::Mlp::load(r);
+  GLIMPSE_CHECK(net.input_dim() == 4 + dim + derived_block_dim());
+  return MetaOptimizer(dim, std::move(net));
+}
+
+double MetaOptimizer::score(const MetaFeatures& f, std::span<const double> blueprint,
+                            std::span<const double> derived) const {
+  GLIMPSE_CHECK(trained_) << "MetaOptimizer::score before train";
+  return net_.forward(make_input(f, blueprint, derived))[0];
+}
+
+}  // namespace glimpse::core

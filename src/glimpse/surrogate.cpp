@@ -1,0 +1,65 @@
+#include "glimpse/surrogate.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "nn/losses.hpp"
+
+namespace glimpse::core {
+
+NeuralSurrogate::NeuralSurrogate(std::size_t input_dim, Rng& rng,
+                                 SurrogateOptions options)
+    : options_(options) {
+  for (std::size_t e = 0; e < options_.ensemble; ++e) {
+    nets_.emplace_back(std::vector<std::size_t>{input_dim, options_.hidden, 1},
+                       nn::Activation::kRelu, rng);
+    opts_.emplace_back(nets_.back(), nn::AdamOptions{.lr = options_.lr});
+  }
+}
+
+void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rng) {
+  GLIMPSE_CHECK(x.rows() == y.size() && x.rows() >= 2);
+  scaler_.fit(x);
+
+  std::size_t n = x.rows();
+  std::size_t batch = std::min<std::size_t>(16, n);
+  for (std::size_t e = 0; e < nets_.size(); ++e) {
+    for (int epoch = 0; epoch < options_.epochs_per_fit; ++epoch) {
+      auto order = rng.sample_without_replacement(n, n);
+      for (std::size_t start = 0; start + batch <= n; start += batch) {
+        nn::MlpParams grad = nets_[e].zero_like();
+        for (std::size_t i = start; i < start + batch; ++i) {
+          std::size_t r = order[i];
+          linalg::Vector z = scaler_.transform(x.row(r));
+          nn::Mlp::Cache cache;
+          linalg::Vector out = nets_[e].forward(z, cache);
+          linalg::Vector dout;
+          linalg::Vector target = {y[r]};
+          nn::mse_grad(out, target, dout);
+          grad.axpy(1.0 / static_cast<double>(batch),
+                    nets_[e].backward(z, cache, dout));
+        }
+        opts_[e].step(nets_[e], grad);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+NeuralSurrogate::Prediction NeuralSurrogate::predict(std::span<const double> x) const {
+  GLIMPSE_CHECK(fitted_) << "NeuralSurrogate::predict before fit";
+  linalg::Vector z = scaler_.transform(x);
+  double sum = 0.0, sumsq = 0.0;
+  for (const auto& net : nets_) {
+    double v = net.forward(z)[0];
+    sum += v;
+    sumsq += v * v;
+  }
+  double n = static_cast<double>(nets_.size());
+  Prediction p;
+  p.mean = sum / n;
+  p.std = std::sqrt(std::max(0.0, sumsq / n - p.mean * p.mean));
+  return p;
+}
+
+}  // namespace glimpse::core

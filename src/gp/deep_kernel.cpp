@@ -1,0 +1,83 @@
+#include "gp/deep_kernel.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+#include "nn/losses.hpp"
+
+namespace glimpse::gp {
+
+DeepKernelGp::DeepKernelGp(std::size_t input_dim, DeepKernelOptions options, Rng& rng)
+    : options_(options),
+      embedder_({input_dim, options.hidden, options.embed_dim, 1},
+                nn::Activation::kTanh, rng) {}
+
+void DeepKernelGp::pretrain(const linalg::Matrix& x, const linalg::Vector& y, Rng& rng) {
+  GLIMPSE_CHECK(x.rows() == y.size() && x.rows() >= 4);
+  scaler_.fit(x);
+
+  nn::Adam adam(embedder_, {.lr = options_.pretrain_lr});
+  std::size_t n = x.rows();
+  std::size_t batch = std::min<std::size_t>(32, n);
+  for (int epoch = 0; epoch < options_.pretrain_epochs; ++epoch) {
+    auto order = rng.sample_without_replacement(n, n);
+    for (std::size_t start = 0; start + batch <= n; start += batch) {
+      nn::MlpParams grad = embedder_.zero_like();
+      for (std::size_t i = start; i < start + batch; ++i) {
+        std::size_t r = order[i];
+        linalg::Vector z = scaler_.transform(x.row(r));
+        nn::Mlp::Cache cache;
+        linalg::Vector out = embedder_.forward(z, cache);
+        linalg::Vector dout;
+        linalg::Vector target = {y[r]};
+        nn::mse_grad(out, target, dout);
+        grad.axpy(1.0 / static_cast<double>(batch),
+                  embedder_.backward(z, cache, dout));
+      }
+      adam.step(embedder_, grad);
+    }
+  }
+  pretrained_ = true;
+}
+
+linalg::Vector DeepKernelGp::embed(std::span<const double> x) const {
+  linalg::Vector z = scaler_.fitted() ? scaler_.transform(x)
+                                      : linalg::Vector(x.begin(), x.end());
+  nn::Mlp::Cache cache;
+  embedder_.forward(z, cache);
+  // Penultimate post-activation is the embedding (layers: hidden, embed, out).
+  const auto& post = cache.post;
+  GLIMPSE_CHECK(post.size() >= 2);
+  return post[post.size() - 2];
+}
+
+void DeepKernelGp::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rng) {
+  GLIMPSE_CHECK(x.rows() == y.size() && x.rows() >= 1);
+  std::size_t n = x.rows();
+  std::vector<std::size_t> rows;
+  if (n > options_.max_gp_points) {
+    rows = rng.sample_without_replacement(n, options_.max_gp_points);
+  } else {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+
+  linalg::Matrix ex(rows.size(), options_.embed_dim);
+  linalg::Vector ey(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    linalg::Vector e = embed(x.row(rows[i]));
+    for (std::size_t c = 0; c < e.size(); ++c) ex(i, c) = e[c];
+    ey[i] = y[rows[i]];
+  }
+
+  gp_.emplace(std::make_unique<Matern52Kernel>(options_.gp_lengthscale, 1.0),
+              options_.gp_noise);
+  gp_->fit(ex, ey);
+}
+
+GpPrediction DeepKernelGp::predict(std::span<const double> x) const {
+  GLIMPSE_CHECK(fitted()) << "DeepKernelGp::predict before fit";
+  return gp_->predict(embed(x));
+}
+
+}  // namespace glimpse::gp

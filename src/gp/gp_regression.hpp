@@ -1,0 +1,46 @@
+// Exact Gaussian-process regression with Cholesky solves.
+//
+// Targets are standardized internally; predictive mean/variance come back in
+// the original units. Training cost is O(n^3) — callers cap n (the DGP
+// baseline subsamples its history, matching practical GP tuner usage).
+#pragma once
+
+#include <memory>
+
+#include "gp/kernel.hpp"
+#include "linalg/decompositions.hpp"
+
+namespace glimpse::gp {
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< predictive variance (>= 0)
+};
+
+class GpRegressor {
+ public:
+  explicit GpRegressor(std::unique_ptr<Kernel> kernel, double noise = 1e-3);
+  GpRegressor(const GpRegressor&) = delete;
+  GpRegressor& operator=(const GpRegressor&) = delete;
+  GpRegressor(GpRegressor&&) = default;
+  GpRegressor& operator=(GpRegressor&&) = default;
+
+  /// Fit on rows of x against y (same length). Replaces any previous fit.
+  void fit(const linalg::Matrix& x, const linalg::Vector& y);
+
+  GpPrediction predict(std::span<const double> x) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t num_train() const { return x_.rows(); }
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+  double noise_;
+  linalg::Matrix x_;
+  linalg::Matrix chol_;     ///< L with K + noise I = L L^T
+  linalg::Vector alpha_;    ///< (K + noise I)^{-1} y_std
+  double y_mean_ = 0.0, y_std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace glimpse::gp

@@ -1,0 +1,21 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace glimpse::gp {
+
+double RbfKernel::operator()(std::span<const double> a, std::span<const double> b) const {
+  double sq = linalg::sqdist(a, b);
+  return variance_ * std::exp(-sq / (2.0 * lengthscale_ * lengthscale_));
+}
+
+double Matern52Kernel::operator()(std::span<const double> a,
+                                  std::span<const double> b) const {
+  double r = std::sqrt(linalg::sqdist(a, b)) / lengthscale_;
+  double s5r = std::sqrt(5.0) * r;
+  return variance_ * (1.0 + s5r + 5.0 * r * r / 3.0) * std::exp(-s5r);
+}
+
+}  // namespace glimpse::gp

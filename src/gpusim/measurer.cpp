@@ -1,0 +1,52 @@
+#include "gpusim/measurer.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace glimpse::gpusim {
+
+MeasureResult SimMeasurer::measure(const searchspace::Task& task,
+                                   const hwspec::GpuSpec& hw,
+                                   const searchspace::Config& config) {
+  PerfEstimate est = estimate(task, config, hw);
+  MeasureResult r;
+  r.reason = est.reason;
+  ++num_measurements_;
+
+  if (!est.valid) {
+    ++num_invalid_;
+    if (est.reason == InvalidReason::kCompileTimeout) {
+      r.cost_s = options_.compile_timeout_s + options_.rpc_overhead_s * 0.5;
+    } else if (detected_at_compile(est.reason)) {
+      r.cost_s = options_.compile_s + options_.rpc_overhead_s * 0.5;
+    } else {
+      // Launch failure: full compile + upload, then the error comes back.
+      r.cost_s = options_.compile_s + options_.rpc_overhead_s;
+    }
+    elapsed_s_ += r.cost_s;
+    return r;
+  }
+
+  // Deterministic per-measurement noise stream.
+  std::uint64_t seed = hash_combine(task.seed(), hw.seed());
+  seed = hash_combine(seed, searchspace::ConfigHash{}(config));
+  Rng rng(seed);
+  double noise = std::exp(rng.normal(0.0, options_.noise_sigma));
+
+  r.valid = true;
+  r.latency_s = est.latency_s * noise;
+  r.gflops = task.flops() / r.latency_s / 1e9;
+  r.cost_s = options_.compile_s + options_.rpc_overhead_s +
+             options_.repeats * r.latency_s;
+  elapsed_s_ += r.cost_s;
+  return r;
+}
+
+void SimMeasurer::reset_accounting() {
+  elapsed_s_ = 0.0;
+  num_measurements_ = 0;
+  num_invalid_ = 0;
+}
+
+}  // namespace glimpse::gpusim

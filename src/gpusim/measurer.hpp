@@ -1,0 +1,55 @@
+// Measurement harness: the stand-in for TVM's RPC measurement of real GPUs.
+//
+// Adds reproducible measurement noise on top of the analytical model and
+// accounts simulated wall-clock cost per measurement (compile + repeats +
+// RPC overhead), which is what the paper's "GPU hours" / search-time numbers
+// are made of. Noise is seeded from (task, hardware, config) so a given
+// measurement is reproducible regardless of issue order.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/perf_model.hpp"
+
+namespace glimpse::gpusim {
+
+struct MeasureResult {
+  bool valid = false;
+  InvalidReason reason = InvalidReason::kNone;
+  double latency_s = 0.0;  ///< mean measured latency (with noise); 0 if invalid
+  double gflops = 0.0;     ///< 0 if invalid
+  double cost_s = 0.0;     ///< simulated wall-clock cost of this measurement
+};
+
+struct MeasureOptions {
+  int repeats = 10;               ///< timed runs per measurement
+  double compile_s = 1.4;         ///< host compilation time
+  double rpc_overhead_s = 0.6;    ///< upload + session overhead
+  double compile_timeout_s = 10.0;///< cost charged when nvcc times out
+  double noise_sigma = 0.03;      ///< lognormal measurement noise
+};
+
+class SimMeasurer {
+ public:
+  explicit SimMeasurer(MeasureOptions options = {}) : options_(options) {}
+
+  MeasureResult measure(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                        const searchspace::Config& config);
+
+  /// Total simulated seconds spent measuring so far.
+  double elapsed_seconds() const { return elapsed_s_; }
+  std::size_t num_measurements() const { return num_measurements_; }
+  std::size_t num_invalid() const { return num_invalid_; }
+
+  void reset_accounting();
+
+  const MeasureOptions& options() const { return options_; }
+
+ private:
+  MeasureOptions options_;
+  double elapsed_s_ = 0.0;
+  std::size_t num_measurements_ = 0;
+  std::size_t num_invalid_ = 0;
+};
+
+}  // namespace glimpse::gpusim

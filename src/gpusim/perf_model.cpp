@@ -1,0 +1,190 @@
+#include "gpusim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace glimpse::gpusim {
+
+namespace {
+
+using searchspace::DerivedConfig;
+using searchspace::TemplateKind;
+
+/// Latency-hiding effectiveness as a function of occupancy: rises steeply
+/// then saturates (classic occupancy curve).
+double occupancy_efficiency(double occupancy) {
+  return (1.0 - std::exp(-occupancy / 0.35)) / (1.0 - std::exp(-1.0 / 0.35));
+}
+
+/// Gaussian bump in log2 space: 1.0 at `opt`, decaying with `width`,
+/// floored at `floor_v`.
+double log2_bump(double value, double opt, double width, double floor_v) {
+  double d = std::log2(std::max(1.0, value)) - std::log2(opt);
+  return floor_v + (1.0 - floor_v) * std::exp(-d * d / (2.0 * width * width));
+}
+
+/// Instruction-level parallelism from per-thread accumulators. The sweet
+/// spot depends on the register budget per resident thread: devices with
+/// fewer resident threads per SM (Turing) want fatter per-thread tiles,
+/// devices with more (Pascal/Volta) want leaner ones — this is the main
+/// mechanism that moves the optimum between GPU generations (paper Fig. 1).
+double ilp_efficiency(long long work_per_thread, const hwspec::GpuSpec& hw) {
+  double regs_per_resident_thread = static_cast<double>(hw.registers_per_sm) /
+                                    static_cast<double>(hw.max_threads_per_sm);
+  double w_opt = std::clamp(0.25 * regs_per_resident_thread, 4.0, 24.0);
+  return log2_bump(static_cast<double>(std::max<long long>(1, work_per_thread)), w_opt,
+                   1.6, 0.42);
+}
+
+/// Thread-block size preference: the scheduler hides latency best around a
+/// device-dependent block size (max resident threads / a target block count).
+double block_size_efficiency(long long threads_per_block, const hwspec::GpuSpec& hw) {
+  double tpb_opt = std::clamp(static_cast<double>(hw.max_threads_per_sm) / 8.0, 96.0, 384.0);
+  return log2_bump(static_cast<double>(threads_per_block), tpb_opt, 1.4, 0.52);
+}
+
+/// Fraction of issued lanes doing useful work when the block size is not a
+/// multiple of the warp size.
+double warp_efficiency(long long threads_per_block, int warp_size) {
+  double warps = std::ceil(static_cast<double>(threads_per_block) / warp_size);
+  return static_cast<double>(threads_per_block) / (warps * warp_size);
+}
+
+/// Global-memory transaction efficiency: adjacent threads along x access
+/// adjacent addresses, so coverage of a warp's access window by thread_x
+/// determines coalescing; strided inner_x loads waste bus width.
+double coalescing_efficiency(int thread_x, int inner_x, int warp_size) {
+  double cover = std::min(1.0, static_cast<double>(thread_x) / warp_size);
+  double base = 0.25 + 0.75 * cover;
+  double stride_penalty = 1.0 / (1.0 + 0.08 * std::max(0, inner_x - 4));
+  return base * stride_penalty;
+}
+
+/// Virtual threads help latency hiding up to an architecture-dependent
+/// point (pre-Volta scheduling benefits more), then thrash registers.
+double vthread_factor(long long vthreads, const hwspec::GpuSpec& hw) {
+  double v_opt = hw.compute_capability < 70 ? 4.0 : 2.0;
+  return log2_bump(static_cast<double>(std::max<long long>(1, vthreads)), v_opt, 1.6,
+                   0.80);
+}
+
+/// Shared-memory bank-conflict proxy: power-of-two strides that are odd
+/// multiples of the bank count serialize accesses; we approximate with the
+/// tile width modulo 32.
+double bank_conflict_factor(const DerivedConfig& d) {
+  long long width = std::max(1, d.inner_x) * std::max(1, d.thread_x);
+  if (width % 32 == 0 || width % 32 >= 16 || width < 16) return 1.0;
+  return 0.94;
+}
+
+/// Mild architecture-specific affinities (vector-load widths, scheduler
+/// differences) so generations do not rank configs identically.
+double arch_affinity(const DerivedConfig& d, const hwspec::GpuSpec& hw) {
+  double f = 1.0;
+  if (hw.compute_capability >= 75 && d.inner_x % 4 == 0 && d.inner_x > 0) f *= 0.94;
+  if (hw.compute_capability < 70 && d.unroll_explicit) f *= 0.97;
+  if (hw.compute_capability >= 86 && d.reduce_steps >= 8) f *= 0.96;  // async copy
+  return f;
+}
+
+/// Unmodeled per-device idiosyncrasies (L2 partitioning, scheduler and
+/// driver heuristics, instruction replay): a deterministic pseudo-random
+/// factor keyed by (device, coarse kernel signature). Configurations with
+/// the same block geometry share the factor, so it is *learnable online*
+/// from that device's measurements — but it is not predictable from the
+/// datasheet, which is what limits cross-hardware transfer learning in
+/// practice (paper §4.1).
+double device_quirk(const DerivedConfig& d, const hwspec::GpuSpec& hw) {
+  std::uint64_t sig = hw.seed();
+  auto bucket = [](double v) {
+    return static_cast<std::uint64_t>(std::lround(std::log2(std::max(1.0, v)) * 2.0));
+  };
+  sig = hash_combine(sig, bucket(static_cast<double>(d.threads_per_block)));
+  sig = hash_combine(sig, bucket(static_cast<double>(d.work_per_thread)));
+  sig = hash_combine(sig, bucket(d.shared_bytes / 1024.0 + 1.0));
+  sig = hash_combine(sig, static_cast<std::uint64_t>(d.inner_x));
+  double u = static_cast<double>(sig % 10000) / 10000.0;
+  return 0.80 + 0.40 * u;  // +/-20 % around 1.0
+}
+
+/// FLOPs the kernel actually executes (Winograd does fewer multiplies than
+/// the direct-conv count the task reports against, plus transform work).
+double executed_flops(const searchspace::Task& task) {
+  if (task.kind() == TemplateKind::kConv2dWinograd) {
+    auto g = searchspace::winograd_gemm(task.conv_shape());
+    return g.gemm_flops * 1.18;  // +18 % for input/output transforms
+  }
+  return task.flops();
+}
+
+}  // namespace
+
+PerfEstimate estimate(const searchspace::Task& task, const searchspace::Config& config,
+                      const hwspec::GpuSpec& hw) {
+  DerivedConfig d = searchspace::derive(task, config);
+  ResourceUsage usage = check_resources(d, hw, d.num_blocks);
+
+  PerfEstimate e;
+  e.usage = usage;
+  if (!usage.valid) {
+    e.reason = usage.reason;
+    return e;
+  }
+
+  // A small share of configurations fails at run time for reasons no
+  // resource model predicts (codegen bugs, driver rejections). This keeps a
+  // floor under every sampler's invalid rate — the paper's Glimpse still
+  // measures some invalid configs despite Hardware-Aware Sampling (Fig. 7).
+  std::uint64_t gremlin = hash_combine(hash_combine(task.seed(), hw.seed()),
+                                       searchspace::ConfigHash{}(config));
+  if (gremlin % 50 == 0) {
+    e.reason = InvalidReason::kLaunchFailed;
+    return e;
+  }
+
+  // --- Compute roofline ---
+  double peak_flops = hw.fp32_gflops * 1e9;
+  double eff = occupancy_efficiency(usage.occupancy) *
+               ilp_efficiency(d.work_per_thread, hw) *
+               block_size_efficiency(d.threads_per_block, hw) *
+               warp_efficiency(d.threads_per_block, hw.warp_size) *
+               vthread_factor(d.vthreads, hw) * bank_conflict_factor(d) *
+               arch_affinity(d, hw);
+
+  // Loop unrolling trims loop overhead when the body fits under the step
+  // budget; explicit unrolling of big bodies costs instruction-cache misses.
+  if (d.unroll_step > 0 && d.unrolled_body <= d.unroll_step) eff *= 1.0 / 0.88;
+  if (d.unroll_explicit && d.unrolled_body > 1024) eff *= 0.94;
+  eff *= device_quirk(d, hw);
+  eff = std::min(eff, 0.92);  // nothing reaches theoretical peak
+
+  double compute_s = executed_flops(task) / (peak_flops * eff);
+
+  // --- Memory roofline ---
+  double bw = hw.mem_bandwidth_gbs * 1e9;
+  double mem_eff = coalescing_efficiency(d.thread_x, d.inner_x, hw.warp_size);
+  // L2 absorbs a fraction of the traffic when the per-wave working set fits.
+  double wave_bytes = d.global_bytes / std::max(1.0, usage.waves);
+  double l2_bytes = hw.l2_cache_kb * 1024.0;
+  double l2_hit = std::clamp(0.5 * l2_bytes / std::max(l2_bytes, wave_bytes), 0.0, 0.5);
+  double mem_s = d.global_bytes * (1.0 - l2_hit) / (bw * mem_eff);
+
+  // --- Combine ---
+  double body_s = std::max(compute_s, mem_s) + 0.18 * std::min(compute_s, mem_s);
+  // Grid quantization: partial waves / undersized grids leave SMs idle.
+  body_s /= std::max(0.05, usage.tail_utilization);
+  // Reduction-loop synchronization overhead (one barrier per staged tile).
+  double sync_s = static_cast<double>(d.reduce_steps) *
+                  (3.0e-8 + 1.0e-9 * static_cast<double>(d.threads_per_block) / 32.0) *
+                  usage.waves;
+  double launch_s = 3.5e-6;
+  e.latency_s = body_s + sync_s + launch_s;
+  e.gflops = task.flops() / e.latency_s / 1e9;
+  e.valid = true;
+  return e;
+}
+
+}  // namespace glimpse::gpusim

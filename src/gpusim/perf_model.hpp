@@ -1,0 +1,34 @@
+// Analytical GPU kernel performance model.
+//
+// Stands in for the paper's real-hardware measurements: given a task, a
+// configuration and a GPU datasheet, produce a deterministic latency
+// estimate. The model combines
+//   * an occupancy-scaled compute roofline,
+//   * a coalescing-scaled memory roofline,
+//   * wave quantization and grid-tail underutilization,
+//   * per-thread ILP and loop/sync overheads,
+//   * mild architecture-specific affinities,
+// all driven only by GpuSpec fields, so the optimum configuration shifts
+// between GPU generations (paper Fig. 1) while the space keeps a similar
+// overall shape — the property Glimpse exploits.
+#pragma once
+
+#include "gpusim/resource_model.hpp"
+#include "hwspec/gpu_spec.hpp"
+#include "searchspace/task.hpp"
+
+namespace glimpse::gpusim {
+
+struct PerfEstimate {
+  bool valid = false;
+  InvalidReason reason = InvalidReason::kNone;
+  double latency_s = 0.0;  ///< noise-free kernel latency
+  double gflops = 0.0;     ///< task.flops() / latency / 1e9
+  ResourceUsage usage;
+};
+
+/// Deterministic (noise-free) performance estimate.
+PerfEstimate estimate(const searchspace::Task& task, const searchspace::Config& config,
+                      const hwspec::GpuSpec& hw);
+
+}  // namespace glimpse::gpusim

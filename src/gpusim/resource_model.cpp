@@ -1,0 +1,84 @@
+#include "gpusim/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glimpse::gpusim {
+
+const char* to_string(InvalidReason reason) {
+  switch (reason) {
+    case InvalidReason::kNone: return "none";
+    case InvalidReason::kTooManyThreads: return "too_many_threads";
+    case InvalidReason::kSharedMemExceeded: return "shared_mem_exceeded";
+    case InvalidReason::kRegistersExceeded: return "registers_exceeded";
+    case InvalidReason::kTooManyVThreads: return "too_many_vthreads";
+    case InvalidReason::kCompileTimeout: return "compile_timeout";
+    case InvalidReason::kLaunchFailed: return "launch_failed";
+  }
+  return "?";
+}
+
+bool detected_at_compile(InvalidReason reason) {
+  return reason != InvalidReason::kNone && reason != InvalidReason::kLaunchFailed;
+}
+
+ResourceUsage check_resources(const searchspace::DerivedConfig& d,
+                              const hwspec::GpuSpec& hw, long long num_blocks) {
+  ResourceUsage u;
+  if (d.threads_per_block > hw.max_threads_per_block) {
+    u.reason = InvalidReason::kTooManyThreads;
+    return u;
+  }
+  if (d.shared_bytes > hw.max_shared_mem_per_block_kb * 1024.0) {
+    u.reason = InvalidReason::kSharedMemExceeded;
+    return u;
+  }
+  if (d.regs_per_thread > hw.max_registers_per_thread) {
+    u.reason = InvalidReason::kRegistersExceeded;
+    return u;
+  }
+  if (d.vthreads > kMaxVThreads) {
+    u.reason = InvalidReason::kTooManyVThreads;
+    return u;
+  }
+  if (d.unroll_step > 0 && d.unrolled_body > kUnrollBlowupLimit) {
+    u.reason = InvalidReason::kCompileTimeout;
+    return u;
+  }
+
+  // Occupancy: blocks resident per SM, limited by threads, shared memory and
+  // registers. Register allocation granularity is 256 registers.
+  u.regs_per_block =
+      std::ceil(d.regs_per_thread / 8.0) * 8.0 * static_cast<double>(d.threads_per_block);
+  u.regs_per_block = std::ceil(u.regs_per_block / 256.0) * 256.0;
+
+  int by_threads =
+      static_cast<int>(hw.max_threads_per_sm / std::max<long long>(1, d.threads_per_block));
+  int by_smem = (d.shared_bytes > 0.0)
+                    ? static_cast<int>(hw.shared_mem_per_sm_kb * 1024.0 / d.shared_bytes)
+                    : hw.max_blocks_per_sm;
+  int by_regs = (u.regs_per_block > 0.0)
+                    ? static_cast<int>(hw.registers_per_sm / u.regs_per_block)
+                    : hw.max_blocks_per_sm;
+  int bps = std::min({hw.max_blocks_per_sm, by_threads, by_smem, by_regs});
+  if (bps < 1) {
+    u.reason = InvalidReason::kLaunchFailed;
+    return u;
+  }
+
+  u.valid = true;
+  u.blocks_per_sm = bps;
+  u.occupancy =
+      std::min(1.0, static_cast<double>(bps) * static_cast<double>(d.threads_per_block) /
+                        static_cast<double>(hw.max_threads_per_sm));
+
+  double slots_per_wave = static_cast<double>(hw.num_sms) * bps;
+  u.waves = std::ceil(static_cast<double>(num_blocks) / slots_per_wave);
+  // Overall SM-slot utilization across all waves; < 1 both for partial last
+  // waves and for grids too small to fill the machine even once.
+  u.tail_utilization =
+      static_cast<double>(num_blocks) / (u.waves * slots_per_wave);
+  return u;
+}
+
+}  // namespace glimpse::gpusim

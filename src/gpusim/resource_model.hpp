@@ -1,0 +1,54 @@
+// CUDA resource/validity model.
+//
+// Decides whether a configuration can compile and launch on a given GPU and,
+// when it can, how many blocks fit per SM (occupancy). The limits checked
+// are exactly the public per-SM/per-block limits in the datasheet
+// (hwspec::GpuSpec); configurations violating them are the "invalid
+// configurations" the paper's §3.3/§4.3 is about (~10 % of blind samples).
+#pragma once
+
+#include "hwspec/gpu_spec.hpp"
+#include "searchspace/features.hpp"
+
+namespace glimpse::gpusim {
+
+enum class InvalidReason {
+  kNone = 0,
+  kTooManyThreads,    ///< threads/block above the device limit (compile-time)
+  kSharedMemExceeded, ///< static shared memory above per-block limit (compile-time)
+  kRegistersExceeded, ///< register pressure above 255/thread (compile-time)
+  kTooManyVThreads,   ///< virtual-thread explosion (compile-time)
+  kCompileTimeout,    ///< unroller blow-up, nvcc never returns
+  kLaunchFailed,      ///< compiles, but zero blocks fit on an SM (run-time)
+};
+
+const char* to_string(InvalidReason reason);
+
+/// True when the failure is detected before touching the GPU (compile-time);
+/// such failures waste host time, not GPU time.
+bool detected_at_compile(InvalidReason reason);
+
+struct ResourceUsage {
+  bool valid = false;
+  InvalidReason reason = InvalidReason::kNone;
+  int blocks_per_sm = 0;
+  double regs_per_block = 0.0;
+  /// Resident-thread occupancy in [0, 1].
+  double occupancy = 0.0;
+  /// Number of grid "waves" (ceil(blocks / (SMs * blocks_per_sm))).
+  double waves = 0.0;
+  /// Fraction of the last wave's SM slots actually used, in (0, 1].
+  double tail_utilization = 1.0;
+};
+
+/// Threshold above which the unroller is considered to blow up (mirrors
+/// nvcc timeouts on huge unrolled bodies; exposed for the validity tests).
+inline constexpr long long kUnrollBlowupLimit = 4096;
+
+/// Virtual-thread limit (mirrors TVM's verify_gpu_code bound).
+inline constexpr long long kMaxVThreads = 64;
+
+ResourceUsage check_resources(const searchspace::DerivedConfig& d,
+                              const hwspec::GpuSpec& hw, long long num_blocks);
+
+}  // namespace glimpse::gpusim

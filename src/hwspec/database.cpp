@@ -1,0 +1,142 @@
+#include "hwspec/database.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace glimpse::hwspec {
+
+namespace {
+
+// Helper so the table below stays readable. Arguments follow GpuSpec field
+// order; occupancy limits that are uniform within an architecture are set
+// by arch_defaults().
+GpuSpec make(std::string name, Architecture arch, int cc, int sms, int cores,
+             int base_mhz, int boost_mhz, double gflops, int mem_mhz, int bus_bits,
+             double bw_gbs, double mem_gb, int l2_kb, int smem_sm_kb, int smem_blk_kb,
+             int max_thr_sm, int tdp) {
+  GpuSpec g;
+  g.name = std::move(name);
+  g.arch = arch;
+  g.compute_capability = cc;
+  g.num_sms = sms;
+  g.cuda_cores = cores;
+  g.base_clock_mhz = base_mhz;
+  g.boost_clock_mhz = boost_mhz;
+  g.fp32_gflops = gflops;
+  g.mem_clock_mhz = mem_mhz;
+  g.mem_bus_bits = bus_bits;
+  g.mem_bandwidth_gbs = bw_gbs;
+  g.mem_size_gb = mem_gb;
+  g.l2_cache_kb = l2_kb;
+  g.shared_mem_per_sm_kb = smem_sm_kb;
+  g.max_shared_mem_per_block_kb = smem_blk_kb;
+  g.max_threads_per_sm = max_thr_sm;
+  g.tdp_watts = tdp;
+  g.max_blocks_per_sm = (arch == Architecture::kTuring) ? 16 : 32;
+  return g;
+}
+
+std::vector<GpuSpec> build_database() {
+  std::vector<GpuSpec> db;
+  // ---- Maxwell (sm_52) ----
+  db.push_back(make("GTX 950", Architecture::kMaxwell, 52, 6, 768, 1024, 1188, 1825,
+                    6600, 128, 105.6, 2, 1024, 96, 48, 2048, 90));
+  db.push_back(make("GTX 960", Architecture::kMaxwell, 52, 8, 1024, 1127, 1178, 2413,
+                    7000, 128, 112.2, 2, 1024, 96, 48, 2048, 120));
+  db.push_back(make("GTX 970", Architecture::kMaxwell, 52, 13, 1664, 1050, 1178, 3920,
+                    7000, 256, 224.4, 4, 1792, 96, 48, 2048, 145));
+  db.push_back(make("GTX 980", Architecture::kMaxwell, 52, 16, 2048, 1126, 1216, 4981,
+                    7000, 256, 224.4, 4, 2048, 96, 48, 2048, 165));
+  db.push_back(make("GTX 980 Ti", Architecture::kMaxwell, 52, 22, 2816, 1000, 1075, 6054,
+                    7000, 384, 336.6, 6, 3072, 96, 48, 2048, 250));
+  db.push_back(make("Titan X (Maxwell)", Architecture::kMaxwell, 52, 24, 3072, 1000,
+                    1089, 6691, 7000, 384, 336.6, 12, 3072, 96, 48, 2048, 250));
+  // ---- Pascal (sm_61) ----
+  db.push_back(make("GTX 1050 Ti", Architecture::kPascal, 61, 6, 768, 1290, 1392, 2138,
+                    7000, 128, 112.1, 4, 1024, 96, 48, 2048, 75));
+  db.push_back(make("GTX 1060 6GB", Architecture::kPascal, 61, 10, 1280, 1506, 1708,
+                    4372, 8000, 192, 192.2, 6, 1536, 96, 48, 2048, 120));
+  db.push_back(make("GTX 1070", Architecture::kPascal, 61, 15, 1920, 1506, 1683, 6463,
+                    8000, 256, 256.3, 8, 2048, 96, 48, 2048, 150));
+  db.push_back(make("GTX 1080", Architecture::kPascal, 61, 20, 2560, 1607, 1733, 8873,
+                    10000, 256, 320.3, 8, 2048, 96, 48, 2048, 180));
+  db.push_back(make("GTX 1080 Ti", Architecture::kPascal, 61, 28, 3584, 1480, 1582,
+                    11340, 11000, 352, 484.4, 11, 2816, 96, 48, 2048, 250));
+  db.push_back(make("Titan Xp", Architecture::kPascal, 61, 30, 3840, 1405, 1582, 12150,
+                    11400, 384, 547.6, 12, 3072, 96, 48, 2048, 250));
+  // ---- Volta (sm_70) ----
+  db.push_back(make("Titan V", Architecture::kVolta, 70, 80, 5120, 1200, 1455, 14899,
+                    1700, 3072, 652.8, 12, 4608, 96, 96, 2048, 250));
+  db.push_back(make("Tesla V100", Architecture::kVolta, 70, 80, 5120, 1230, 1380, 14131,
+                    1752, 4096, 897.0, 16, 6144, 96, 96, 2048, 300));
+  // ---- Turing (sm_75) ----
+  db.push_back(make("GTX 1660 Ti", Architecture::kTuring, 75, 24, 1536, 1500, 1770,
+                    5437, 12000, 192, 288.0, 6, 1536, 64, 64, 1024, 120));
+  db.push_back(make("RTX 2060", Architecture::kTuring, 75, 30, 1920, 1365, 1680, 6451,
+                    14000, 192, 336.0, 6, 3072, 64, 64, 1024, 160));
+  db.push_back(make("RTX 2070", Architecture::kTuring, 75, 36, 2304, 1410, 1620, 7465,
+                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 175));
+  db.push_back(make("RTX 2070 Super", Architecture::kTuring, 75, 40, 2560, 1605, 1770,
+                    9062, 14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215));
+  db.push_back(make("RTX 2080", Architecture::kTuring, 75, 46, 2944, 1515, 1710, 10068,
+                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215));
+  db.push_back(make("RTX 2080 Ti", Architecture::kTuring, 75, 68, 4352, 1350, 1545,
+                    13450, 14000, 352, 616.0, 11, 5632, 64, 64, 1024, 250));
+  db.push_back(make("Titan RTX", Architecture::kTuring, 75, 72, 4608, 1350, 1770, 16312,
+                    14000, 384, 672.0, 24, 6144, 64, 64, 1024, 280));
+  // ---- Ampere (sm_86) ----
+  db.push_back(make("RTX 3060 Ti", Architecture::kAmpere, 86, 38, 4864, 1410, 1665,
+                    16197, 14000, 256, 448.0, 8, 4096, 128, 100, 1536, 200));
+  db.push_back(make("RTX 3070", Architecture::kAmpere, 86, 46, 5888, 1500, 1725, 20314,
+                    14000, 256, 448.0, 8, 4096, 128, 100, 1536, 220));
+  db.push_back(make("RTX 3080", Architecture::kAmpere, 86, 68, 8704, 1440, 1710, 29768,
+                    19000, 320, 760.3, 10, 5120, 128, 100, 1536, 320));
+  db.push_back(make("RTX 3090", Architecture::kAmpere, 86, 82, 10496, 1395, 1695,
+                    35581, 19500, 384, 936.2, 24, 6144, 128, 100, 1536, 350));
+  return db;
+}
+
+}  // namespace
+
+const std::vector<GpuSpec>& gpu_database() {
+  static const std::vector<GpuSpec> db = build_database();
+  return db;
+}
+
+std::vector<const GpuSpec*> evaluation_gpus() {
+  static const std::vector<std::string> names = {"Titan Xp", "RTX 2070 Super",
+                                                 "RTX 2080 Ti", "RTX 3090"};
+  std::vector<const GpuSpec*> out;
+  for (const auto& n : names) {
+    const GpuSpec* g = find_gpu(n);
+    GLIMPSE_CHECK(g != nullptr) << "missing evaluation GPU " << n;
+    out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<const GpuSpec*> training_gpus(const std::vector<std::string>& excluded) {
+  std::vector<const GpuSpec*> out;
+  for (const auto& g : gpu_database()) {
+    if (std::find(excluded.begin(), excluded.end(), g.name) == excluded.end())
+      out.push_back(&g);
+  }
+  return out;
+}
+
+const GpuSpec* find_gpu(const std::string& name) {
+  for (const auto& g : gpu_database())
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+linalg::Matrix feature_matrix() {
+  const auto& db = gpu_database();
+  std::vector<linalg::Vector> rows;
+  rows.reserve(db.size());
+  for (const auto& g : db) rows.push_back(g.to_features());
+  return linalg::Matrix::from_rows(rows);
+}
+
+}  // namespace glimpse::hwspec

@@ -1,0 +1,35 @@
+// Database of GPU datasheet entries (public specifications, see the
+// "List of Nvidia graphics processing units" reference [12] in the paper).
+//
+// Contains the four GPUs of the paper's evaluation (Table 1) plus a wider
+// population used to fit the Blueprint PCA and to meta-train Glimpse's
+// prior generator and meta-optimizer across hardware generations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwspec/gpu_spec.hpp"
+
+namespace glimpse::hwspec {
+
+/// All GPUs known to this build (25 entries, Maxwell through Ampere).
+const std::vector<GpuSpec>& gpu_database();
+
+/// The four evaluation GPUs of the paper, in Table 1 order:
+/// Titan Xp, RTX 2070 Super, RTX 2080 Ti, RTX 3090.
+std::vector<const GpuSpec*> evaluation_gpus();
+
+/// Every database GPU except those whose name is in `excluded`
+/// (used for leave-target-out meta-training).
+std::vector<const GpuSpec*> training_gpus(const std::vector<std::string>& excluded);
+
+/// Find a GPU by exact name; nullptr when absent.
+const GpuSpec* find_gpu(const std::string& name);
+
+/// Matrix whose rows are to_features() of every database GPU
+/// (input to the Blueprint PCA).
+linalg::Matrix feature_matrix();
+
+}  // namespace glimpse::hwspec

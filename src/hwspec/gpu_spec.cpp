@@ -1,0 +1,59 @@
+#include "hwspec/gpu_spec.hpp"
+
+#include "common/rng.hpp"
+
+namespace glimpse::hwspec {
+
+const char* to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kMaxwell: return "Maxwell";
+    case Architecture::kPascal: return "Pascal";
+    case Architecture::kVolta: return "Volta";
+    case Architecture::kTuring: return "Turing";
+    case Architecture::kAmpere: return "Ampere";
+  }
+  return "?";
+}
+
+linalg::Vector GpuSpec::to_features() const {
+  return {
+      static_cast<double>(compute_capability),
+      static_cast<double>(num_sms),
+      static_cast<double>(cuda_cores),
+      static_cast<double>(base_clock_mhz),
+      static_cast<double>(boost_clock_mhz),
+      fp32_gflops,
+      static_cast<double>(mem_clock_mhz),
+      static_cast<double>(mem_bus_bits),
+      mem_bandwidth_gbs,
+      mem_size_gb,
+      static_cast<double>(l2_cache_kb),
+      static_cast<double>(shared_mem_per_sm_kb),
+      static_cast<double>(max_shared_mem_per_block_kb),
+      static_cast<double>(registers_per_sm),
+      static_cast<double>(max_threads_per_sm),
+      static_cast<double>(max_threads_per_block),
+      static_cast<double>(max_blocks_per_sm),
+      static_cast<double>(warp_size),
+      static_cast<double>(tdp_watts),
+      // Derived ratios the datasheet implies; they expose the balance points
+      // (FLOP/byte, parallelism per SM) that drive tuning decisions.
+      fp32_gflops / mem_bandwidth_gbs,
+      static_cast<double>(cuda_cores) / static_cast<double>(num_sms),
+  };
+}
+
+const std::vector<std::string>& GpuSpec::feature_names() {
+  static const std::vector<std::string> names = {
+      "compute_capability", "num_sms", "cuda_cores", "base_clock_mhz",
+      "boost_clock_mhz", "fp32_gflops", "mem_clock_mhz", "mem_bus_bits",
+      "mem_bandwidth_gbs", "mem_size_gb", "l2_cache_kb", "shared_mem_per_sm_kb",
+      "max_shared_mem_per_block_kb", "registers_per_sm", "max_threads_per_sm",
+      "max_threads_per_block", "max_blocks_per_sm", "warp_size", "tdp_watts",
+      "flops_per_byte", "cores_per_sm"};
+  return names;
+}
+
+std::uint64_t GpuSpec::seed() const { return fnv1a(name); }
+
+}  // namespace glimpse::hwspec

@@ -1,0 +1,65 @@
+// GPU hardware specification as published in public datasheets.
+//
+// This is the *only* hardware information Glimpse is allowed to see (paper
+// §3.1): vendor-published numbers — processors/cores, bus interfaces, cache
+// sizes, clocks, compute capacity — not the proprietary microarchitecture.
+// The same struct parameterizes the analytical GPU simulator (src/gpusim),
+// which stands in for the physical GPUs of the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace glimpse::hwspec {
+
+enum class Architecture { kMaxwell, kPascal, kVolta, kTuring, kAmpere };
+
+const char* to_string(Architecture arch);
+
+/// Datasheet record for one GPU model.
+struct GpuSpec {
+  std::string name;          ///< marketing name, e.g. "RTX 2080 Ti"
+  Architecture arch = Architecture::kPascal;
+  int compute_capability = 61;  ///< sm_XX as an integer, e.g. 75 for sm_75
+
+  // Compute resources.
+  int num_sms = 0;                 ///< streaming multiprocessors
+  int cuda_cores = 0;              ///< total FP32 lanes
+  int base_clock_mhz = 0;
+  int boost_clock_mhz = 0;
+  double fp32_gflops = 0.0;        ///< peak FP32 throughput at boost clock
+
+  // Memory system.
+  int mem_clock_mhz = 0;           ///< effective data rate
+  int mem_bus_bits = 0;
+  double mem_bandwidth_gbs = 0.0;
+  double mem_size_gb = 0.0;
+  int l2_cache_kb = 0;
+
+  // Per-SM execution limits (CUDA occupancy inputs; all public).
+  int shared_mem_per_sm_kb = 0;
+  int max_shared_mem_per_block_kb = 0;
+  int registers_per_sm = 65536;
+  int max_registers_per_thread = 255;
+  int max_threads_per_sm = 2048;
+  int max_threads_per_block = 1024;
+  int max_blocks_per_sm = 32;
+  int warp_size = 32;
+
+  int tdp_watts = 0;
+
+  /// Numeric datasheet feature vector (the raw input to the Blueprint
+  /// embedding). Order matches feature_names().
+  linalg::Vector to_features() const;
+
+  /// Names of the entries of to_features(), in order.
+  static const std::vector<std::string>& feature_names();
+
+  /// Deterministic seed derived from the GPU name (for simulator noise).
+  std::uint64_t seed() const;
+};
+
+}  // namespace glimpse::hwspec

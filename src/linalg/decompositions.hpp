@@ -1,0 +1,38 @@
+// Matrix decompositions: Cholesky (for GP posterior solves) and Jacobi
+// eigendecomposition of symmetric matrices (for PCA).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace glimpse::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Throws std::runtime_error if the matrix is not (numerically) SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L y = b for lower-triangular L (forward substitution).
+Vector forward_substitute(const Matrix& l, std::span<const double> b);
+
+/// Solve L^T x = y for lower-triangular L (back substitution on the transpose).
+Vector backward_substitute_t(const Matrix& l, std::span<const double> y);
+
+/// Solve A x = b given the Cholesky factor L of A (A = L L^T).
+Vector cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T.
+/// Eigenpairs are sorted by descending eigenvalue; eigenvectors are the
+/// *columns* of `vectors`.
+struct EigenResult {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Robust and simple; O(n^3) per sweep, fine for the n <= ~50 used here.
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Solve a general square system A x = b by Gaussian elimination with
+/// partial pivoting. Throws on (numerically) singular input.
+Vector solve(Matrix a, Vector b);
+
+}  // namespace glimpse::linalg

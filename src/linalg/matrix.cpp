@@ -1,0 +1,152 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace glimpse::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : init) {
+    GLIMPSE_CHECK(r.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    GLIMPSE_CHECK(rows[r].size() == m.cols()) << "from_rows: ragged input";
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row_copy(std::size_t r) const {
+  auto s = row(r);
+  return Vector(s.begin(), s.end());
+}
+
+Vector Matrix::col_copy(std::size_t c) const {
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  GLIMPSE_CHECK(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  GLIMPSE_CHECK(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  GLIMPSE_CHECK(a.cols() == b.rows()) << "matmul shape mismatch: " << a.rows() << "x"
+                                      << a.cols() << " * " << b.rows() << "x" << b.cols();
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop contiguous over b and c.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  GLIMPSE_CHECK(a.cols() == x.size());
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, std::span<const double> x) {
+  GLIMPSE_CHECK(a.rows() == x.size());
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += r[j] * x[i];
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  GLIMPSE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+Vector vadd(std::span<const double> a, std::span<const double> b) {
+  GLIMPSE_CHECK(a.size() == b.size());
+  Vector v(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i] + b[i];
+  return v;
+}
+
+Vector vsub(std::span<const double> a, std::span<const double> b) {
+  GLIMPSE_CHECK(a.size() == b.size());
+  Vector v(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i] - b[i];
+  return v;
+}
+
+Vector vscale(std::span<const double> a, double s) {
+  Vector v(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i] * s;
+  return v;
+}
+
+double sqdist(std::span<const double> a, std::span<const double> b) {
+  GLIMPSE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace glimpse::linalg

@@ -1,0 +1,90 @@
+#include "ml/pca.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace glimpse::ml {
+
+void Pca::fit(const linalg::Matrix& x, std::size_t k) {
+  GLIMPSE_CHECK(x.rows() >= 2);
+  GLIMPSE_CHECK(k >= 1 && k <= x.cols()) << "k=" << k << " cols=" << x.cols();
+  scaler_.fit(x);
+  linalg::Matrix z = scaler_.transform(x);
+
+  std::size_t d = z.cols();
+  linalg::Matrix cov(d, d);
+  for (std::size_t r = 0; r < z.rows(); ++r)
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = i; j < d; ++j) cov(i, j) += z(r, i) * z(r, j);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= static_cast<double>(z.rows());
+      cov(j, i) = cov(i, j);
+    }
+
+  auto eig = linalg::eigen_symmetric(cov);
+  eigenvalues_ = eig.values;
+  k_ = k;
+  components_ = linalg::Matrix(k, d);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t i = 0; i < d; ++i) components_(c, i) = eig.vectors(i, c);
+}
+
+linalg::Vector Pca::transform(std::span<const double> x) const {
+  GLIMPSE_CHECK(k_ > 0) << "Pca::transform before fit";
+  return linalg::matvec(components_, scaler_.transform(x));
+}
+
+linalg::Vector Pca::inverse_transform(std::span<const double> z) const {
+  GLIMPSE_CHECK(z.size() == k_);
+  return scaler_.inverse_transform(linalg::matvec_t(components_, z));
+}
+
+double Pca::explained_variance_ratio() const {
+  double total = 0.0, kept = 0.0;
+  for (std::size_t i = 0; i < eigenvalues_.size(); ++i) {
+    double v = std::max(0.0, eigenvalues_[i]);
+    total += v;
+    if (i < k_) kept += v;
+  }
+  return total > 0.0 ? kept / total : 0.0;
+}
+
+double Pca::reconstruction_rmse(const linalg::Matrix& x) const {
+  GLIMPSE_CHECK(k_ > 0);
+  double se = 0.0;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    linalg::Vector z = scaler_.transform(x.row(r));
+    linalg::Vector back = linalg::matvec_t(components_, linalg::matvec(components_, z));
+    for (std::size_t c = 0; c < z.size(); ++c) {
+      double d = z[c] - back[c];
+      se += d * d;
+      ++n;
+    }
+  }
+  return std::sqrt(se / static_cast<double>(n));
+}
+
+void Pca::save(TextWriter& w) const {
+  w.tag("pca");
+  w.scalar_u(k_);
+  scaler_.save(w);
+  w.matrix(components_);
+  w.vector(eigenvalues_);
+}
+
+Pca Pca::load(TextReader& r) {
+  r.expect("pca");
+  Pca p;
+  p.k_ = r.scalar_u();
+  p.scaler_ = StandardScaler::load(r);
+  p.components_ = r.matrix();
+  p.eigenvalues_ = r.vector();
+  GLIMPSE_CHECK(p.components_.rows() == p.k_);
+  return p;
+}
+
+}  // namespace glimpse::ml

@@ -1,0 +1,46 @@
+// Principal Component Analysis via eigendecomposition of the covariance
+// matrix. The paper's Blueprint uses PCA (over a neural autoencoder) for its
+// "intuitive knob" trading embedding size against information loss (§3.1).
+#pragma once
+
+#include <span>
+
+#include "linalg/decompositions.hpp"
+#include "ml/scaler.hpp"
+
+namespace glimpse::ml {
+
+class Pca {
+ public:
+  /// Fit on rows of `x`, standardizing columns first, keeping `k` components
+  /// (k <= min(rows, cols)).
+  void fit(const linalg::Matrix& x, std::size_t k);
+
+  std::size_t num_components() const { return components_.rows(); }
+  std::size_t input_dim() const { return components_.cols(); }
+
+  /// Project one standardized-inverse row into the k-dim embedding.
+  linalg::Vector transform(std::span<const double> x) const;
+  /// Reconstruct back to the original feature space.
+  linalg::Vector inverse_transform(std::span<const double> z) const;
+
+  /// Fraction of total variance captured by the kept components, in [0,1].
+  double explained_variance_ratio() const;
+
+  /// Reconstruction RMSE over the rows of `x` *in standardized units* —
+  /// the "information loss" metric of the paper's Fig. 8.
+  double reconstruction_rmse(const linalg::Matrix& x) const;
+
+  const linalg::Vector& eigenvalues() const { return eigenvalues_; }
+
+  void save(TextWriter& w) const;
+  static Pca load(TextReader& r);
+
+ private:
+  StandardScaler scaler_;
+  linalg::Matrix components_;  ///< k x d, rows are principal axes
+  linalg::Vector eigenvalues_; ///< all d eigenvalues, descending
+  std::size_t k_ = 0;
+};
+
+}  // namespace glimpse::ml

@@ -1,0 +1,34 @@
+// Feature standardization (z-score), fit on a sample matrix.
+#pragma once
+
+#include <span>
+
+#include "common/serialize.hpp"
+#include "linalg/matrix.hpp"
+
+namespace glimpse::ml {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fit mean/std per column. Constant columns get std 1 (pass-through).
+  void fit(const linalg::Matrix& x);
+
+  linalg::Vector transform(std::span<const double> x) const;
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+  linalg::Vector inverse_transform(std::span<const double> z) const;
+
+  void save(TextWriter& w) const;
+  static StandardScaler load(TextReader& r);
+
+  bool fitted() const { return !mean_.empty(); }
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& std() const { return std_; }
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector std_;
+};
+
+}  // namespace glimpse::ml

@@ -1,0 +1,41 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace glimpse::nn {
+
+Adam::Adam(const Mlp& model, AdamOptions options) : options_(options) {
+  m_ = model.zero_like();
+  v_ = model.zero_like();
+}
+
+void Adam::step(Mlp& model, const MlpParams& g) {
+  MlpParams& p = model.params();
+  GLIMPSE_CHECK(p.w.size() == g.w.size());
+  ++t_;
+  double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  double bc2 = 1.0 - std::pow(options_.beta2, t_);
+
+  auto update = [&](double& param, double& m, double& v, double grad) {
+    if (options_.weight_decay > 0.0) param -= options_.lr * options_.weight_decay * param;
+    m = options_.beta1 * m + (1.0 - options_.beta1) * grad;
+    v = options_.beta2 * v + (1.0 - options_.beta2) * grad * grad;
+    double mhat = m / bc1;
+    double vhat = v / bc2;
+    param -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+  };
+
+  for (std::size_t l = 0; l < p.w.size(); ++l) {
+    auto pw = p.w[l].data();
+    auto gw = g.w[l].data();
+    auto mw = m_.w[l].data();
+    auto vw = v_.w[l].data();
+    for (std::size_t i = 0; i < pw.size(); ++i) update(pw[i], mw[i], vw[i], gw[i]);
+    for (std::size_t i = 0; i < p.b[l].size(); ++i)
+      update(p.b[l][i], m_.b[l][i], v_.b[l][i], g.b[l][i]);
+  }
+}
+
+}  // namespace glimpse::nn

@@ -1,0 +1,33 @@
+// Adam optimizer over MlpParams-shaped gradients.
+#pragma once
+
+#include "nn/mlp.hpp"
+
+namespace glimpse::nn {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style)
+};
+
+class Adam {
+ public:
+  Adam(const Mlp& model, AdamOptions options = {});
+
+  /// Apply one update of `model` from gradient `g` (same shape as params).
+  void step(Mlp& model, const MlpParams& g);
+
+  const AdamOptions& options() const { return options_; }
+  void set_lr(double lr) { options_.lr = lr; }
+  long steps_taken() const { return t_; }
+
+ private:
+  AdamOptions options_;
+  MlpParams m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace glimpse::nn

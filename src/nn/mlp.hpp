@@ -1,0 +1,73 @@
+// Small dense neural networks (MLPs) with manual backprop.
+//
+// Replaces the paper's PyTorch dependency for its three "light-weight"
+// neural models: the prior-distribution generator H (multi-head softmax),
+// the neural acquisition function (scalar scorer) and the parametric
+// surrogate cost model. Sized for thousands of parameters, not millions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "linalg/matrix.hpp"
+
+namespace glimpse::nn {
+
+enum class Activation { kRelu, kTanh };
+
+/// Weights and biases of an MLP; also the shape of its gradients.
+struct MlpParams {
+  std::vector<linalg::Matrix> w;  ///< w[l]: (out x in) for layer l
+  std::vector<linalg::Vector> b;
+
+  /// this += scale * other (for gradient accumulation / SGD steps).
+  void axpy(double scale, const MlpParams& other);
+  void scale(double s);
+  void fill(double v);
+  std::size_t num_params() const;
+};
+
+/// Feed-forward network: hidden layers use `activation`, output is linear.
+class Mlp {
+ public:
+  /// sizes = {input, hidden..., output}; weights get He/Xavier init from rng.
+  Mlp(std::vector<std::size_t> sizes, Activation activation, Rng& rng);
+
+  linalg::Vector forward(std::span<const double> x) const;
+
+  /// Per-layer activations captured during a forward pass, for backprop.
+  struct Cache {
+    std::vector<linalg::Vector> pre;   ///< pre-activation per layer
+    std::vector<linalg::Vector> post;  ///< post-activation per layer
+  };
+  linalg::Vector forward(std::span<const double> x, Cache& cache) const;
+
+  /// Backprop dL/doutput through the cached pass; returns parameter grads
+  /// and optionally accumulates dL/dinput into *dx.
+  MlpParams backward(std::span<const double> x, const Cache& cache,
+                     std::span<const double> dout, linalg::Vector* dx = nullptr) const;
+
+  /// Zero-initialized gradient buffer with this network's shape.
+  MlpParams zero_like() const;
+
+  /// Persist / restore the full network (architecture + weights).
+  void save(TextWriter& w) const;
+  static Mlp load(TextReader& r);
+
+  MlpParams& params() { return p_; }
+  const MlpParams& params() const { return p_; }
+  std::size_t input_dim() const { return sizes_.front(); }
+  std::size_t output_dim() const { return sizes_.back(); }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+ private:
+  Mlp() = default;  // for load()
+
+  std::vector<std::size_t> sizes_;
+  Activation activation_ = Activation::kRelu;
+  MlpParams p_;
+};
+
+}  // namespace glimpse::nn

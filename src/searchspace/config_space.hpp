@@ -1,0 +1,81 @@
+// ConfigSpace: the cross product of a template's knobs, and Config: one
+// point in it (an option index per knob).
+//
+// Spaces are astronomically large (the paper notes >2*10^8 combinations for
+// VGG-16's first layer) so they are never materialized; tuners interact with
+// the space through per-knob option enumeration, random sampling, index
+// arithmetic and single-knob mutation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "searchspace/knob.hpp"
+
+namespace glimpse::searchspace {
+
+/// One configuration: option index per knob, aligned with ConfigSpace knobs.
+using Config = std::vector<std::uint32_t>;
+
+/// Stable hash for configs (for dedup sets).
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (auto v : c) h = hash_combine(h, v);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+  explicit ConfigSpace(std::vector<Knob> knobs);
+
+  std::size_t num_knobs() const { return knobs_.size(); }
+  const Knob& knob(std::size_t i) const { return knobs_[i]; }
+  const std::vector<Knob>& knobs() const { return knobs_; }
+
+  /// Index of the knob with this name; throws if absent.
+  std::size_t knob_index(const std::string& name) const;
+  /// True if a knob with this name exists.
+  bool has_knob(const std::string& name) const;
+
+  /// Total number of configurations as a double (can exceed 2^64).
+  double size() const { return size_; }
+
+  /// The selected option tuple for knob `k` under config `c`.
+  std::span<const int> option_of(const Config& c, std::size_t k) const {
+    return knobs_[k].option(c[k]);
+  }
+  /// Same, addressing the knob by name.
+  std::span<const int> option_of(const Config& c, const std::string& name) const {
+    return option_of(c, knob_index(name));
+  }
+
+  /// Uniform random configuration.
+  Config random_config(Rng& rng) const;
+
+  /// Mutate exactly one knob to a different option (if it has >1).
+  Config neighbor(const Config& c, Rng& rng) const;
+
+  /// Mixed-radix flattening; only usable when size() < 2^63.
+  std::uint64_t to_flat_index(const Config& c) const;
+  Config from_flat_index(std::uint64_t idx) const;
+  bool flat_indexable() const;
+
+  /// Validate structural well-formedness (right length, indices in range).
+  bool contains(const Config& c) const;
+
+  /// Human-readable rendering, e.g. "tile_f=[2,1,16,2] unroll=512".
+  std::string to_string(const Config& c) const;
+
+ private:
+  std::vector<Knob> knobs_;
+  double size_ = 1.0;
+};
+
+}  // namespace glimpse::searchspace

@@ -1,0 +1,242 @@
+#include "searchspace/features.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace glimpse::searchspace {
+
+namespace {
+
+double log2p(double v) { return std::log2(v + 1.0); }
+
+struct Split4 {
+  int b, v, t, i;       // block, vthread, thread, inner
+  int span() const { return v * t * i; }  // extent covered per block
+};
+
+Split4 split4(const ConfigSpace& space, const Config& c, const std::string& name) {
+  auto o = space.option_of(c, name);
+  GLIMPSE_CHECK(o.size() == 4);
+  return {o[0], o[1], o[2], o[3]};
+}
+
+struct Split2 {
+  int outer, inner;
+};
+
+Split2 split2(const ConfigSpace& space, const Config& c, const std::string& name) {
+  auto o = space.option_of(c, name);
+  GLIMPSE_CHECK(o.size() == 2);
+  return {o[0], o[1]};
+}
+
+DerivedConfig derive_conv2d(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const ConvShape& shape = task.conv_shape();
+  Split4 f = split4(s, c, "tile_f");
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  Split2 rc = split2(s, c, "tile_rc");
+  Split2 ry = split2(s, c, "tile_ry");
+  Split2 rx = split2(s, c, "tile_rx");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(f.t) * y.t * x.t;
+  d.num_blocks = static_cast<long long>(f.b) * y.b * x.b * shape.n;
+  d.vthreads = static_cast<long long>(f.v) * y.v * x.v;
+  d.work_per_thread = static_cast<long long>(f.i) * y.i * x.i *
+                      static_cast<long long>(f.v) * y.v * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+
+  // Staging buffers per reduction step (rci channels, ryi x rxi kernel rows).
+  double y_span = (static_cast<double>(y.span()) - 1.0) * shape.stride + ry.inner;
+  double x_span = (static_cast<double>(x.span()) - 1.0) * shape.stride + rx.inner;
+  double smem_input = y_span * x_span * rc.inner * 4.0;
+  double smem_weight = static_cast<double>(f.span()) * rc.inner * ry.inner * rx.inner * 4.0;
+  d.shared_bytes = smem_input + smem_weight;
+
+  d.reduce_steps = static_cast<long long>(rc.outer) * ry.outer * rx.outer;
+  d.global_bytes = (smem_input + smem_weight) * static_cast<double>(d.reduce_steps) *
+                       static_cast<double>(d.num_blocks) +
+                   task.conv_shape().flops() / (2.0 * shape.c * shape.kh * shape.kw) * 4.0;
+
+  // Accumulators for every output element a thread owns, plus staging and
+  // address registers; deep unrolled bodies inflate register pressure.
+  long long accum = static_cast<long long>(f.i) * y.i * x.i;
+  d.unrolled_body = accum * rc.inner * ry.inner * rx.inner;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  d.regs_per_thread = 24.0 + 1.6 * static_cast<double>(accum) + 0.35 * rc.inner +
+                      unroll_pressure + (uexp ? 4.0 : 0.0);
+  return d;
+}
+
+DerivedConfig derive_winograd(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const ConvShape& shape = task.conv_shape();
+  WinogradGemm g = winograd_gemm(shape);
+  Split4 b = split4(s, c, "tile_b");
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  Split2 rc = split2(s, c, "tile_rc");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(b.t) * y.t * x.t;
+  d.num_blocks = static_cast<long long>(b.b) * y.b * x.b;
+  d.vthreads = static_cast<long long>(b.v) * y.v * x.v;
+  d.work_per_thread = static_cast<long long>(b.i) * y.i * x.i *
+                      static_cast<long long>(b.v) * y.v * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+
+  // GEMM staging: an A tile (y_span x rci) and a B tile (rci x x_span) per
+  // batch element handled by the block.
+  double smem = (static_cast<double>(y.span()) + x.span()) * rc.inner * 4.0 *
+                static_cast<double>(b.span());
+  d.shared_bytes = smem;
+  d.reduce_steps = rc.outer;
+  d.global_bytes =
+      smem * rc.outer * static_cast<double>(d.num_blocks) +
+      static_cast<double>(g.alpha) * g.alpha * g.num_tiles * 4.0 * 2.0;  // transforms
+
+  long long accum = static_cast<long long>(b.i) * y.i * x.i;
+  d.unrolled_body = accum * rc.inner;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  d.regs_per_thread =
+      26.0 + 1.5 * static_cast<double>(accum) + 0.3 * rc.inner + unroll_pressure +
+      (uexp ? 4.0 : 0.0);
+  return d;
+}
+
+DerivedConfig derive_dense(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const DenseShape& shape = task.dense_shape();
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  Split2 k = split2(s, c, "tile_k");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(y.t) * x.t;
+  d.num_blocks = static_cast<long long>(y.b) * x.b;
+  d.vthreads = static_cast<long long>(y.v) * x.v;
+  d.work_per_thread = static_cast<long long>(y.i) * x.i *
+                      static_cast<long long>(y.v) * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+
+  double smem = (static_cast<double>(y.span()) + x.span()) * k.inner * 4.0;
+  d.shared_bytes = smem;
+  d.reduce_steps = k.outer;
+  // Weight matrix dominates traffic for small batch.
+  d.global_bytes = static_cast<double>(shape.in_dim) * shape.out_dim * 4.0 /
+                       std::max(1, x.b) * static_cast<double>(x.b) +
+                   smem * k.outer * static_cast<double>(d.num_blocks) * 0.1;
+
+  long long accum = static_cast<long long>(y.i) * x.i;
+  d.unrolled_body = accum * k.inner;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  d.regs_per_thread = 22.0 + 1.5 * static_cast<double>(accum) + 0.3 * k.inner +
+                      unroll_pressure + (uexp ? 4.0 : 0.0);
+  return d;
+}
+
+}  // namespace
+
+DerivedConfig derive(const Task& task, const Config& config) {
+  GLIMPSE_CHECK(task.space().contains(config)) << "config not in task space";
+  switch (task.kind()) {
+    case TemplateKind::kConv2d: return derive_conv2d(task, config);
+    case TemplateKind::kConv2dWinograd: return derive_winograd(task, config);
+    case TemplateKind::kDense: return derive_dense(task, config);
+  }
+  throw std::logic_error("unreachable template kind");
+}
+
+linalg::Vector config_features(const Task& task, const Config& config) {
+  const ConfigSpace& s = task.space();
+  linalg::Vector f;
+  f.reserve(config_feature_dim(task));
+  for (std::size_t i = 0; i < s.num_knobs(); ++i) {
+    auto o = s.option_of(config, i);
+    if (s.knob(i).kind() == Knob::Kind::kSplit) {
+      for (int part : o) f.push_back(std::log2(static_cast<double>(part)));
+    } else {
+      f.push_back(log2p(o[0]));
+    }
+  }
+  DerivedConfig d = derive(task, config);
+  f.push_back(log2p(static_cast<double>(d.threads_per_block)));
+  f.push_back(log2p(static_cast<double>(d.num_blocks)));
+  f.push_back(log2p(static_cast<double>(d.vthreads)));
+  f.push_back(log2p(static_cast<double>(d.work_per_thread)));
+  f.push_back(log2p(d.shared_bytes));
+  f.push_back(log2p(d.regs_per_thread));
+  f.push_back(log2p(d.global_bytes));
+  f.push_back(log2p(d.inner_x));
+  f.push_back(log2p(d.thread_x));
+  f.push_back(log2p(static_cast<double>(d.reduce_steps)));
+  f.push_back(log2p(static_cast<double>(d.unrolled_body)));
+  return f;
+}
+
+linalg::Vector transfer_features(const Task& task, const Config& config) {
+  linalg::Vector f = task.layer_features();
+  linalg::Vector d = derived_config_features(task, config);
+  f.insert(f.end(), d.begin(), d.end());
+  return f;
+}
+
+std::size_t transfer_feature_dim() {
+  return Task::layer_feature_dim() + derived_config_feature_dim();
+}
+
+linalg::Vector derived_config_features(const Task& task, const Config& config) {
+  linalg::Vector f;
+  f.reserve(derived_config_feature_dim());
+  DerivedConfig d = derive(task, config);
+  f.push_back(log2p(static_cast<double>(d.threads_per_block)));
+  f.push_back(log2p(static_cast<double>(d.num_blocks)));
+  f.push_back(log2p(static_cast<double>(d.vthreads)));
+  f.push_back(log2p(static_cast<double>(d.work_per_thread)));
+  f.push_back(log2p(d.shared_bytes));
+  f.push_back(log2p(d.regs_per_thread));
+  f.push_back(log2p(d.global_bytes));
+  f.push_back(log2p(d.inner_x));
+  f.push_back(log2p(d.thread_x));
+  f.push_back(log2p(static_cast<double>(d.reduce_steps)));
+  f.push_back(log2p(static_cast<double>(d.unrolled_body)));
+  f.push_back(d.unroll_step > 0 ? 1.0 : 0.0);
+  f.push_back(d.unroll_explicit ? 1.0 : 0.0);
+  return f;
+}
+
+std::size_t derived_config_feature_dim() { return 13; }
+
+std::size_t config_feature_dim(const Task& task) {
+  const ConfigSpace& s = task.space();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < s.num_knobs(); ++i)
+    n += (s.knob(i).kind() == Knob::Kind::kSplit) ? s.knob(i).option_width() : 1;
+  return n + 11;  // derived features appended by config_features()
+}
+
+}  // namespace glimpse::searchspace

@@ -1,0 +1,52 @@
+#include "searchspace/knob.hpp"
+
+#include "common/logging.hpp"
+
+namespace glimpse::searchspace {
+
+namespace {
+void enumerate_rec(int remaining, int parts_left, std::vector<int>& prefix,
+                   std::vector<std::vector<int>>& out) {
+  if (parts_left == 1) {
+    prefix.push_back(remaining);
+    out.push_back(prefix);
+    prefix.pop_back();
+    return;
+  }
+  for (int f = 1; f <= remaining; ++f) {
+    if (remaining % f != 0) continue;
+    prefix.push_back(f);
+    enumerate_rec(remaining / f, parts_left - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<std::vector<int>> enumerate_splits(int extent, int num_parts) {
+  GLIMPSE_CHECK(extent >= 1 && num_parts >= 1);
+  std::vector<std::vector<int>> out;
+  std::vector<int> prefix;
+  enumerate_rec(extent, num_parts, prefix, out);
+  return out;
+}
+
+Knob Knob::split(std::string name, int extent, int num_parts) {
+  Knob k;
+  k.name_ = std::move(name);
+  k.kind_ = Kind::kSplit;
+  k.extent_ = extent;
+  k.options_ = enumerate_splits(extent, num_parts);
+  return k;
+}
+
+Knob Knob::categorical(std::string name, std::vector<int> values) {
+  GLIMPSE_CHECK(!values.empty());
+  Knob k;
+  k.name_ = std::move(name);
+  k.kind_ = Kind::kCategorical;
+  k.options_.reserve(values.size());
+  for (int v : values) k.options_.push_back({v});
+  return k;
+}
+
+}  // namespace glimpse::searchspace

@@ -1,0 +1,57 @@
+// Tuning knobs, TVM-style.
+//
+// A template's search space is the cross product of its knobs. Two knob
+// kinds exist, mirroring AutoTVM's define_split / define_knob:
+//  * Split: factorizations of an axis extent into `num_parts` ordered factors
+//    (block / vthread / thread / inner for 4-way data-axis splits,
+//     outer / inner for 2-way reduction splits).
+//  * Categorical: a small list of integer values (unroll depth, flags).
+//
+// Both kinds expose options as spans of ints so the rest of the stack can be
+// knob-kind agnostic: a Config simply selects one option index per knob.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace glimpse::searchspace {
+
+/// Conventional meaning of the parts of a 4-way data-axis split.
+enum SplitPart : int { kBlockPart = 0, kVThreadPart = 1, kThreadPart = 2, kInnerPart = 3 };
+
+/// All ordered `num_parts`-tuples of positive factors whose product is
+/// `extent`, in lexicographic order. extent >= 1, num_parts >= 1.
+std::vector<std::vector<int>> enumerate_splits(int extent, int num_parts);
+
+class Knob {
+ public:
+  enum class Kind { kSplit, kCategorical };
+
+  /// Split knob over an axis of the given extent.
+  static Knob split(std::string name, int extent, int num_parts);
+  /// Categorical knob over explicit integer values.
+  static Knob categorical(std::string name, std::vector<int> values);
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  std::size_t num_options() const { return options_.size(); }
+
+  /// Option `i` as its integer tuple (split factors, or a 1-element value).
+  std::span<const int> option(std::size_t i) const { return options_[i]; }
+
+  /// Number of ints per option (num_parts for splits, 1 for categoricals).
+  std::size_t option_width() const { return options_.empty() ? 0 : options_[0].size(); }
+
+  /// Split knobs only: the axis extent.
+  int extent() const { return extent_; }
+
+ private:
+  std::string name_;
+  Kind kind_ = Kind::kCategorical;
+  int extent_ = 0;
+  std::vector<std::vector<int>> options_;
+};
+
+}  // namespace glimpse::searchspace

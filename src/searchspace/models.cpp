@@ -1,0 +1,148 @@
+#include "searchspace/models.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace glimpse::searchspace {
+
+namespace {
+ConvShape conv(int c, int hw, int k, int kernel, int stride, int pad) {
+  ConvShape s;
+  s.n = 1;
+  s.c = c;
+  s.h = hw;
+  s.w = hw;
+  s.k = k;
+  s.kh = kernel;
+  s.kw = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+}  // namespace
+
+Model alexnet() {
+  Model m;
+  m.name = "AlexNet";
+  m.convs = {
+      {conv(3, 224, 64, 11, 4, 2), 1},   // conv1: 224 -> 55
+      {conv(64, 27, 192, 5, 1, 2), 1},   // conv2 (after pool)
+      {conv(192, 13, 384, 3, 1, 1), 1},  // conv3
+      {conv(384, 13, 256, 3, 1, 1), 1},  // conv4
+      {conv(256, 13, 256, 3, 1, 1), 1},  // conv5
+  };
+  m.denses = {
+      {DenseShape{1, 9216, 4096}, 1},
+      {DenseShape{1, 4096, 4096}, 1},
+      {DenseShape{1, 4096, 1000}, 1},
+  };
+  return m;
+}
+
+Model resnet18() {
+  Model m;
+  m.name = "ResNet-18";
+  m.convs = {
+      {conv(3, 224, 64, 7, 2, 3), 1},    // stem
+      {conv(64, 56, 64, 3, 1, 1), 4},    // stage1 blocks
+      {conv(64, 56, 64, 1, 1, 0), 1},    // stage1 projection
+      {conv(64, 56, 128, 3, 2, 1), 1},   // stage2 downsample conv
+      {conv(64, 56, 128, 1, 2, 0), 1},   // stage2 shortcut
+      {conv(128, 28, 128, 3, 1, 1), 3},  // stage2 remaining
+      {conv(128, 28, 256, 3, 2, 1), 1},  // stage3 downsample conv
+      {conv(128, 28, 256, 1, 2, 0), 1},  // stage3 shortcut
+      {conv(256, 14, 256, 3, 1, 1), 3},  // stage3 remaining
+      {conv(256, 14, 512, 3, 2, 1), 1},  // stage4 downsample conv
+      {conv(256, 14, 512, 1, 2, 0), 1},  // stage4 shortcut
+      {conv(512, 7, 512, 3, 1, 1), 3},   // stage4 remaining
+  };
+  m.denses = {{DenseShape{1, 512, 1000}, 1}};
+  return m;
+}
+
+Model vgg16() {
+  Model m;
+  m.name = "VGG-16";
+  m.convs = {
+      {conv(3, 224, 64, 3, 1, 1), 1},    // conv1_1
+      {conv(64, 224, 64, 3, 1, 1), 1},   // conv1_2
+      {conv(64, 112, 128, 3, 1, 1), 1},  // conv2_1
+      {conv(128, 112, 128, 3, 1, 1), 1}, // conv2_2
+      {conv(128, 56, 256, 3, 1, 1), 1},  // conv3_1
+      {conv(256, 56, 256, 3, 1, 1), 2},  // conv3_2, conv3_3
+      {conv(256, 28, 512, 3, 1, 1), 1},  // conv4_1
+      {conv(512, 28, 512, 3, 1, 1), 2},  // conv4_2, conv4_3
+      {conv(512, 14, 512, 3, 1, 1), 3},  // conv5_1..conv5_3
+  };
+  m.denses = {
+      {DenseShape{1, 25088, 4096}, 1},
+      {DenseShape{1, 4096, 4096}, 1},
+      {DenseShape{1, 4096, 1000}, 1},
+  };
+  return m;
+}
+
+std::vector<Model> evaluation_models() { return {alexnet(), resnet18(), vgg16()}; }
+
+TaskSet::TaskSet(Model model) : model_(std::move(model)) {
+  // Direct conv tasks in network order; remember each layer's task index.
+  std::vector<std::size_t> direct_idx(model_.convs.size());
+  for (std::size_t i = 0; i < model_.convs.size(); ++i) {
+    direct_idx[i] = tasks_.size();
+    tasks_.emplace_back(strformat("%s.T%02zu.conv2d", model_.name.c_str(), tasks_.size() + 1),
+                        TemplateKind::kConv2d, model_.convs[i].shape);
+  }
+  // Winograd variants for eligible shapes.
+  std::vector<std::size_t> wino_idx(model_.convs.size(),
+                                    std::numeric_limits<std::size_t>::max());
+  for (std::size_t i = 0; i < model_.convs.size(); ++i) {
+    if (!model_.convs[i].shape.winograd_applicable()) continue;
+    wino_idx[i] = tasks_.size();
+    tasks_.emplace_back(
+        strformat("%s.T%02zu.winograd", model_.name.c_str(), tasks_.size() + 1),
+        TemplateKind::kConv2dWinograd, model_.convs[i].shape);
+  }
+  // Dense tasks.
+  std::vector<std::size_t> dense_idx(model_.denses.size());
+  for (std::size_t i = 0; i < model_.denses.size(); ++i) {
+    dense_idx[i] = tasks_.size();
+    tasks_.emplace_back(strformat("%s.T%02zu.dense", model_.name.c_str(), tasks_.size() + 1),
+                        model_.denses[i].shape);
+  }
+
+  for (std::size_t i = 0; i < model_.convs.size(); ++i) {
+    LayerImpl impl;
+    impl.task_indices.push_back(direct_idx[i]);
+    if (wino_idx[i] != std::numeric_limits<std::size_t>::max())
+      impl.task_indices.push_back(wino_idx[i]);
+    impl.count = model_.convs[i].count;
+    layers_.push_back(std::move(impl));
+  }
+  for (std::size_t i = 0; i < model_.denses.size(); ++i) {
+    layers_.push_back(LayerImpl{{dense_idx[i]}, model_.denses[i].count});
+  }
+}
+
+double TaskSet::end_to_end_latency(const std::vector<double>& best) const {
+  GLIMPSE_CHECK(best.size() == tasks_.size());
+  double total = 0.0;
+  for (const auto& layer : layers_) {
+    double fastest = std::numeric_limits<double>::infinity();
+    for (std::size_t t : layer.task_indices)
+      fastest = std::min(fastest, best[t]);
+    if (!std::isfinite(fastest)) return std::numeric_limits<double>::infinity();
+    total += fastest * layer.count;
+  }
+  return total;
+}
+
+std::size_t TaskSet::count_kind(TemplateKind kind) const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_)
+    if (t.kind() == kind) ++n;
+  return n;
+}
+
+}  // namespace glimpse::searchspace

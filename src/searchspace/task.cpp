@@ -1,0 +1,72 @@
+#include "searchspace/task.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace glimpse::searchspace {
+
+namespace {
+double log2p(double v) { return std::log2(v + 1.0); }
+}  // namespace
+
+Task::Task(std::string name, TemplateKind kind, const ConvShape& shape)
+    : name_(std::move(name)), kind_(kind), conv_(shape) {
+  GLIMPSE_CHECK(kind == TemplateKind::kConv2d || kind == TemplateKind::kConv2dWinograd);
+  flops_ = shape.flops();  // both templates report against direct-conv FLOPs
+  space_ = (kind == TemplateKind::kConv2d) ? conv2d_direct_space(shape)
+                                           : conv2d_winograd_space(shape);
+}
+
+Task::Task(std::string name, const DenseShape& shape)
+    : name_(std::move(name)), kind_(TemplateKind::kDense), dense_(shape) {
+  flops_ = shape.flops();
+  space_ = dense_space(shape);
+}
+
+const ConvShape& Task::conv_shape() const {
+  GLIMPSE_CHECK(kind_ != TemplateKind::kDense) << name_ << " is a dense task";
+  return conv_;
+}
+
+const DenseShape& Task::dense_shape() const {
+  GLIMPSE_CHECK(kind_ == TemplateKind::kDense) << name_ << " is not a dense task";
+  return dense_;
+}
+
+linalg::Vector Task::layer_features() const {
+  linalg::Vector f(layer_feature_dim(), 0.0);
+  // One-hot template kind.
+  f[static_cast<std::size_t>(kind_)] = 1.0;
+  if (kind_ == TemplateKind::kDense) {
+    f[3] = log2p(dense_.batch);
+    f[4] = log2p(dense_.in_dim);
+    f[7] = log2p(dense_.out_dim);
+    f[13] = log2p(dense_.flops());
+  } else {
+    f[3] = log2p(conv_.n);
+    f[4] = log2p(conv_.c);
+    f[5] = log2p(conv_.h);
+    f[6] = log2p(conv_.w);
+    f[7] = log2p(conv_.k);
+    f[8] = conv_.kh;
+    f[9] = conv_.kw;
+    f[10] = conv_.stride;
+    f[11] = conv_.pad;
+    f[12] = log2p(static_cast<double>(conv_.oh()) * conv_.ow());
+    f[13] = log2p(conv_.flops());
+    if (kind_ == TemplateKind::kConv2dWinograd) {
+      WinogradGemm g = winograd_gemm(conv_);
+      f[14] = g.alpha;
+      f[15] = log2p(g.num_tiles);
+    }
+  }
+  return f;
+}
+
+std::size_t Task::layer_feature_dim() { return 16; }
+
+std::uint64_t Task::seed() const { return fnv1a(name_); }
+
+}  // namespace glimpse::searchspace

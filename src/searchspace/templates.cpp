@@ -1,0 +1,85 @@
+#include "searchspace/templates.hpp"
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace glimpse::searchspace {
+
+const char* to_string(TemplateKind kind) {
+  switch (kind) {
+    case TemplateKind::kConv2d: return "conv2d";
+    case TemplateKind::kConv2dWinograd: return "winograd_conv2d";
+    case TemplateKind::kDense: return "dense";
+  }
+  return "?";
+}
+
+double ConvShape::flops() const {
+  return 2.0 * n * k * oh() * ow() * c * kh * kw;
+}
+
+bool ConvShape::winograd_applicable() const {
+  return stride == 1 && kh == kw && (kh == 3 || kh == 5) && oh() >= 2 && ow() >= 2;
+}
+
+std::string ConvShape::to_string() const {
+  return strformat("conv(N%d C%d %dx%d -> K%d k%dx%d s%d p%d)", n, c, h, w, k, kh, kw,
+                   stride, pad);
+}
+
+std::string DenseShape::to_string() const {
+  return strformat("dense(B%d %d -> %d)", batch, in_dim, out_dim);
+}
+
+WinogradGemm winograd_gemm(const ConvShape& shape) {
+  GLIMPSE_CHECK(shape.winograd_applicable()) << shape.to_string();
+  constexpr int m = 2;  // F(2x2, KxK)
+  WinogradGemm g;
+  g.alpha = m + shape.kh - 1;
+  int tiles_h = (shape.oh() + m - 1) / m;
+  int tiles_w = (shape.ow() + m - 1) / m;
+  g.num_tiles = shape.n * tiles_h * tiles_w;
+  g.gemm_flops = 2.0 * g.alpha * g.alpha * static_cast<double>(shape.k) * shape.c *
+                 g.num_tiles;
+  return g;
+}
+
+ConfigSpace conv2d_direct_space(const ConvShape& shape) {
+  GLIMPSE_CHECK(shape.c > 0 && shape.k > 0 && shape.oh() > 0 && shape.ow() > 0)
+      << "bad conv shape " << shape.to_string();
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_f", shape.k, 4));
+  knobs.push_back(Knob::split("tile_y", shape.oh(), 4));
+  knobs.push_back(Knob::split("tile_x", shape.ow(), 4));
+  knobs.push_back(Knob::split("tile_rc", shape.c, 2));
+  knobs.push_back(Knob::split("tile_ry", shape.kh, 2));
+  knobs.push_back(Knob::split("tile_rx", shape.kw, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace conv2d_winograd_space(const ConvShape& shape) {
+  WinogradGemm g = winograd_gemm(shape);
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_b", g.alpha * g.alpha, 4));
+  knobs.push_back(Knob::split("tile_y", shape.k, 4));
+  knobs.push_back(Knob::split("tile_x", g.num_tiles, 4));
+  knobs.push_back(Knob::split("tile_rc", shape.c, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 128, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace dense_space(const DenseShape& shape) {
+  GLIMPSE_CHECK(shape.in_dim > 0 && shape.out_dim > 0 && shape.batch > 0);
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_y", shape.out_dim, 4));
+  knobs.push_back(Knob::split("tile_x", shape.batch, 4));
+  knobs.push_back(Knob::split("tile_k", shape.in_dim, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+}  // namespace glimpse::searchspace

@@ -1,0 +1,71 @@
+// Code templates and their knob spaces, mirroring TVM's CUDA schedules for
+// conv2d (direct), conv2d (Winograd) and dense — the three template kinds in
+// the paper's Table 1 task breakdown.
+#pragma once
+
+#include <string>
+
+#include "searchspace/config_space.hpp"
+
+namespace glimpse::searchspace {
+
+enum class TemplateKind { kConv2d, kConv2dWinograd, kDense };
+
+const char* to_string(TemplateKind kind);
+
+/// NCHW convolution workload (batch, channels, spatial, kernel, stride, pad).
+struct ConvShape {
+  int n = 1;
+  int c = 0;  ///< input channels
+  int h = 0;
+  int w = 0;
+  int k = 0;  ///< output channels
+  int kh = 0;
+  int kw = 0;
+  int stride = 1;
+  int pad = 0;
+
+  int oh() const { return (h + 2 * pad - kh) / stride + 1; }
+  int ow() const { return (w + 2 * pad - kw) / stride + 1; }
+  /// Multiply-accumulate FLOPs of a direct convolution (2 * MACs).
+  double flops() const;
+  /// Winograd-eligible: unit stride and a small square kernel.
+  bool winograd_applicable() const;
+  std::string to_string() const;
+};
+
+/// Fully-connected workload.
+struct DenseShape {
+  int batch = 1;
+  int in_dim = 0;
+  int out_dim = 0;
+  double flops() const { return 2.0 * batch * in_dim * out_dim; }
+  std::string to_string() const;
+};
+
+/// Winograd F(2x2, KxK) GEMM view of a convolution: `alpha^2` independent
+/// [K x C] x [C x P] products over P output tiles.
+struct WinogradGemm {
+  int alpha = 0;       ///< transform tile size (m + kh - 1, m = 2)
+  int num_tiles = 0;   ///< P = N * ceil(OH/m) * ceil(OW/m)
+  double gemm_flops = 0.0;
+};
+WinogradGemm winograd_gemm(const ConvShape& shape);
+
+/// Knob space of the direct conv2d CUDA template:
+///   tile_f/tile_y/tile_x: 4-way splits (block, vthread, thread, inner)
+///   tile_rc/tile_ry/tile_rx: 2-way reduction splits (outer, inner)
+///   auto_unroll_max_step in {0, 512, 1500}, unroll_explicit in {0, 1}.
+ConfigSpace conv2d_direct_space(const ConvShape& shape);
+
+/// Knob space of the Winograd conv2d CUDA template (batched-GEMM stage):
+///   tile_b: 4-way split of alpha^2, tile_y: 4-way split of K,
+///   tile_x: 4-way split of P, tile_rc: 2-way split of C, unroll knobs.
+ConfigSpace conv2d_winograd_space(const ConvShape& shape);
+
+/// Knob space of the dense CUDA template:
+///   tile_y: 4-way split of out_dim, tile_x: 4-way split of batch,
+///   tile_k: 2-way split of in_dim, unroll knobs.
+ConfigSpace dense_space(const DenseShape& shape);
+
+}  // namespace glimpse::searchspace

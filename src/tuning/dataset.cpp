@@ -1,0 +1,49 @@
+#include "tuning/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace glimpse::tuning {
+
+OfflineDataset OfflineDataset::generate(
+    const std::vector<const searchspace::Task*>& tasks,
+    const std::vector<const hwspec::GpuSpec*>& gpus, std::size_t per_pair, Rng& rng) {
+  GLIMPSE_CHECK(!tasks.empty() && !gpus.empty() && per_pair > 0);
+  OfflineDataset ds;
+  for (const auto* task : tasks) {
+    for (const auto* hw : gpus) {
+      Group group;
+      group.task = task;
+      group.hw = hw;
+      for (std::size_t i = 0; i < per_pair; ++i) {
+        DatasetSample s;
+        s.task = task;
+        s.hw = hw;
+        s.config = task->space().random_config(rng);
+        gpusim::PerfEstimate est = gpusim::estimate(*task, s.config, *hw);
+        s.valid = est.valid;
+        s.gflops = est.valid ? est.gflops : 0.0;
+        group.best_gflops = std::max(group.best_gflops, s.gflops);
+        group.sample_indices.push_back(ds.samples_.size());
+        ds.samples_.push_back(std::move(s));
+      }
+      if (group.best_gflops > 0.0) {
+        for (std::size_t idx : group.sample_indices)
+          ds.samples_[idx].score = ds.samples_[idx].gflops / group.best_gflops;
+      }
+      ds.groups_.push_back(std::move(group));
+    }
+  }
+  return ds;
+}
+
+double OfflineDataset::invalid_fraction() const {
+  if (samples_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_)
+    if (!s.valid) ++n;
+  return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,52 @@
+// Offline tuning dataset, in the spirit of TenSet [19]: measured random
+// configurations across many (task, hardware) pairs. Glimpse's prior
+// generator and meta-optimizer are trained on it; transfer-learning
+// baselines can be warmed from it. Generated through the simulator's
+// noise-free estimator (the analogue of a one-off offline collection
+// campaign — its cost is not charged to any tuning session).
+#pragma once
+
+#include <vector>
+
+#include "gpusim/perf_model.hpp"
+#include "tuning/measure.hpp"
+
+namespace glimpse::tuning {
+
+struct DatasetSample {
+  const searchspace::Task* task = nullptr;
+  const hwspec::GpuSpec* hw = nullptr;
+  Config config;
+  bool valid = false;
+  double gflops = 0.0;
+  /// gflops / (best gflops in this sample's (task, hw) group); 0 if invalid.
+  double score = 0.0;
+};
+
+class OfflineDataset {
+ public:
+  struct Group {
+    const searchspace::Task* task = nullptr;
+    const hwspec::GpuSpec* hw = nullptr;
+    std::vector<std::size_t> sample_indices;
+    double best_gflops = 0.0;
+  };
+
+  /// Sample `per_pair` random configs for every (task, hw) combination.
+  static OfflineDataset generate(const std::vector<const searchspace::Task*>& tasks,
+                                 const std::vector<const hwspec::GpuSpec*>& gpus,
+                                 std::size_t per_pair, Rng& rng);
+
+  const std::vector<DatasetSample>& samples() const { return samples_; }
+  const std::vector<Group>& groups() const { return groups_; }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Fraction of invalid samples (sanity metric; ~10 % per the paper §4.3).
+  double invalid_fraction() const;
+
+ private:
+  std::vector<DatasetSample> samples_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,3 @@
+#include "tuning/measure.hpp"
+
+// Header-only types; this TU anchors the target.

@@ -1,0 +1,20 @@
+// Measurement request/response types shared by all tuners.
+#pragma once
+
+#include "gpusim/measurer.hpp"
+#include "hwspec/gpu_spec.hpp"
+#include "searchspace/task.hpp"
+
+namespace glimpse::tuning {
+
+using gpusim::MeasureResult;
+using searchspace::Config;
+
+/// One pending measurement: a configuration of a task on a device.
+struct MeasureInput {
+  const searchspace::Task* task = nullptr;
+  const hwspec::GpuSpec* hw = nullptr;
+  Config config;
+};
+
+}  // namespace glimpse::tuning

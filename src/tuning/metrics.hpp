@@ -1,0 +1,33 @@
+// Evaluation metrics over tuning traces, matching the paper's reporting:
+// search steps to a quality threshold (Fig. 6), invalid-config fractions
+// (Fig. 7), fixed-budget output performance (Fig. 5), search-time and
+// Hyper-Volume summaries (Fig. 9 / Table 2).
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "tuning/session.hpp"
+
+namespace glimpse::tuning {
+
+/// Number of trials until best-so-far reaches `gflops_threshold`;
+/// nullopt when the trace never reaches it.
+std::optional<std::size_t> steps_to_reach(const Trace& trace, double gflops_threshold);
+
+/// Simulated seconds until best-so-far reaches the threshold; nullopt when
+/// never reached.
+std::optional<double> time_to_reach(const Trace& trace, double gflops_threshold);
+
+/// Hyper-Volume as defined by the paper's Eq. (2):
+///   HV = SearchReduction x InferenceReduction x 100,
+/// where reductions are relative to a baseline's (search time, latency).
+double hyper_volume(double baseline_search_s, double baseline_latency_s,
+                    double search_s, double latency_s);
+
+/// SearchReduction in percent: (1 - search/baseline) * 100.
+double search_reduction_pct(double baseline_search_s, double search_s);
+/// InferenceReduction in percent: (1 - latency/baseline) * 100.
+double inference_reduction_pct(double baseline_latency_s, double latency_s);
+
+}  // namespace glimpse::tuning

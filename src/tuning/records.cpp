@@ -1,0 +1,92 @@
+#include "tuning/records.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace glimpse::tuning {
+
+void RecordLog::append_trace(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                             const Trace& trace) {
+  for (const auto& t : trace.trials) {
+    TuningRecord r;
+    r.task_name = task.name();
+    r.hw_name = hw.name;
+    r.config = t.config;
+    r.valid = t.result.valid;
+    r.gflops = t.result.gflops;
+    r.latency_s = t.result.latency_s;
+    records_.push_back(std::move(r));
+  }
+}
+
+std::vector<const TuningRecord*> RecordLog::filter(const std::string& task_name,
+                                                   const std::string& hw_name) const {
+  std::vector<const TuningRecord*> out;
+  for (const auto& r : records_) {
+    if (!task_name.empty() && r.task_name != task_name) continue;
+    if (!hw_name.empty() && r.hw_name != hw_name) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const TuningRecord*> RecordLog::excluding(const std::string& task_name,
+                                                      const std::string& hw_name) const {
+  std::vector<const TuningRecord*> out;
+  for (const auto& r : records_) {
+    if (r.task_name == task_name && r.hw_name == hw_name) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+void RecordLog::save(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << r.task_name << '\t' << r.hw_name << '\t' << (r.valid ? 1 : 0) << '\t'
+       << strformat("%.6g", r.gflops) << '\t' << strformat("%.9g", r.latency_s) << '\t';
+    for (std::size_t i = 0; i < r.config.size(); ++i) {
+      if (i) os << ',';
+      os << r.config[i];
+    }
+    os << '\n';
+  }
+}
+
+RecordLog RecordLog::load(std::istream& is) {
+  RecordLog log;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    auto fields = split(line, '\t');
+    GLIMPSE_CHECK(fields.size() == 6) << "bad record line: " << line;
+    TuningRecord r;
+    r.task_name = fields[0];
+    r.hw_name = fields[1];
+    r.valid = fields[2] == "1";
+    r.gflops = std::stod(fields[3]);
+    r.latency_s = std::stod(fields[4]);
+    if (!fields[5].empty()) {
+      for (const auto& tok : split(fields[5], ','))
+        r.config.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    }
+    log.append(std::move(r));
+  }
+  return log;
+}
+
+void RecordLog::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  GLIMPSE_CHECK(os.good()) << "cannot open " << path;
+  save(os);
+}
+
+RecordLog RecordLog::load_file(const std::string& path) {
+  std::ifstream is(path);
+  GLIMPSE_CHECK(is.good()) << "cannot open " << path;
+  return load(is);
+}
+
+}  // namespace glimpse::tuning

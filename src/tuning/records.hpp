@@ -1,0 +1,52 @@
+// Tuning records: the persistent log format tuners exchange experience
+// through (AutoTVM's .log equivalent). Transfer-learning baselines and
+// Glimpse's offline meta-training both consume these.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tuning/session.hpp"
+
+namespace glimpse::tuning {
+
+struct TuningRecord {
+  std::string task_name;
+  std::string hw_name;
+  Config config;
+  bool valid = false;
+  double gflops = 0.0;
+  double latency_s = 0.0;
+};
+
+class RecordLog {
+ public:
+  void append(TuningRecord record) { records_.push_back(std::move(record)); }
+  /// Append every trial of a trace.
+  void append_trace(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+                    const Trace& trace);
+
+  const std::vector<TuningRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records matching a task and/or hardware name ("" = any).
+  std::vector<const TuningRecord*> filter(const std::string& task_name,
+                                          const std::string& hw_name) const;
+  /// Records from every (task, hw) pair EXCEPT the given combination —
+  /// the paper's leave-target-out transfer-learning source.
+  std::vector<const TuningRecord*> excluding(const std::string& task_name,
+                                             const std::string& hw_name) const;
+
+  /// Line-oriented text serialization (one record per line).
+  void save(std::ostream& os) const;
+  static RecordLog load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static RecordLog load_file(const std::string& path);
+
+ private:
+  std::vector<TuningRecord> records_;
+};
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,74 @@
+#include "tuning/sa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace glimpse::tuning {
+
+SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
+                             std::size_t top_k, Rng& rng, SaOptions options,
+                             std::vector<searchspace::Config> init) {
+  GLIMPSE_CHECK(options.num_chains >= 1 && options.num_steps >= 1);
+  SaResult result;
+
+  // Chain states.
+  std::vector<searchspace::Config> points;
+  points.reserve(options.num_chains);
+  for (auto& c : init) {
+    if (points.size() < static_cast<std::size_t>(options.num_chains))
+      points.push_back(std::move(c));
+  }
+  while (points.size() < static_cast<std::size_t>(options.num_chains))
+    points.push_back(space.random_config(rng));
+
+  std::vector<double> point_scores(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    point_scores[i] = score(points[i]);
+    ++result.evaluations;
+  }
+
+  // Track best distinct configs seen anywhere (small ordered pool).
+  std::unordered_set<searchspace::Config, searchspace::ConfigHash> seen;
+  std::multimap<double, searchspace::Config> best;  // ascending by score
+  auto offer = [&](double s, const searchspace::Config& c) {
+    if (!seen.insert(c).second) return;
+    if (best.size() < top_k) {
+      best.emplace(s, c);
+    } else if (!best.empty() && s > best.begin()->first) {
+      best.erase(best.begin());
+      best.emplace(s, c);
+    }
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) offer(point_scores[i], points[i]);
+
+  // Scores from a learned model are roughly z-scored; a unit temperature
+  // scale works across models.
+  for (int step = 0; step < options.num_steps; ++step) {
+    double frac = static_cast<double>(step) / std::max(1, options.num_steps - 1);
+    double temp = options.temp_start + (options.temp_end - options.temp_start) * frac;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      searchspace::Config cand = space.neighbor(points[i], rng);
+      double s = score(cand);
+      ++result.evaluations;
+      offer(s, cand);
+      double delta = s - point_scores[i];
+      if (delta >= 0.0 || rng.chance(std::exp(delta / std::max(1e-9, temp)))) {
+        points[i] = std::move(cand);
+        point_scores[i] = s;
+      }
+    }
+  }
+
+  // Emit descending.
+  for (auto it = best.rbegin(); it != best.rend(); ++it) {
+    result.configs.push_back(it->second);
+    result.scores.push_back(it->first);
+  }
+  return result;
+}
+
+}  // namespace glimpse::tuning

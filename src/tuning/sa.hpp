@@ -1,0 +1,39 @@
+// Parallel simulated annealing over a config space, maximizing an arbitrary
+// score function (usually a learned cost model's prediction).
+//
+// This mirrors AutoTVM's model-guided proposal step: a batch of Markov
+// chains walks the knob space by single-knob mutations; the best-scoring
+// distinct points seen anywhere become measurement candidates.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "searchspace/config_space.hpp"
+
+namespace glimpse::tuning {
+
+using ScoreFn = std::function<double(const searchspace::Config&)>;
+
+struct SaOptions {
+  int num_chains = 48;
+  int num_steps = 96;
+  double temp_start = 1.0;
+  double temp_end = 0.02;  ///< temperature decays linearly to this
+};
+
+struct SaResult {
+  /// Distinct configs ordered by descending score (up to `top_k`).
+  std::vector<searchspace::Config> configs;
+  std::vector<double> scores;
+  long long evaluations = 0;  ///< score-function calls made
+};
+
+/// Run annealing and return the `top_k` best distinct configurations.
+/// `init` seeds some chains (remaining chains start at random configs).
+SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
+                             std::size_t top_k, Rng& rng, SaOptions options = {},
+                             std::vector<searchspace::Config> init = {});
+
+}  // namespace glimpse::tuning

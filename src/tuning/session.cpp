@@ -1,0 +1,106 @@
+#include "tuning/session.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace glimpse::tuning {
+
+double Trace::best_gflops(std::size_t upto) const {
+  double best = 0.0;
+  std::size_t n = std::min(upto, trials.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (trials[i].result.valid) best = std::max(best, trials[i].result.gflops);
+  return best;
+}
+
+double Trace::best_latency() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& t : trials)
+    if (t.result.valid) best = std::min(best, t.result.latency_s);
+  return best;
+}
+
+std::vector<double> Trace::best_curve() const {
+  std::vector<double> curve;
+  curve.reserve(trials.size());
+  double best = 0.0;
+  for (const auto& t : trials) {
+    if (t.result.valid) best = std::max(best, t.result.gflops);
+    curve.push_back(best);
+  }
+  return curve;
+}
+
+double Trace::best_gflops_within(double budget_s) const {
+  double best = 0.0;
+  for (const auto& t : trials) {
+    if (t.elapsed_s > budget_s) break;
+    if (t.result.valid) best = std::max(best, t.result.gflops);
+  }
+  return best;
+}
+
+std::size_t Trace::num_invalid() const {
+  std::size_t n = 0;
+  for (const auto& t : trials)
+    if (!t.result.valid) ++n;
+  return n;
+}
+
+double Trace::invalid_fraction() const {
+  return trials.empty() ? 0.0
+                        : static_cast<double>(num_invalid()) /
+                              static_cast<double>(trials.size());
+}
+
+double Trace::total_cost_s() const {
+  return trials.empty() ? 0.0 : trials.back().elapsed_s;
+}
+
+Trace run_session(Tuner& tuner, const searchspace::Task& task,
+                  const hwspec::GpuSpec& hw, gpusim::SimMeasurer& measurer,
+                  const SessionOptions& options) {
+  GLIMPSE_CHECK(options.batch_size >= 1);
+  Trace trace;
+  double session_start_s = measurer.elapsed_seconds();
+  std::size_t step = 0;
+  double plateau_best = 0.0;
+  std::size_t last_improvement_step = 0;
+
+  while (step < options.max_trials) {
+    double elapsed = measurer.elapsed_seconds() - session_start_s;
+    if (elapsed >= options.time_budget_s) break;
+
+    std::size_t want = std::min(options.batch_size, options.max_trials - step);
+    std::vector<Config> batch = tuner.propose(want);
+    if (batch.empty()) break;  // space exhausted
+
+    std::vector<MeasureResult> results;
+    results.reserve(batch.size());
+    bool reached_target = false;
+    for (const Config& c : batch) {
+      MeasureResult r = measurer.measure(task, hw, c);
+      results.push_back(r);
+      TrialRecord rec;
+      rec.config = c;
+      rec.result = r;
+      rec.step = step++;
+      rec.elapsed_s = measurer.elapsed_seconds() - session_start_s;
+      trace.trials.push_back(std::move(rec));
+      if (r.valid && r.gflops >= options.early_stop_gflops) reached_target = true;
+      if (r.valid && r.gflops > plateau_best * 1.01) {
+        plateau_best = r.gflops;
+        last_improvement_step = step - 1;  // the trial just recorded
+      }
+    }
+    tuner.update(batch, results);
+    if (reached_target) break;
+    if (options.plateau_trials > 0 && plateau_best > 0.0 &&
+        step - last_improvement_step >= options.plateau_trials)
+      break;
+  }
+  return trace;
+}
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,57 @@
+// Tuning session: drives one tuner against one (task, device) pair under a
+// trial/time budget, producing a trace the metrics and benches consume.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "tuning/tuner.hpp"
+
+namespace glimpse::tuning {
+
+struct TrialRecord {
+  Config config;
+  MeasureResult result;
+  std::size_t step = 0;     ///< 0-based measurement index within the session
+  double elapsed_s = 0.0;   ///< simulated seconds elapsed after this trial
+};
+
+/// Complete log of one tuning session.
+struct Trace {
+  std::vector<TrialRecord> trials;
+
+  /// Best valid GFLOPS over the first `upto` trials (all by default);
+  /// 0 when nothing valid yet.
+  double best_gflops(std::size_t upto = std::numeric_limits<std::size_t>::max()) const;
+  /// Best valid latency in seconds; +inf when nothing valid.
+  double best_latency() const;
+  /// Best-so-far GFLOPS after each trial (a convergence curve).
+  std::vector<double> best_curve() const;
+  /// Best valid GFLOPS among trials completed within `budget_s` simulated
+  /// seconds (for fixed-time-budget comparisons, paper Fig. 5).
+  double best_gflops_within(double budget_s) const;
+
+  std::size_t num_invalid() const;
+  double invalid_fraction() const;
+  double total_cost_s() const;
+};
+
+struct SessionOptions {
+  std::size_t max_trials = 400;
+  std::size_t batch_size = 8;
+  /// Simulated-seconds budget; the session stops before starting a batch
+  /// once exceeded.
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  /// Stop early once this GFLOPS is reached (convergence experiments).
+  double early_stop_gflops = std::numeric_limits<double>::infinity();
+  /// Plateau stop (AutoTVM's `early_stopping`): end the session when the
+  /// best result has not improved by >1 % for this many trials. 0 disables.
+  std::size_t plateau_trials = 0;
+};
+
+Trace run_session(Tuner& tuner, const searchspace::Task& task,
+                  const hwspec::GpuSpec& hw, gpusim::SimMeasurer& measurer,
+                  const SessionOptions& options);
+
+}  // namespace glimpse::tuning

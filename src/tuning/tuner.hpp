@@ -1,0 +1,73 @@
+// The tuner interface every search strategy implements (AutoTVM-style
+// propose/update loop), plus a convenience base class with the bookkeeping
+// all of them share (dedup of proposals, best-so-far, RNG).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuning/measure.hpp"
+
+namespace glimpse::tuning {
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Propose up to `n` configurations for the next measurement batch.
+  /// May return fewer when the (deduplicated) space is nearly exhausted;
+  /// returning an empty vector ends the session.
+  virtual std::vector<Config> propose(std::size_t n) = 0;
+
+  /// Feed back measurement results for previously proposed configs.
+  virtual void update(const std::vector<Config>& configs,
+                      const std::vector<MeasureResult>& results) = 0;
+};
+
+/// Factory signature used by the experiment harness: build a tuner for one
+/// (task, device) pair with a deterministic seed.
+using TunerFactory = std::function<std::unique_ptr<Tuner>(
+    const searchspace::Task&, const hwspec::GpuSpec&, std::uint64_t seed)>;
+
+/// Shared plumbing: visited-set dedup, best-measured tracking, rng.
+class TunerBase : public Tuner {
+ public:
+  TunerBase(const searchspace::Task& task, const hwspec::GpuSpec& hw,
+            std::uint64_t seed)
+      : task_(task), hw_(hw), rng_(seed) {}
+
+  void update(const std::vector<Config>& configs,
+              const std::vector<MeasureResult>& results) override;
+
+ protected:
+  /// Record-keeping part of update(); subclasses call this then learn.
+  void record_results(const std::vector<Config>& configs,
+                      const std::vector<MeasureResult>& results);
+
+  /// True if the config was proposed before (and marks it visited).
+  bool mark_visited(const Config& c) { return !visited_.insert(c).second; }
+  bool is_visited(const Config& c) const { return visited_.contains(c); }
+
+  /// Draw an unvisited random config; returns false after `tries` misses
+  /// (space nearly exhausted).
+  bool random_unvisited(Config& out, int tries = 64);
+
+  const searchspace::Task& task_;
+  const hwspec::GpuSpec& hw_;
+  Rng rng_;
+  std::unordered_set<Config, searchspace::ConfigHash> visited_;
+
+  // Measured history (all results, including invalid ones).
+  std::vector<Config> measured_configs_;
+  std::vector<MeasureResult> measured_results_;
+  double best_gflops_ = 0.0;
+  Config best_config_;
+};
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,153 @@
+#include "common/logging.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "gp/deep_kernel.hpp"
+#include "gp/gp_regression.hpp"
+
+namespace glimpse::gp {
+namespace {
+
+TEST(KernelTest, RbfBasicProperties) {
+  RbfKernel k(1.0, 2.0);
+  linalg::Vector a = {0.0, 0.0};
+  linalg::Vector b = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(k(a, a), 2.0);              // variance at zero distance
+  EXPECT_NEAR(k(a, b), 2.0 * std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));          // symmetric
+  EXPECT_LT(k(a, linalg::Vector{5.0, 0.0}), k(a, b));  // decays
+}
+
+TEST(KernelTest, Matern52Properties) {
+  Matern52Kernel k(1.0, 1.0);
+  linalg::Vector a = {0.0};
+  linalg::Vector b = {0.5};
+  EXPECT_NEAR(k(a, a), 1.0, 1e-12);
+  EXPECT_GT(k(a, b), 0.0);
+  EXPECT_LT(k(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+}
+
+TEST(KernelTest, CloneIsIndependentCopy) {
+  RbfKernel k(2.0, 1.0);
+  auto c = k.clone();
+  linalg::Vector a = {0.0}, b = {1.0};
+  EXPECT_DOUBLE_EQ((*c)(a, b), k(a, b));
+}
+
+TEST(GpRegressorTest, InterpolatesTrainingPoints) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0, 1.0), 1e-6);
+  linalg::Matrix x{{0.0}, {1.0}, {2.0}};
+  linalg::Vector y = {0.0, 1.0, 4.0};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 1e-2);
+    EXPECT_LT(p.variance, 1e-2);
+  }
+}
+
+TEST(GpRegressorTest, UncertaintyGrowsAwayFromData) {
+  GpRegressor gp(std::make_unique<RbfKernel>(0.5, 1.0), 1e-4);
+  linalg::Matrix x{{0.0}, {1.0}};
+  linalg::Vector y = {0.0, 1.0};
+  gp.fit(x, y);
+  auto near = gp.predict(linalg::Vector{0.5});
+  auto far = gp.predict(linalg::Vector{10.0});
+  EXPECT_GT(far.variance, near.variance);
+}
+
+TEST(GpRegressorTest, FarPredictionsRevertToMean) {
+  GpRegressor gp(std::make_unique<RbfKernel>(0.5, 1.0), 1e-4);
+  linalg::Matrix x{{0.0}, {1.0}};
+  linalg::Vector y = {3.0, 5.0};  // mean 4
+  gp.fit(x, y);
+  auto far = gp.predict(linalg::Vector{100.0});
+  EXPECT_NEAR(far.mean, 4.0, 1e-6);
+}
+
+TEST(GpRegressorTest, PredictBeforeFitThrows) {
+  GpRegressor gp(std::make_unique<RbfKernel>(), 1e-3);
+  EXPECT_THROW(gp.predict(linalg::Vector{0.0}), CheckError);
+}
+
+TEST(GpRegressorTest, LearnsSmoothFunction) {
+  Rng rng(1);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 40; ++i) {
+    double t = rng.uniform(0, 6.28);
+    rows.push_back({t});
+    y.push_back(std::sin(t));
+  }
+  GpRegressor gp(std::make_unique<Matern52Kernel>(1.0, 1.0), 1e-4);
+  gp.fit(linalg::Matrix::from_rows(rows), y);
+  for (double t : {0.5, 2.0, 4.0, 5.5})
+    EXPECT_NEAR(gp.predict(linalg::Vector{t}).mean, std::sin(t), 0.15) << t;
+}
+
+TEST(DeepKernelGpTest, PretrainThenFitAndPredict) {
+  Rng rng(2);
+  // Transfer data: y = sum of inputs (a simple learnable embedding target).
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 200; ++i) {
+    linalg::Vector v = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    y.push_back((v[0] + v[1] + v[2]) / 3.0);
+    rows.push_back(std::move(v));
+  }
+  DeepKernelGp dk(3, {.embed_dim = 4, .hidden = 16, .pretrain_epochs = 40}, rng);
+  EXPECT_FALSE(dk.pretrained());
+  dk.pretrain(linalg::Matrix::from_rows(rows), y, rng);
+  EXPECT_TRUE(dk.pretrained());
+
+  // Local fit on a subset; predictions correlate with truth.
+  linalg::Matrix lx = linalg::Matrix::from_rows(
+      {rows.begin(), rows.begin() + 60});
+  linalg::Vector ly(y.begin(), y.begin() + 60);
+  dk.fit(lx, ly, rng);
+  EXPECT_TRUE(dk.fitted());
+
+  std::vector<double> truth, pred;
+  for (int i = 100; i < 160; ++i) {
+    truth.push_back(y[static_cast<std::size_t>(i)]);
+    pred.push_back(dk.predict(rows[static_cast<std::size_t>(i)]).mean);
+  }
+  EXPECT_GT(pearson(truth, pred), 0.7);
+}
+
+TEST(DeepKernelGpTest, EmbeddingHasConfiguredDim) {
+  Rng rng(3);
+  DeepKernelGp dk(5, {.embed_dim = 7, .hidden = 8, .pretrain_epochs = 1}, rng);
+  linalg::Vector x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(dk.embed(x).size(), 7u);
+}
+
+TEST(DeepKernelGpTest, FitCapsGpPoints) {
+  Rng rng(4);
+  DeepKernelGp dk(2, {.embed_dim = 3, .hidden = 8, .pretrain_epochs = 5,
+                      .max_gp_points = 32},
+                  rng);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.normal(), rng.normal()});
+    y.push_back(rng.normal());
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  dk.pretrain(x, y, rng);
+  dk.fit(x, y, rng);  // must subsample to 32, not throw or O(n^3)-blow up
+  EXPECT_TRUE(dk.fitted());
+}
+
+TEST(DeepKernelGpTest, PredictBeforeFitThrows) {
+  Rng rng(5);
+  DeepKernelGp dk(2, {}, rng);
+  EXPECT_THROW(dk.predict(linalg::Vector{0.0, 0.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace glimpse::gp

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gpusim/measurer.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "test_util.hpp"
+
+namespace glimpse::gpusim {
+namespace {
+
+using glimpse::testing::rtx3090;
+using glimpse::testing::small_conv_task;
+using glimpse::testing::small_dense_task;
+using glimpse::testing::small_winograd_task;
+using glimpse::testing::titan_xp;
+using searchspace::Config;
+using searchspace::DerivedConfig;
+
+DerivedConfig base_derived() {
+  DerivedConfig d;
+  d.threads_per_block = 128;
+  d.num_blocks = 64;
+  d.vthreads = 2;
+  d.work_per_thread = 8;
+  d.shared_bytes = 8192;
+  d.regs_per_thread = 48;
+  d.global_bytes = 1e6;
+  d.inner_x = 4;
+  d.thread_x = 16;
+  d.reduce_steps = 8;
+  return d;
+}
+
+// ---------- resource model ----------
+
+TEST(ResourceModelTest, AcceptsReasonableConfig) {
+  auto u = check_resources(base_derived(), titan_xp(), 64);
+  EXPECT_TRUE(u.valid);
+  EXPECT_EQ(u.reason, InvalidReason::kNone);
+  EXPECT_GE(u.blocks_per_sm, 1);
+  EXPECT_GT(u.occupancy, 0.0);
+  EXPECT_LE(u.occupancy, 1.0);
+}
+
+TEST(ResourceModelTest, RejectsTooManyThreads) {
+  auto d = base_derived();
+  d.threads_per_block = 2048;
+  auto u = check_resources(d, titan_xp(), 64);
+  EXPECT_FALSE(u.valid);
+  EXPECT_EQ(u.reason, InvalidReason::kTooManyThreads);
+  EXPECT_TRUE(detected_at_compile(u.reason));
+}
+
+TEST(ResourceModelTest, RejectsSharedMemOverBlockLimit) {
+  auto d = base_derived();
+  d.shared_bytes = 49 * 1024.0;  // Titan Xp (Pascal): 48 KB / block
+  auto u = check_resources(d, titan_xp(), 64);
+  EXPECT_FALSE(u.valid);
+  EXPECT_EQ(u.reason, InvalidReason::kSharedMemExceeded);
+}
+
+TEST(ResourceModelTest, SharedMemLimitIsPerDevice) {
+  // The same 49 KB config is valid on Turing (64 KB/block).
+  auto d = base_derived();
+  d.shared_bytes = 49 * 1024.0;
+  const auto* turing = hwspec::find_gpu("RTX 2080 Ti");
+  ASSERT_NE(turing, nullptr);
+  EXPECT_TRUE(check_resources(d, *turing, 64).valid);
+}
+
+TEST(ResourceModelTest, RejectsRegisterPressure) {
+  auto d = base_derived();
+  d.regs_per_thread = 300;
+  auto u = check_resources(d, titan_xp(), 64);
+  EXPECT_EQ(u.reason, InvalidReason::kRegistersExceeded);
+}
+
+TEST(ResourceModelTest, RejectsVthreadExplosion) {
+  auto d = base_derived();
+  d.vthreads = kMaxVThreads + 1;
+  EXPECT_EQ(check_resources(d, titan_xp(), 64).reason, InvalidReason::kTooManyVThreads);
+}
+
+TEST(ResourceModelTest, RejectsUnrollBlowupOnlyWhenUnrolling) {
+  auto d = base_derived();
+  d.unrolled_body = kUnrollBlowupLimit + 1;
+  d.unroll_step = 0;
+  EXPECT_TRUE(check_resources(d, titan_xp(), 64).valid);
+  d.unroll_step = 512;
+  EXPECT_EQ(check_resources(d, titan_xp(), 64).reason, InvalidReason::kCompileTimeout);
+}
+
+TEST(ResourceModelTest, LaunchFailureWhenZeroBlocksFit) {
+  auto d = base_derived();
+  d.threads_per_block = 1024;
+  d.regs_per_thread = 200;  // 1024*200 > 65536 regs/SM
+  auto u = check_resources(d, titan_xp(), 64);
+  EXPECT_EQ(u.reason, InvalidReason::kLaunchFailed);
+  EXPECT_FALSE(detected_at_compile(u.reason));
+}
+
+TEST(ResourceModelTest, OccupancyLimitedByThreads) {
+  auto d = base_derived();
+  d.threads_per_block = 1024;
+  d.shared_bytes = 1024;
+  d.regs_per_thread = 32;
+  auto u = check_resources(d, titan_xp(), 1024);
+  // Titan Xp: 2048 threads/SM -> at most 2 blocks of 1024.
+  EXPECT_LE(u.blocks_per_sm, 2);
+  EXPECT_GT(u.occupancy, 0.9);
+}
+
+TEST(ResourceModelTest, TailUtilizationPenalizesTinyGrids) {
+  auto d = base_derived();
+  auto u_small = check_resources(d, titan_xp(), 3);
+  auto u_big = check_resources(d, titan_xp(), 3000);
+  EXPECT_LT(u_small.tail_utilization, 0.5);
+  EXPECT_GT(u_big.tail_utilization, 0.8);
+}
+
+TEST(ResourceModelTest, WavesComputedFromGrid) {
+  auto d = base_derived();
+  auto u = check_resources(d, titan_xp(), 100000);
+  EXPECT_GT(u.waves, 1.0);
+}
+
+TEST(ResourceModelTest, ReasonStringsAreDistinct) {
+  EXPECT_STRNE(to_string(InvalidReason::kTooManyThreads),
+               to_string(InvalidReason::kSharedMemExceeded));
+  EXPECT_STREQ(to_string(InvalidReason::kNone), "none");
+}
+
+// ---------- perf model ----------
+
+TEST(PerfModelTest, ValidConfigsHavePositiveLatencyAndGflops) {
+  Rng rng(1);
+  const auto& task = small_conv_task();
+  int checked = 0;
+  for (int i = 0; i < 300 && checked < 50; ++i) {
+    Config c = task.space().random_config(rng);
+    auto e = estimate(task, c, titan_xp());
+    if (!e.valid) continue;
+    ++checked;
+    EXPECT_GT(e.latency_s, 0.0);
+    EXPECT_GT(e.gflops, 0.0);
+    EXPECT_NEAR(e.gflops, task.flops() / e.latency_s / 1e9, 1e-6);
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(PerfModelTest, DirectConvNeverExceedsPeak) {
+  Rng rng(2);
+  const auto& task = small_conv_task();
+  for (int i = 0; i < 2000; ++i) {
+    Config c = task.space().random_config(rng);
+    auto e = estimate(task, c, rtx3090());
+    if (e.valid) {
+      EXPECT_LT(e.gflops, rtx3090().fp32_gflops);
+    }
+  }
+}
+
+TEST(PerfModelTest, IsDeterministic) {
+  Rng rng(3);
+  const auto& task = small_conv_task();
+  Config c = task.space().random_config(rng);
+  auto a = estimate(task, c, titan_xp());
+  auto b = estimate(task, c, titan_xp());
+  EXPECT_EQ(a.valid, b.valid);
+  if (a.valid) {
+    EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  }
+}
+
+TEST(PerfModelTest, RandomSamplingFindsSubstantialFractionOfPeak) {
+  // The search space must contain good configurations (sparse optimum, but
+  // reachable) — paper Fig. 4 shows hundreds to thousands of GFLOPS.
+  Rng rng(4);
+  const auto& task = small_conv_task();
+  double best = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    auto e = estimate(task, task.space().random_config(rng), titan_xp());
+    if (e.valid) best = std::max(best, e.gflops);
+  }
+  EXPECT_GT(best, 0.08 * titan_xp().fp32_gflops);
+}
+
+TEST(PerfModelTest, OptimalConfigDiffersAcrossGenerations) {
+  // Paper Fig. 1: the best configuration of one GPU is measurably slower on
+  // another generation. Find strong configs per GPU by random search, then
+  // cross-evaluate.
+  Rng rng(5);
+  const auto& task = small_conv_task();
+  Config best_xp, best_3090;
+  double gf_xp = 0.0, gf_3090 = 0.0;
+  for (int i = 0; i < 8000; ++i) {
+    Config c = task.space().random_config(rng);
+    auto exp_ = estimate(task, c, titan_xp());
+    if (exp_.valid && exp_.gflops > gf_xp) {
+      gf_xp = exp_.gflops;
+      best_xp = c;
+    }
+    auto e30 = estimate(task, c, rtx3090());
+    if (e30.valid && e30.gflops > gf_3090) {
+      gf_3090 = e30.gflops;
+      best_3090 = c;
+    }
+  }
+  ASSERT_GT(gf_xp, 0.0);
+  ASSERT_GT(gf_3090, 0.0);
+  // Transplanting the Titan Xp optimum to the RTX 3090 loses performance
+  // (or is invalid outright).
+  auto transplant = estimate(task, best_xp, rtx3090());
+  double relative = transplant.valid ? transplant.gflops / gf_3090 : 0.0;
+  EXPECT_LT(relative, 0.97);
+}
+
+TEST(PerfModelTest, WinogradEffectiveGflopsBeatsDirectOnSameLayer) {
+  // Winograd executes fewer multiplies, so its *effective* GFLOPS (vs the
+  // direct-conv FLOP count) should be able to exceed direct conv's.
+  Rng rng(6);
+  const auto& direct = small_conv_task();
+  const auto& wino = small_winograd_task();
+  double best_direct = 0.0, best_wino = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    auto ed = estimate(direct, direct.space().random_config(rng), titan_xp());
+    if (ed.valid) best_direct = std::max(best_direct, ed.gflops);
+    auto ew = estimate(wino, wino.space().random_config(rng), titan_xp());
+    if (ew.valid) best_wino = std::max(best_wino, ew.gflops);
+  }
+  EXPECT_GT(best_wino, best_direct);
+}
+
+TEST(PerfModelTest, InvalidFractionOfRandomSamplingIsSubstantial) {
+  // Blind random sampling hits many invalid configs (the problem §3.3
+  // exists to solve); model-guided tuners then reduce this to ~10 %.
+  Rng rng(7);
+  const auto& task = small_conv_task();
+  int invalid = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    if (!estimate(task, task.space().random_config(rng), titan_xp()).valid) ++invalid;
+  double frac = static_cast<double>(invalid) / n;
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.9);
+}
+
+class PerfAcrossGpusTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PerfAcrossGpusTest, EveryEvaluationGpuHasReachableGoodConfigs) {
+  const auto* hw = hwspec::find_gpu(GetParam());
+  ASSERT_NE(hw, nullptr);
+  Rng rng(8);
+  const auto& task = small_conv_task();
+  double best = 0.0;
+  for (int i = 0; i < 2500; ++i) {
+    auto e = estimate(task, task.space().random_config(rng), *hw);
+    if (e.valid) best = std::max(best, e.gflops);
+  }
+  EXPECT_GT(best, 0.03 * hw->fp32_gflops);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvalGpus, PerfAcrossGpusTest,
+                         ::testing::Values("Titan Xp", "RTX 2070 Super", "RTX 2080 Ti",
+                                           "RTX 3090"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n)
+                             if (ch == ' ') ch = '_';
+                           return n;
+                         });
+
+// ---------- measurer ----------
+
+TEST(MeasurerTest, NoiseIsReproduciblePerConfig) {
+  SimMeasurer m1, m2;
+  Rng rng(9);
+  const auto& task = small_dense_task();
+  Config c = task.space().random_config(rng);
+  auto r1 = m1.measure(task, titan_xp(), c);
+  auto r2 = m2.measure(task, titan_xp(), c);
+  EXPECT_EQ(r1.valid, r2.valid);
+  if (r1.valid) {
+    EXPECT_DOUBLE_EQ(r1.latency_s, r2.latency_s);
+  }
+}
+
+TEST(MeasurerTest, NoiseIsSmallAndMultiplicative) {
+  SimMeasurer m({.noise_sigma = 0.03});
+  Rng rng(10);
+  const auto& task = small_conv_task();
+  for (int i = 0; i < 200; ++i) {
+    Config c = task.space().random_config(rng);
+    auto est = estimate(task, c, titan_xp());
+    auto r = m.measure(task, titan_xp(), c);
+    if (!est.valid) {
+      EXPECT_FALSE(r.valid);
+      continue;
+    }
+    EXPECT_NEAR(r.latency_s / est.latency_s, 1.0, 0.2);
+  }
+}
+
+TEST(MeasurerTest, AccountsTimeForValidMeasurements) {
+  SimMeasurer m;
+  Rng rng(11);
+  const auto& task = small_dense_task();
+  double before = m.elapsed_seconds();
+  // Find a valid config.
+  for (int i = 0; i < 200; ++i) {
+    auto r = m.measure(task, titan_xp(), task.space().random_config(rng));
+    if (r.valid) {
+      EXPECT_GE(r.cost_s, m.options().compile_s + m.options().rpc_overhead_s);
+      break;
+    }
+  }
+  EXPECT_GT(m.elapsed_seconds(), before);
+  EXPECT_GT(m.num_measurements(), 0u);
+}
+
+TEST(MeasurerTest, CompileErrorsCostLessThanTimeouts) {
+  MeasureOptions opts;
+  // Construct derived configs indirectly: compare costs through options.
+  EXPECT_LT(opts.compile_s, opts.compile_timeout_s);
+}
+
+TEST(MeasurerTest, ResetAccountingZeroesCounters) {
+  SimMeasurer m;
+  Rng rng(12);
+  const auto& task = small_dense_task();
+  m.measure(task, titan_xp(), task.space().random_config(rng));
+  m.reset_accounting();
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds(), 0.0);
+  EXPECT_EQ(m.num_measurements(), 0u);
+  EXPECT_EQ(m.num_invalid(), 0u);
+}
+
+TEST(MeasurerTest, InvalidMeasurementsTracked) {
+  SimMeasurer m;
+  Rng rng(13);
+  const auto& task = small_conv_task();
+  for (int i = 0; i < 100; ++i)
+    m.measure(task, titan_xp(), task.space().random_config(rng));
+  EXPECT_GT(m.num_invalid(), 0u);
+  EXPECT_LE(m.num_invalid(), m.num_measurements());
+}
+
+}  // namespace
+}  // namespace glimpse::gpusim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwspec/database.hpp"
+
+namespace glimpse::hwspec {
+namespace {
+
+TEST(GpuDatabaseTest, HasAllFourEvaluationGpus) {
+  auto gpus = evaluation_gpus();
+  ASSERT_EQ(gpus.size(), 4u);
+  EXPECT_EQ(gpus[0]->name, "Titan Xp");
+  EXPECT_EQ(gpus[1]->name, "RTX 2070 Super");
+  EXPECT_EQ(gpus[2]->name, "RTX 2080 Ti");
+  EXPECT_EQ(gpus[3]->name, "RTX 3090");
+}
+
+TEST(GpuDatabaseTest, EvaluationGpuGenerationsMatchTable1) {
+  // Table 1: Titan Xp Pascal sm_61; 2070S/2080Ti Turing sm_75; 3090 Ampere sm_86.
+  EXPECT_EQ(find_gpu("Titan Xp")->compute_capability, 61);
+  EXPECT_EQ(find_gpu("Titan Xp")->arch, Architecture::kPascal);
+  EXPECT_EQ(find_gpu("RTX 2070 Super")->compute_capability, 75);
+  EXPECT_EQ(find_gpu("RTX 2080 Ti")->compute_capability, 75);
+  EXPECT_EQ(find_gpu("RTX 2080 Ti")->arch, Architecture::kTuring);
+  EXPECT_EQ(find_gpu("RTX 3090")->compute_capability, 86);
+  EXPECT_EQ(find_gpu("RTX 3090")->arch, Architecture::kAmpere);
+}
+
+TEST(GpuDatabaseTest, PopulationLargeEnoughForMetaTraining) {
+  EXPECT_GE(gpu_database().size(), 20u);
+}
+
+TEST(GpuDatabaseTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& g : gpu_database()) names.insert(g.name);
+  EXPECT_EQ(names.size(), gpu_database().size());
+}
+
+TEST(GpuDatabaseTest, FindGpuReturnsNullForUnknown) {
+  EXPECT_EQ(find_gpu("Voodoo 3"), nullptr);
+}
+
+TEST(GpuDatabaseTest, TrainingGpusExcludesRequested) {
+  auto train = training_gpus({"Titan Xp", "RTX 3090"});
+  EXPECT_EQ(train.size(), gpu_database().size() - 2);
+  for (const auto* g : train) {
+    EXPECT_NE(g->name, "Titan Xp");
+    EXPECT_NE(g->name, "RTX 3090");
+  }
+}
+
+TEST(GpuDatabaseTest, SpecsArePhysicallySane) {
+  for (const auto& g : gpu_database()) {
+    SCOPED_TRACE(g.name);
+    EXPECT_GT(g.num_sms, 0);
+    EXPECT_GT(g.cuda_cores, 0);
+    EXPECT_EQ(g.cuda_cores % g.num_sms, 0) << "cores must divide evenly into SMs";
+    EXPECT_GT(g.fp32_gflops, 0.0);
+    EXPECT_GT(g.mem_bandwidth_gbs, 0.0);
+    EXPECT_GE(g.shared_mem_per_sm_kb, g.max_shared_mem_per_block_kb);
+    EXPECT_GE(g.max_threads_per_sm, g.max_threads_per_block);
+    EXPECT_EQ(g.warp_size, 32);
+    // Peak GFLOPS consistent with 2 * cores * boost clock (FMA), within 5%.
+    double theoretical = 2.0 * g.cuda_cores * g.boost_clock_mhz / 1e3;
+    EXPECT_NEAR(g.fp32_gflops / theoretical, 1.0, 0.05);
+  }
+}
+
+TEST(GpuSpecTest, FeatureVectorMatchesNamesLength) {
+  const auto& g = *find_gpu("RTX 2080 Ti");
+  auto f = g.to_features();
+  EXPECT_EQ(f.size(), GpuSpec::feature_names().size());
+}
+
+TEST(GpuSpecTest, FeatureVectorContainsDerivedRatios) {
+  const auto& g = *find_gpu("RTX 3090");
+  auto f = g.to_features();
+  const auto& names = GpuSpec::feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "flops_per_byte") {
+      EXPECT_NEAR(f[i], g.fp32_gflops / g.mem_bandwidth_gbs, 1e-9);
+    }
+    if (names[i] == "cores_per_sm") {
+      EXPECT_NEAR(f[i], static_cast<double>(g.cuda_cores) / g.num_sms, 1e-9);
+    }
+  }
+}
+
+TEST(GpuSpecTest, SeedsDifferByName) {
+  EXPECT_NE(find_gpu("Titan Xp")->seed(), find_gpu("RTX 3090")->seed());
+}
+
+TEST(GpuSpecTest, FeatureMatrixShape) {
+  auto m = feature_matrix();
+  EXPECT_EQ(m.rows(), gpu_database().size());
+  EXPECT_EQ(m.cols(), GpuSpec::feature_names().size());
+}
+
+TEST(GpuSpecTest, ArchitectureNames) {
+  EXPECT_STREQ(to_string(Architecture::kPascal), "Pascal");
+  EXPECT_STREQ(to_string(Architecture::kAmpere), "Ampere");
+}
+
+}  // namespace
+}  // namespace glimpse::hwspec

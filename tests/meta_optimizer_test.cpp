@@ -1,0 +1,138 @@
+#include "common/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "glimpse/meta_optimizer.hpp"
+#include "test_util.hpp"
+
+namespace glimpse::core {
+namespace {
+
+using glimpse::testing::small_conv_task;
+using glimpse::testing::tiny_artifacts;
+using glimpse::testing::tiny_dataset;
+using glimpse::testing::titan_xp;
+
+TEST(MetaOptimizerTest, DerivedBlockHasFixedDim) {
+  Rng rng(1);
+  auto c = small_conv_task().space().random_config(rng);
+  EXPECT_EQ(MetaOptimizer::derived_block(small_conv_task(), c).size(),
+            MetaOptimizer::derived_block_dim());
+}
+
+TEST(MetaOptimizerTest, UntrainedScoreThrows) {
+  Rng rng(2);
+  MetaOptimizer meta(default_blueprint_dim(), rng);
+  linalg::Vector bp(default_blueprint_dim(), 0.0);
+  linalg::Vector derived(MetaOptimizer::derived_block_dim(), 0.0);
+  EXPECT_THROW(meta.score({}, bp, derived), CheckError);
+}
+
+TEST(MetaOptimizerTest, TrainRequiresTrainedPrior) {
+  Rng rng(3);
+  MetaOptimizer meta(default_blueprint_dim(), rng);
+  PriorGenerator untrained(default_blueprint_dim(), rng);
+  BlueprintEncoder enc(default_blueprint_dim());
+  EXPECT_THROW(meta.train(tiny_dataset(), enc, untrained, rng), CheckError);
+}
+
+TEST(MetaOptimizerTest, TrainsOnGroupsSmallerThanFullHistory) {
+  // Regression: groups with fewer samples than `measured_full` used to leave
+  // zero candidates at late stages and crash on an empty mean.
+  Rng rng(9);
+  const auto& tasks = glimpse::testing::tiny_dataset_tasks();
+  auto gpus = glimpse::testing::tiny_dataset_gpus();
+  gpus.resize(4);
+  auto small = tuning::OfflineDataset::generate(tasks, gpus, 90, rng);
+
+  BlueprintEncoder enc(default_blueprint_dim());
+  PriorGenerator prior(default_blueprint_dim(), rng, {.epochs = 2});
+  prior.train(small, enc, rng);
+  MetaTrainOptions opts;
+  opts.measured_full = 128;  // larger than any group
+  opts.epochs = 2;
+  MetaOptimizer meta(default_blueprint_dim(), rng, opts);
+  EXPECT_NO_THROW(meta.train(small, enc, prior, rng));
+  EXPECT_TRUE(meta.trained());
+}
+
+class TrainedMetaTest : public ::testing::Test {
+ protected:
+  const MetaOptimizer& meta() { return *tiny_artifacts().meta; }
+  linalg::Vector blueprint() {
+    return tiny_artifacts().encoder->encode(titan_xp());
+  }
+};
+
+TEST_F(TrainedMetaTest, ScoreIsDeterministic) {
+  Rng rng(4);
+  auto c = small_conv_task().space().random_config(rng);
+  auto derived = MetaOptimizer::derived_block(small_conv_task(), c);
+  MetaFeatures f{.surrogate_mean = 0.5, .surrogate_std = 0.1, .prior_z = 0.3,
+                 .progress = 0.4};
+  EXPECT_DOUBLE_EQ(meta().score(f, blueprint(), derived),
+                   meta().score(f, blueprint(), derived));
+}
+
+TEST_F(TrainedMetaTest, HigherSurrogateMeanScoresHigherOnAverage) {
+  // The acquisition must exploit a confident surrogate: averaged over many
+  // candidates, raising surrogate_mean should raise the acquisition score.
+  Rng rng(5);
+  double diff_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto c = small_conv_task().space().random_config(rng);
+    auto derived = MetaOptimizer::derived_block(small_conv_task(), c);
+    MetaFeatures lo{.surrogate_mean = 0.2, .surrogate_std = 0.05, .prior_z = 0.0,
+                    .progress = 0.9};
+    MetaFeatures hi = lo;
+    hi.surrogate_mean = 0.9;
+    diff_sum += meta().score(hi, blueprint(), derived) -
+                meta().score(lo, blueprint(), derived);
+    ++n;
+  }
+  EXPECT_GT(diff_sum / n, 0.0);
+}
+
+TEST_F(TrainedMetaTest, ScoresCorrelateWithTruePerformance) {
+  // Meta-optimizer scores of held-out dataset candidates should correlate
+  // positively with their true normalized performance, given honest
+  // surrogate-free inputs (mean=prior_z=0 so only derived features drive it).
+  const auto& ds = tiny_dataset();
+  const auto& group = ds.groups().front();
+  linalg::Vector bp = tiny_artifacts().encoder->encode(*group.hw);
+  std::vector<double> truth, scores;
+  for (std::size_t i = 0; i < std::min<std::size_t>(80, group.sample_indices.size());
+       ++i) {
+    const auto& s = ds.samples()[group.sample_indices[i]];
+    MetaFeatures f{.surrogate_mean = 0.0, .surrogate_std = 0.0, .prior_z = 0.0,
+                   .progress = 0.5};
+    truth.push_back(s.score);
+    scores.push_back(
+        meta().score(f, bp, MetaOptimizer::derived_block(*s.task, s.config)));
+  }
+  // Weak-positive bound: with surrogate and prior inputs zeroed, only the
+  // derived-feature block drives the score, and the simulator's per-device
+  // quirks (deliberately unpredictable from specs) cap what any offline
+  // model can achieve.
+  EXPECT_GT(pearson(truth, scores), 0.02);
+}
+
+TEST_F(TrainedMetaTest, InputDimAccountsAllBlocks) {
+  EXPECT_EQ(meta().input_dim(),
+            4 + default_blueprint_dim() + MetaOptimizer::derived_block_dim());
+}
+
+TEST_F(TrainedMetaTest, BlueprintInfluencesScore) {
+  Rng rng(6);
+  auto c = small_conv_task().space().random_config(rng);
+  auto derived = MetaOptimizer::derived_block(small_conv_task(), c);
+  MetaFeatures f{.surrogate_mean = 0.5, .surrogate_std = 0.2, .prior_z = 0.0,
+                 .progress = 0.3};
+  auto bp1 = tiny_artifacts().encoder->encode(titan_xp());
+  auto bp2 = tiny_artifacts().encoder->encode(glimpse::testing::rtx3090());
+  EXPECT_NE(meta().score(f, bp1, derived), meta().score(f, bp2, derived));
+}
+
+}  // namespace
+}  // namespace glimpse::core

@@ -1,0 +1,321 @@
+#include "common/logging.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ml/autoencoder.hpp"
+#include "ml/gbt.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+#include "ml/scaler.hpp"
+
+namespace glimpse::ml {
+namespace {
+
+// ---------- scaler ----------
+
+TEST(ScalerTest, TransformZeroMeanUnitStd) {
+  linalg::Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  StandardScaler s;
+  s.fit(x);
+  auto z = s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    linalg::Vector col = z.col_copy(c);
+    EXPECT_NEAR(mean(col), 0.0, 1e-12);
+    EXPECT_NEAR(stddev(col), 1.0, 1e-12);
+  }
+}
+
+TEST(ScalerTest, InverseTransformRoundTrips) {
+  linalg::Matrix x{{1.0, -5.0}, {4.0, 0.0}, {9.0, 5.0}};
+  StandardScaler s;
+  s.fit(x);
+  linalg::Vector v = {2.0, 3.0};
+  auto back = s.inverse_transform(s.transform(v));
+  EXPECT_NEAR(back[0], 2.0, 1e-12);
+  EXPECT_NEAR(back[1], 3.0, 1e-12);
+}
+
+TEST(ScalerTest, ConstantColumnPassesThrough) {
+  linalg::Matrix x{{5.0, 1.0}, {5.0, 2.0}};
+  StandardScaler s;
+  s.fit(x);
+  auto z = s.transform(linalg::Vector{5.0, 1.5});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_FALSE(std::isnan(z[1]));
+}
+
+// ---------- PCA ----------
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along y = 2x with small noise: first PC should explain ~all
+  // variance.
+  Rng rng(1);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.normal();
+    rows.push_back({t + 0.01 * rng.normal(), 2.0 * t + 0.01 * rng.normal()});
+  }
+  Pca pca;
+  pca.fit(linalg::Matrix::from_rows(rows), 1);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+  EXPECT_LT(pca.reconstruction_rmse(linalg::Matrix::from_rows(rows)), 0.1);
+}
+
+TEST(PcaTest, FullRankReconstructionIsExact) {
+  Rng rng(2);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 30; ++i)
+    rows.push_back({rng.normal(), rng.normal(), rng.normal()});
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  Pca pca;
+  pca.fit(x, 3);
+  EXPECT_NEAR(pca.reconstruction_rmse(x), 0.0, 1e-8);
+  EXPECT_NEAR(pca.explained_variance_ratio(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, TransformRoundTripThroughInverse) {
+  Rng rng(3);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.normal(), b = rng.normal();
+    rows.push_back({a, b, a + b, a - b});  // rank 2
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  Pca pca;
+  pca.fit(x, 2);
+  // Rank-2 data reconstructs exactly from 2 components.
+  linalg::Vector v = rows[7];
+  auto back = pca.inverse_transform(pca.transform(v));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(back[i], v[i], 1e-8);
+}
+
+TEST(PcaTest, MoreComponentsNeverWorse) {
+  Rng rng(4);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 40; ++i)
+    rows.push_back({rng.normal(), rng.normal(), rng.normal(), rng.normal(),
+                    rng.normal()});
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  double prev = 1e9;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    Pca pca;
+    pca.fit(x, k);
+    double loss = pca.reconstruction_rmse(x);
+    EXPECT_LE(loss, prev + 1e-9);
+    prev = loss;
+  }
+}
+
+TEST(PcaTest, RejectsBadK) {
+  linalg::Matrix x{{1.0, 2.0}, {3.0, 4.0}};
+  Pca pca;
+  EXPECT_THROW(pca.fit(x, 0), CheckError);
+  EXPECT_THROW(pca.fit(x, 3), CheckError);
+}
+
+// ---------- k-means ----------
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(5);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back({rng.normal(0, 0.1), rng.normal(0, 0.1)});
+  for (int i = 0; i < 40; ++i)
+    rows.push_back({rng.normal(10, 0.1), rng.normal(10, 0.1)});
+  auto r = kmeans(linalg::Matrix::from_rows(rows), 2, rng);
+  // All points of each half share an assignment, different across halves.
+  for (int i = 1; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 41; i < 80; ++i) EXPECT_EQ(r.assignment[i], r.assignment[40]);
+  EXPECT_NE(r.assignment[0], r.assignment[40]);
+}
+
+TEST(KMeansTest, MedoidsAreInputRows) {
+  Rng rng(6);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({rng.normal(), rng.normal()});
+  auto r = kmeans(linalg::Matrix::from_rows(rows), 5, rng);
+  ASSERT_EQ(r.medoids.size(), 5u);
+  for (auto m : r.medoids) EXPECT_LT(m, rows.size());
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(7);
+  std::vector<linalg::Vector> rows = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  auto r = kmeans(linalg::Matrix::from_rows(rows), 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  Rng rng(8);
+  linalg::Matrix x{{1.0}, {2.0}};
+  EXPECT_THROW(kmeans(x, 0, rng), CheckError);
+  EXPECT_THROW(kmeans(x, 3, rng), CheckError);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(9);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({rng.normal(), rng.normal()});
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  auto r2 = kmeans(x, 2, rng);
+  auto r10 = kmeans(x, 10, rng);
+  EXPECT_LT(r10.inertia, r2.inertia);
+}
+
+// ---------- GBT ----------
+
+TEST(GbtTest, FitsLinearFunction) {
+  Rng rng(10);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.uniform(-2, 2), b = rng.uniform(-2, 2);
+    rows.push_back({a, b});
+    y.push_back(3.0 * a - b);
+  }
+  GbtRegressor gbt;
+  gbt.fit(linalg::Matrix::from_rows(rows), y, rng);
+  double se = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.uniform(-1.5, 1.5), b = rng.uniform(-1.5, 1.5);
+    double pred = gbt.predict(linalg::Vector{a, b});
+    se += (pred - (3.0 * a - b)) * (pred - (3.0 * a - b));
+  }
+  EXPECT_LT(std::sqrt(se / 50), 0.8);
+}
+
+TEST(GbtTest, FitsNonlinearInteraction) {
+  Rng rng(11);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    rows.push_back({a, b});
+    y.push_back(a * b > 0 ? 1.0 : 0.0);  // XOR-like
+  }
+  GbtRegressor gbt({.num_trees = 80, .max_depth = 4});
+  gbt.fit(linalg::Matrix::from_rows(rows), y, rng);
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    if (std::abs(a) < 0.15 || std::abs(b) < 0.15) {
+      --i;  // skip ambiguous band... re-draw
+      continue;
+    }
+    double pred = gbt.predict(linalg::Vector{a, b});
+    if ((pred > 0.5) == (a * b > 0)) ++correct;
+  }
+  EXPECT_GT(correct, 85);
+}
+
+TEST(GbtTest, RankingQualityOnMonotoneTarget) {
+  Rng rng(12);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.uniform(0, 1);
+    rows.push_back({a, rng.uniform(0, 1)});
+    y.push_back(a * a);
+  }
+  GbtRegressor gbt;
+  gbt.fit(linalg::Matrix::from_rows(rows), y, rng);
+  std::vector<double> truth, pred;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.uniform(0, 1);
+    truth.push_back(a * a);
+    pred.push_back(gbt.predict(linalg::Vector{a, 0.5}));
+  }
+  EXPECT_GT(kendall_tau(truth, pred), 0.7);
+}
+
+TEST(GbtTest, PredictBeforeFitThrows) {
+  GbtRegressor gbt;
+  EXPECT_THROW(gbt.predict(linalg::Vector{1.0}), CheckError);
+}
+
+TEST(GbtTest, RequiresAtLeastTwoSamples) {
+  GbtRegressor gbt;
+  Rng rng(13);
+  linalg::Matrix x{{1.0}};
+  linalg::Vector y = {1.0};
+  EXPECT_THROW(gbt.fit(x, y, rng), CheckError);
+}
+
+TEST(GbtTest, ConstantTargetPredictsConstant) {
+  Rng rng(14);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.normal()});
+    y.push_back(7.0);
+  }
+  GbtRegressor gbt;
+  gbt.fit(linalg::Matrix::from_rows(rows), y, rng);
+  EXPECT_NEAR(gbt.predict(linalg::Vector{0.3}), 7.0, 1e-6);
+}
+
+// ---------- autoencoder ----------
+
+TEST(AutoencoderTest, CompressesLowRankData) {
+  // Rank-2 structure in 4 dims: a 2-dim bottleneck should reconstruct well.
+  Rng rng(20);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 60; ++i) {
+    double a = rng.normal(), b = rng.normal();
+    rows.push_back({a, b, 0.5 * a + 0.5 * b, a - b});
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  Autoencoder ae(x, 2, rng, {.hidden = 12, .epochs = 300});
+  EXPECT_LT(ae.reconstruction_rmse(x), 0.35);
+  EXPECT_EQ(ae.bottleneck_dim(), 2u);
+}
+
+TEST(AutoencoderTest, EncodeDecodeShapes) {
+  Rng rng(21);
+  std::vector<linalg::Vector> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({rng.normal(), rng.normal(), rng.normal()});
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  Autoencoder ae(x, 2, rng, {.hidden = 8, .epochs = 10});
+  auto z = ae.encode(rows[0]);
+  EXPECT_EQ(z.size(), 2u);
+  EXPECT_EQ(ae.decode(z).size(), 3u);
+}
+
+TEST(AutoencoderTest, ParamCountReflectsArchitecture) {
+  Rng rng(22);
+  linalg::Matrix x{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Autoencoder ae(x, 1, rng, {.hidden = 4, .epochs = 1});
+  // encoder (2*4+4)+(4*1+1) + decoder (1*4+4)+(4*2+2) = 17 + 18 = 35
+  EXPECT_EQ(ae.num_params(), 35u);
+}
+
+TEST(AutoencoderTest, RejectsBadBottleneck) {
+  Rng rng(23);
+  linalg::Matrix x{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW(Autoencoder(x, 0, rng), CheckError);
+  EXPECT_THROW(Autoencoder(x, 3, rng), CheckError);
+}
+
+TEST(RegressionTreeTest, SingleSplitRecoversStep) {
+  // y = 1 for x > 0.5 else 0; one split should capture it.
+  Rng rng(15);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.uniform(0, 1);
+    rows.push_back({a});
+    y.push_back(a > 0.5 ? 1.0 : 0.0);
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  std::vector<std::size_t> all(200);
+  for (std::size_t i = 0; i < 200; ++i) all[i] = i;
+  RegressionTree tree;
+  tree.fit(x, y, all, GbtOptions{.max_depth = 2});
+  EXPECT_NEAR(tree.predict(linalg::Vector{0.9}), 1.0, 0.1);
+  EXPECT_NEAR(tree.predict(linalg::Vector{0.1}), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace glimpse::ml

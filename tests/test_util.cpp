@@ -1,0 +1,94 @@
+#include "test_util.hpp"
+
+#include "common/logging.hpp"
+
+namespace glimpse::testing {
+
+using searchspace::ConvShape;
+using searchspace::DenseShape;
+using searchspace::Task;
+using searchspace::TemplateKind;
+
+namespace {
+ConvShape small_conv_shape() {
+  ConvShape s;
+  s.n = 1;
+  s.c = 512;
+  s.h = 7;
+  s.w = 7;
+  s.k = 512;
+  s.kh = 3;
+  s.kw = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+}  // namespace
+
+const Task& small_conv_task() {
+  static const Task task("test.conv.small", TemplateKind::kConv2d, small_conv_shape());
+  return task;
+}
+
+const Task& small_dense_task() {
+  static const Task task("test.dense.small", DenseShape{1, 512, 1000});
+  return task;
+}
+
+const Task& small_winograd_task() {
+  static const Task task("test.winograd.small", TemplateKind::kConv2dWinograd,
+                         small_conv_shape());
+  return task;
+}
+
+const hwspec::GpuSpec& titan_xp() {
+  const auto* g = hwspec::find_gpu("Titan Xp");
+  GLIMPSE_CHECK(g != nullptr);
+  return *g;
+}
+
+const hwspec::GpuSpec& rtx3090() {
+  const auto* g = hwspec::find_gpu("RTX 3090");
+  GLIMPSE_CHECK(g != nullptr);
+  return *g;
+}
+
+const std::vector<const Task*>& tiny_dataset_tasks() {
+  static const std::vector<const Task*> tasks = {
+      &small_conv_task(), &small_dense_task(), &small_winograd_task()};
+  return tasks;
+}
+
+const std::vector<const hwspec::GpuSpec*>& tiny_dataset_gpus() {
+  // Training population: a spread of generations, excluding the two
+  // "target" test GPUs so leave-target-out tests are honest.
+  static const std::vector<const hwspec::GpuSpec*> gpus =
+      hwspec::training_gpus({"Titan Xp", "RTX 3090"});
+  return gpus;
+}
+
+const tuning::OfflineDataset& tiny_dataset() {
+  static const tuning::OfflineDataset ds = [] {
+    Rng rng(20220710);
+    return tuning::OfflineDataset::generate(tiny_dataset_tasks(), tiny_dataset_gpus(),
+                                            160, rng);
+  }();
+  return ds;
+}
+
+const core::GlimpseArtifacts& tiny_artifacts() {
+  static const core::GlimpseArtifacts artifacts = [] {
+    Rng rng(42);
+    core::PriorTrainOptions prior_opts;
+    prior_opts.epochs = 14;
+    core::MetaTrainOptions meta_opts;
+    meta_opts.max_groups = 18;
+    meta_opts.epochs = 16;
+    return core::pretrain_glimpse(tiny_dataset(), tiny_dataset_gpus(),
+                                  core::default_blueprint_dim(), rng, prior_opts,
+                                  meta_opts);
+  }();
+  return artifacts;
+}
+
+}  // namespace glimpse::testing

@@ -1,0 +1,35 @@
+// Shared fixtures/helpers for the test suite: small tasks, GPUs, and
+// (expensively trained, so cached) Glimpse artifacts.
+#pragma once
+
+#include <memory>
+
+#include "glimpse/glimpse_tuner.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "tuning/dataset.hpp"
+
+namespace glimpse::testing {
+
+/// A small conv task (ResNet-18 stage-4 3x3) — cheap spaces for unit tests.
+const searchspace::Task& small_conv_task();
+/// A small dense task.
+const searchspace::Task& small_dense_task();
+/// A winograd task.
+const searchspace::Task& small_winograd_task();
+
+/// Two evaluation GPUs for cross-hardware tests.
+const hwspec::GpuSpec& titan_xp();
+const hwspec::GpuSpec& rtx3090();
+
+/// A tiny offline dataset over a handful of tasks and GPUs (cached; built
+/// once per process). Suitable for exercising training code paths.
+const tuning::OfflineDataset& tiny_dataset();
+/// Tasks/gpus backing tiny_dataset() (stable addresses).
+const std::vector<const searchspace::Task*>& tiny_dataset_tasks();
+const std::vector<const hwspec::GpuSpec*>& tiny_dataset_gpus();
+
+/// Glimpse artifacts pretrained on tiny_dataset() (cached).
+const core::GlimpseArtifacts& tiny_artifacts();
+
+}  // namespace glimpse::testing

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "baselines/random_tuner.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+#include "tuning/dataset.hpp"
+#include "tuning/metrics.hpp"
+#include "tuning/records.hpp"
+#include "tuning/sa.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse::tuning {
+namespace {
+
+using glimpse::testing::small_conv_task;
+using glimpse::testing::small_dense_task;
+using glimpse::testing::titan_xp;
+
+// ---------- session ----------
+
+TEST(SessionTest, RespectsTrialBudget) {
+  baselines::RandomTuner tuner(small_dense_task(), titan_xp(), 1);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_dense_task(), titan_xp(), measurer,
+                            {.max_trials = 40, .batch_size = 8});
+  EXPECT_LE(trace.trials.size(), 40u);
+  EXPECT_GE(trace.trials.size(), 32u);  // full batches until the cap
+}
+
+TEST(SessionTest, RespectsTimeBudget) {
+  baselines::RandomTuner tuner(small_dense_task(), titan_xp(), 2);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_dense_task(), titan_xp(), measurer,
+                            {.max_trials = 100000, .batch_size = 8,
+                             .time_budget_s = 30.0});
+  // ~2s per measurement: a 30s budget allows only a few batches.
+  EXPECT_LT(trace.trials.size(), 40u);
+  EXPECT_GT(trace.trials.size(), 0u);
+}
+
+TEST(SessionTest, EarlyStopOnTargetGflops) {
+  baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 3);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                            {.max_trials = 4000, .batch_size = 8,
+                             .early_stop_gflops = 100.0});  // trivially reachable
+  EXPECT_LT(trace.trials.size(), 4000u);
+  EXPECT_GE(trace.best_gflops(), 100.0);
+}
+
+TEST(SessionTest, StepsAndElapsedAreMonotone) {
+  baselines::RandomTuner tuner(small_dense_task(), titan_xp(), 4);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_dense_task(), titan_xp(), measurer,
+                            {.max_trials = 30, .batch_size = 5});
+  for (std::size_t i = 1; i < trace.trials.size(); ++i) {
+    EXPECT_EQ(trace.trials[i].step, trace.trials[i - 1].step + 1);
+    EXPECT_GE(trace.trials[i].elapsed_s, trace.trials[i - 1].elapsed_s);
+  }
+}
+
+TEST(SessionTest, PlateauStopEndsStagnantSearch) {
+  // Random search on a small dense space stagnates quickly; with a plateau
+  // window it must stop well before the trial cap.
+  baselines::RandomTuner tuner(small_dense_task(), titan_xp(), 99);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_dense_task(), titan_xp(), measurer,
+                            {.max_trials = 4000, .batch_size = 8,
+                             .plateau_trials = 48});
+  EXPECT_LT(trace.trials.size(), 4000u);
+  EXPECT_GE(trace.trials.size(), 48u);
+}
+
+TEST(TraceTest, BestCurveIsMonotoneNondecreasing) {
+  baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 5);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                            {.max_trials = 60, .batch_size = 10});
+  auto curve = trace.best_curve();
+  ASSERT_EQ(curve.size(), trace.trials.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) EXPECT_GE(curve[i], curve[i - 1]);
+  EXPECT_DOUBLE_EQ(curve.back(), trace.best_gflops());
+}
+
+TEST(TraceTest, BestGflopsPrefixConsistency) {
+  baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 6);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                            {.max_trials = 50, .batch_size = 10});
+  EXPECT_LE(trace.best_gflops(10), trace.best_gflops(50));
+  EXPECT_DOUBLE_EQ(trace.best_gflops(0), 0.0);
+}
+
+TEST(TraceTest, BestLatencyConsistentWithBestGflops) {
+  baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 7);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                            {.max_trials = 50, .batch_size = 10});
+  if (trace.best_gflops() > 0.0) {
+    double lat = trace.best_latency();
+    EXPECT_NEAR(small_conv_task().flops() / lat / 1e9, trace.best_gflops(), 1e-6);
+  }
+}
+
+TEST(TraceTest, BestWithinTimeBudgetIsPrefix) {
+  baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 8);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                            {.max_trials = 50, .batch_size = 10});
+  double half_time = trace.total_cost_s() / 2.0;
+  EXPECT_LE(trace.best_gflops_within(half_time), trace.best_gflops());
+}
+
+// ---------- metrics ----------
+
+TEST(MetricsTest, StepsToReachFindsFirstCrossing) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    TrialRecord r;
+    r.result.valid = true;
+    r.result.gflops = 100.0 * (i + 1);
+    r.elapsed_s = i + 1.0;
+    trace.trials.push_back(r);
+  }
+  EXPECT_EQ(steps_to_reach(trace, 250.0).value(), 3u);
+  EXPECT_EQ(steps_to_reach(trace, 100.0).value(), 1u);
+  EXPECT_FALSE(steps_to_reach(trace, 1000.0).has_value());
+  EXPECT_DOUBLE_EQ(time_to_reach(trace, 250.0).value(), 3.0);
+}
+
+TEST(MetricsTest, HyperVolumeMatchesPaperFormula) {
+  // Eq. (2): HV = SearchRedu x InferRedu x 100 (both as fractions).
+  double hv = hyper_volume(100.0, 10.0, 20.0, 9.0);
+  // search reduction 0.8, inference reduction 0.1 -> HV = 8.0
+  EXPECT_NEAR(hv, 8.0, 1e-12);
+  EXPECT_NEAR(search_reduction_pct(100.0, 20.0), 80.0, 1e-12);
+  EXPECT_NEAR(inference_reduction_pct(10.0, 9.0), 10.0, 1e-12);
+}
+
+// ---------- simulated annealing ----------
+
+TEST(SaTest, FindsHighScoreRegions) {
+  const auto& task = small_conv_task();
+  Rng rng(9);
+  // Score favors one particular knob option strongly.
+  ScoreFn score = [&](const searchspace::Config& c) {
+    return c[0] == 7 ? 10.0 : static_cast<double>(c[0] % 3);
+  };
+  SaResult r = simulated_annealing(task.space(), score, 16, rng,
+                                   {.num_chains = 16, .num_steps = 60});
+  ASSERT_FALSE(r.configs.empty());
+  EXPECT_EQ(r.configs[0][0], 7u);
+  EXPECT_DOUBLE_EQ(r.scores[0], 10.0);
+}
+
+TEST(SaTest, ScoresSortedDescendingAndDistinct) {
+  const auto& task = small_dense_task();
+  Rng rng(10);
+  ScoreFn score = [&](const searchspace::Config& c) {
+    return static_cast<double>(c[0]) + 0.1 * c[1];
+  };
+  SaResult r = simulated_annealing(task.space(), score, 20, rng);
+  for (std::size_t i = 1; i < r.scores.size(); ++i)
+    EXPECT_GE(r.scores[i - 1], r.scores[i]);
+  std::set<searchspace::Config> uniq(r.configs.begin(), r.configs.end());
+  EXPECT_EQ(uniq.size(), r.configs.size());
+}
+
+TEST(SaTest, EvaluationCountAccounted) {
+  const auto& task = small_dense_task();
+  Rng rng(11);
+  ScoreFn score = [](const searchspace::Config&) { return 0.0; };
+  SaOptions opts{.num_chains = 8, .num_steps = 10};
+  SaResult r = simulated_annealing(task.space(), score, 4, rng, opts);
+  EXPECT_EQ(r.evaluations, 8 + 8 * 10);  // initial + per-step
+}
+
+TEST(SaTest, SeedsChainsFromInit) {
+  const auto& task = small_dense_task();
+  Rng rng(12);
+  searchspace::Config special = task.space().random_config(rng);
+  ScoreFn score = [&](const searchspace::Config& c) {
+    return c == special ? 100.0 : -1.0;
+  };
+  // With zero steps, only init/initial points are offered.
+  SaResult r = simulated_annealing(task.space(), score, 4, rng,
+                                   {.num_chains = 4, .num_steps = 1}, {special});
+  EXPECT_EQ(r.configs[0], special);
+}
+
+// ---------- records ----------
+
+TEST(SaTest, LargerTopKIsSupersetInScore) {
+  // Property: the best score found must not decrease when asking for more
+  // candidates (same seed => same trajectory, larger pool retained).
+  const auto& task = small_dense_task();
+  ScoreFn score = [&](const searchspace::Config& c) {
+    return static_cast<double>((c[0] * 31 + c[2] * 7) % 97);
+  };
+  SaOptions opts{.num_chains = 8, .num_steps = 30};
+  Rng rng_a(42), rng_b(42);
+  SaResult small = simulated_annealing(task.space(), score, 4, rng_a, opts);
+  SaResult large = simulated_annealing(task.space(), score, 32, rng_b, opts);
+  EXPECT_DOUBLE_EQ(small.scores[0], large.scores[0]);
+  EXPECT_GE(large.configs.size(), small.configs.size());
+}
+
+TEST(SessionTest, IsDeterministicForFixedSeeds) {
+  auto run_once = [&] {
+    baselines::RandomTuner tuner(small_conv_task(), titan_xp(), 77);
+    gpusim::SimMeasurer measurer;
+    return run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                       {.max_trials = 40, .batch_size = 8});
+  };
+  Trace a = run_once();
+  Trace b = run_once();
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].config, b.trials[i].config);
+    EXPECT_DOUBLE_EQ(a.trials[i].result.gflops, b.trials[i].result.gflops);
+  }
+}
+
+TEST(RecordLogTest, SaveLoadRoundTrip) {
+  RecordLog log;
+  TuningRecord r;
+  r.task_name = "t1";
+  r.hw_name = "hw1";
+  r.config = {1, 2, 3};
+  r.valid = true;
+  r.gflops = 123.5;
+  r.latency_s = 1e-4;
+  log.append(r);
+  r.task_name = "t2";
+  r.valid = false;
+  r.gflops = 0.0;
+  log.append(r);
+
+  std::stringstream ss;
+  log.save(ss);
+  RecordLog loaded = RecordLog::load(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.records()[0].task_name, "t1");
+  EXPECT_EQ(loaded.records()[0].config, (searchspace::Config{1, 2, 3}));
+  EXPECT_TRUE(loaded.records()[0].valid);
+  EXPECT_NEAR(loaded.records()[0].gflops, 123.5, 1e-6);
+  EXPECT_FALSE(loaded.records()[1].valid);
+}
+
+TEST(RecordLogTest, FilterAndExcluding) {
+  RecordLog log;
+  for (const char* task : {"a", "b"})
+    for (const char* hw : {"x", "y"}) {
+      TuningRecord r;
+      r.task_name = task;
+      r.hw_name = hw;
+      log.append(r);
+    }
+  EXPECT_EQ(log.filter("a", "").size(), 2u);
+  EXPECT_EQ(log.filter("", "y").size(), 2u);
+  EXPECT_EQ(log.filter("a", "y").size(), 1u);
+  EXPECT_EQ(log.excluding("a", "y").size(), 3u);
+}
+
+TEST(RecordLogTest, AppendTraceCopiesAllTrials) {
+  baselines::RandomTuner tuner(small_dense_task(), titan_xp(), 13);
+  gpusim::SimMeasurer measurer;
+  Trace trace = run_session(tuner, small_dense_task(), titan_xp(), measurer,
+                            {.max_trials = 20, .batch_size = 5});
+  RecordLog log;
+  log.append_trace(small_dense_task(), titan_xp(), trace);
+  EXPECT_EQ(log.size(), trace.trials.size());
+  EXPECT_EQ(log.records()[0].task_name, small_dense_task().name());
+}
+
+// ---------- offline dataset ----------
+
+TEST(DatasetTest, GeneratesRequestedCounts) {
+  Rng rng(14);
+  std::vector<const searchspace::Task*> tasks = {&small_dense_task()};
+  std::vector<const hwspec::GpuSpec*> gpus = {&titan_xp()};
+  auto ds = OfflineDataset::generate(tasks, gpus, 50, rng);
+  EXPECT_EQ(ds.size(), 50u);
+  ASSERT_EQ(ds.groups().size(), 1u);
+  EXPECT_EQ(ds.groups()[0].sample_indices.size(), 50u);
+}
+
+TEST(DatasetTest, ScoresNormalizedToGroupBest) {
+  const auto& ds = glimpse::testing::tiny_dataset();
+  for (const auto& g : ds.groups()) {
+    double max_score = 0.0;
+    for (std::size_t idx : g.sample_indices) {
+      const auto& s = ds.samples()[idx];
+      EXPECT_GE(s.score, 0.0);
+      EXPECT_LE(s.score, 1.0 + 1e-12);
+      if (!s.valid) {
+        EXPECT_DOUBLE_EQ(s.score, 0.0);
+      }
+      max_score = std::max(max_score, s.score);
+    }
+    if (g.best_gflops > 0.0) {
+      EXPECT_NEAR(max_score, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(DatasetTest, InvalidFractionNonTrivial) {
+  const auto& ds = glimpse::testing::tiny_dataset();
+  EXPECT_GT(ds.invalid_fraction(), 0.1);
+  EXPECT_LT(ds.invalid_fraction(), 0.95);
+}
+
+}  // namespace
+}  // namespace glimpse::tuning

@@ -1,0 +1,140 @@
+#include "common/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "glimpse/validity_ensemble.hpp"
+#include "gpusim/perf_model.hpp"
+#include "test_util.hpp"
+
+namespace glimpse::core {
+namespace {
+
+using glimpse::testing::small_conv_task;
+using glimpse::testing::titan_xp;
+using searchspace::Config;
+
+class ValidityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    encoder_ = new BlueprintEncoder(default_blueprint_dim());
+    ensemble_ = new ValidityEnsemble(*encoder_,
+                                     hwspec::training_gpus({"Titan Xp", "RTX 3090"}));
+  }
+  static void TearDownTestSuite() {
+    delete ensemble_;
+    delete encoder_;
+    ensemble_ = nullptr;
+    encoder_ = nullptr;
+  }
+  static BlueprintEncoder* encoder_;
+  static ValidityEnsemble* ensemble_;
+};
+BlueprintEncoder* ValidityTest::encoder_ = nullptr;
+ValidityEnsemble* ValidityTest::ensemble_ = nullptr;
+
+TEST_F(ValidityTest, ThresholdsApproximateDatasheetLimits) {
+  // Even for a GPU left out of training, the predicted thresholds should be
+  // within a factor ~2 of the true datasheet limits (PCA + ridge on a
+  // correlated population).
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  ASSERT_EQ(thr.size(), ensemble_->num_members());
+  for (const auto& t : thr) {
+    EXPECT_NEAR(std::log(t[static_cast<std::size_t>(ResourceDim::kThreadsPerBlock)]),
+                std::log(1024.0), std::log(2.0));
+    EXPECT_NEAR(std::log(t[static_cast<std::size_t>(ResourceDim::kSharedBytes)]),
+                std::log(48.0 * 1024.0), std::log(2.5));
+  }
+}
+
+TEST_F(ValidityTest, AcceptsClearlyValidConfig) {
+  searchspace::DerivedConfig d;
+  d.threads_per_block = 128;
+  d.shared_bytes = 4096;
+  d.regs_per_thread = 40;
+  d.vthreads = 2;
+  d.unrolled_body = 64;
+  d.unroll_step = 512;
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  EXPECT_TRUE(ensemble_->accept(d, thr));
+}
+
+TEST_F(ValidityTest, RejectsEgregiousViolations) {
+  searchspace::DerivedConfig d;
+  d.threads_per_block = 4096;  // 4x over any limit
+  d.shared_bytes = 4096;
+  d.regs_per_thread = 40;
+  d.vthreads = 2;
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  EXPECT_FALSE(ensemble_->accept(d, thr));
+}
+
+TEST_F(ValidityTest, RejectsSharedMemoryBlowups) {
+  searchspace::DerivedConfig d;
+  d.threads_per_block = 128;
+  d.shared_bytes = 256.0 * 1024.0;
+  d.regs_per_thread = 40;
+  d.vthreads = 2;
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  EXPECT_FALSE(ensemble_->accept(d, thr));
+}
+
+TEST_F(ValidityTest, ReducesInvalidFractionOnRealSpace) {
+  // The headline §3.3 property: among random configs the sampler accepts,
+  // the true invalid fraction must be far below the unfiltered one.
+  Rng rng(1);
+  const auto& task = small_conv_task();
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  int unfiltered_invalid = 0, accepted = 0, accepted_invalid = 0, total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Config c = task.space().random_config(rng);
+    bool truly_valid = gpusim::estimate(task, c, titan_xp()).valid;
+    ++total;
+    if (!truly_valid) ++unfiltered_invalid;
+    if (ensemble_->accept(task, c, thr)) {
+      ++accepted;
+      if (!truly_valid) ++accepted_invalid;
+    }
+  }
+  ASSERT_GT(accepted, 100);
+  double before = static_cast<double>(unfiltered_invalid) / total;
+  double after = static_cast<double>(accepted_invalid) / accepted;
+  EXPECT_LT(after, before / 2.5);
+}
+
+TEST_F(ValidityTest, DoesNotRejectTheGoodRegion) {
+  // The filter must keep enough of the valid space to search in: acceptance
+  // rate among *truly valid* configs stays high.
+  Rng rng(2);
+  const auto& task = small_conv_task();
+  auto thr = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  int valid_total = 0, valid_accepted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Config c = task.space().random_config(rng);
+    if (!gpusim::estimate(task, c, titan_xp()).valid) continue;
+    ++valid_total;
+    if (ensemble_->accept(task, c, thr)) ++valid_accepted;
+  }
+  ASSERT_GT(valid_total, 200);
+  EXPECT_GT(static_cast<double>(valid_accepted) / valid_total, 0.7);
+}
+
+TEST_F(ValidityTest, TauDefaultsToPaperValue) {
+  EXPECT_NEAR(ensemble_->tau(), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(ValidityTest, NeedsSeveralTrainingGpus) {
+  EXPECT_THROW(ValidityEnsemble(*encoder_, {&titan_xp()}), CheckError);
+}
+
+TEST_F(ValidityTest, ThresholdsDifferAcrossHardware) {
+  auto thr_xp = ensemble_->thresholds_for(encoder_->encode(titan_xp()));
+  auto thr_30 = ensemble_->thresholds_for(
+      encoder_->encode(glimpse::testing::rtx3090()));
+  // Shared-memory limits differ strongly between Pascal (48KB) and
+  // Ampere (100KB) — the predictors must reflect that.
+  double xp_smem = thr_xp[0][static_cast<std::size_t>(ResourceDim::kSharedBytes)];
+  double a30_smem = thr_30[0][static_cast<std::size_t>(ResourceDim::kSharedBytes)];
+  EXPECT_GT(a30_smem, xp_smem * 1.3);
+}
+
+}  // namespace
+}  // namespace glimpse::core
