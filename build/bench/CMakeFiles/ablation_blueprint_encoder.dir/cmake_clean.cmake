@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blueprint_encoder.dir/ablation_blueprint_encoder.cpp.o"
+  "CMakeFiles/ablation_blueprint_encoder.dir/ablation_blueprint_encoder.cpp.o.d"
+  "ablation_blueprint_encoder"
+  "ablation_blueprint_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blueprint_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_blueprint_encoder.
+# This may be replaced when dependencies are built.

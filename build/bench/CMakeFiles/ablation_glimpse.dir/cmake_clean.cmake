@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_glimpse.dir/ablation_glimpse.cpp.o"
+  "CMakeFiles/ablation_glimpse.dir/ablation_glimpse.cpp.o.d"
+  "ablation_glimpse"
+  "ablation_glimpse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_glimpse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cross_hardware.dir/fig1_cross_hardware.cpp.o"
+  "CMakeFiles/fig1_cross_hardware.dir/fig1_cross_hardware.cpp.o.d"
+  "fig1_cross_hardware"
+  "fig1_cross_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cross_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

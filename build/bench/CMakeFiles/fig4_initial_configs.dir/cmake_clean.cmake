@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_initial_configs.dir/fig4_initial_configs.cpp.o"
+  "CMakeFiles/fig4_initial_configs.dir/fig4_initial_configs.cpp.o.d"
+  "fig4_initial_configs"
+  "fig4_initial_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_initial_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_transfer_learning.dir/fig5_transfer_learning.cpp.o"
+  "CMakeFiles/fig5_transfer_learning.dir/fig5_transfer_learning.cpp.o.d"
+  "fig5_transfer_learning"
+  "fig5_transfer_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transfer_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_search_steps.dir/fig6_search_steps.cpp.o"
+  "CMakeFiles/fig6_search_steps.dir/fig6_search_steps.cpp.o.d"
+  "fig6_search_steps"
+  "fig6_search_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_search_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_invalid_configs.dir/fig7_invalid_configs.cpp.o"
+  "CMakeFiles/fig7_invalid_configs.dir/fig7_invalid_configs.cpp.o.d"
+  "fig7_invalid_configs"
+  "fig7_invalid_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_invalid_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

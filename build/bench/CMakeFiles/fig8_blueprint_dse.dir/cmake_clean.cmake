@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_blueprint_dse.dir/fig8_blueprint_dse.cpp.o"
+  "CMakeFiles/fig8_blueprint_dse.dir/fig8_blueprint_dse.cpp.o.d"
+  "fig8_blueprint_dse"
+  "fig8_blueprint_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_blueprint_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/glimpse_bench_common.dir/bench_common.cpp.o.d"
+  "libglimpse_bench_common.a"
+  "libglimpse_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglimpse_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hypervolume.dir/table2_hypervolume.cpp.o"
+  "CMakeFiles/table2_hypervolume.dir/table2_hypervolume.cpp.o.d"
+  "table2_hypervolume"
+  "table2_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compare_tuners.cpp" "examples/CMakeFiles/compare_tuners.dir/compare_tuners.cpp.o" "gcc" "examples/CMakeFiles/compare_tuners.dir/compare_tuners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_hwspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

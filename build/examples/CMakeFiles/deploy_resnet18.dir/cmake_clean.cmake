@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_resnet18.dir/deploy_resnet18.cpp.o"
+  "CMakeFiles/deploy_resnet18.dir/deploy_resnet18.cpp.o.d"
+  "deploy_resnet18"
+  "deploy_resnet18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_resnet18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_fleet.dir/multi_gpu_fleet.cpp.o"
+  "CMakeFiles/multi_gpu_fleet.dir/multi_gpu_fleet.cpp.o.d"
+  "multi_gpu_fleet"
+  "multi_gpu_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

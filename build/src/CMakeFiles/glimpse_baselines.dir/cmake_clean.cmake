@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_baselines.dir/baselines/autotvm.cpp.o"
+  "CMakeFiles/glimpse_baselines.dir/baselines/autotvm.cpp.o.d"
+  "CMakeFiles/glimpse_baselines.dir/baselines/chameleon.cpp.o"
+  "CMakeFiles/glimpse_baselines.dir/baselines/chameleon.cpp.o.d"
+  "CMakeFiles/glimpse_baselines.dir/baselines/dgp.cpp.o"
+  "CMakeFiles/glimpse_baselines.dir/baselines/dgp.cpp.o.d"
+  "CMakeFiles/glimpse_baselines.dir/baselines/random_tuner.cpp.o"
+  "CMakeFiles/glimpse_baselines.dir/baselines/random_tuner.cpp.o.d"
+  "libglimpse_baselines.a"
+  "libglimpse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

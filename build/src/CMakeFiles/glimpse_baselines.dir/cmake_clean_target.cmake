@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglimpse_baselines.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_common.dir/common/logging.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/glimpse_common.dir/common/rng.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/glimpse_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/serialize.cpp.o.d"
+  "CMakeFiles/glimpse_common.dir/common/stats.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/glimpse_common.dir/common/strutil.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/strutil.cpp.o.d"
+  "CMakeFiles/glimpse_common.dir/common/table.cpp.o"
+  "CMakeFiles/glimpse_common.dir/common/table.cpp.o.d"
+  "libglimpse_common.a"
+  "libglimpse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glimpse/blueprint.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/blueprint.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/blueprint.cpp.o.d"
+  "/root/repo/src/glimpse/glimpse_tuner.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/glimpse_tuner.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/glimpse_tuner.cpp.o.d"
+  "/root/repo/src/glimpse/meta_optimizer.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/meta_optimizer.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/meta_optimizer.cpp.o.d"
+  "/root/repo/src/glimpse/prior_generator.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/prior_generator.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/prior_generator.cpp.o.d"
+  "/root/repo/src/glimpse/surrogate.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/surrogate.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/surrogate.cpp.o.d"
+  "/root/repo/src/glimpse/validity_ensemble.cpp" "src/CMakeFiles/glimpse_core.dir/glimpse/validity_ensemble.cpp.o" "gcc" "src/CMakeFiles/glimpse_core.dir/glimpse/validity_ensemble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_hwspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

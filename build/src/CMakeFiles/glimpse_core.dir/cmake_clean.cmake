@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_core.dir/glimpse/blueprint.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/blueprint.cpp.o.d"
+  "CMakeFiles/glimpse_core.dir/glimpse/glimpse_tuner.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/glimpse_tuner.cpp.o.d"
+  "CMakeFiles/glimpse_core.dir/glimpse/meta_optimizer.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/meta_optimizer.cpp.o.d"
+  "CMakeFiles/glimpse_core.dir/glimpse/prior_generator.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/prior_generator.cpp.o.d"
+  "CMakeFiles/glimpse_core.dir/glimpse/surrogate.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/surrogate.cpp.o.d"
+  "CMakeFiles/glimpse_core.dir/glimpse/validity_ensemble.cpp.o"
+  "CMakeFiles/glimpse_core.dir/glimpse/validity_ensemble.cpp.o.d"
+  "libglimpse_core.a"
+  "libglimpse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/deep_kernel.cpp" "src/CMakeFiles/glimpse_gp.dir/gp/deep_kernel.cpp.o" "gcc" "src/CMakeFiles/glimpse_gp.dir/gp/deep_kernel.cpp.o.d"
+  "/root/repo/src/gp/gp_regression.cpp" "src/CMakeFiles/glimpse_gp.dir/gp/gp_regression.cpp.o" "gcc" "src/CMakeFiles/glimpse_gp.dir/gp/gp_regression.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/CMakeFiles/glimpse_gp.dir/gp/kernel.cpp.o" "gcc" "src/CMakeFiles/glimpse_gp.dir/gp/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_gp.dir/gp/deep_kernel.cpp.o"
+  "CMakeFiles/glimpse_gp.dir/gp/deep_kernel.cpp.o.d"
+  "CMakeFiles/glimpse_gp.dir/gp/gp_regression.cpp.o"
+  "CMakeFiles/glimpse_gp.dir/gp/gp_regression.cpp.o.d"
+  "CMakeFiles/glimpse_gp.dir/gp/kernel.cpp.o"
+  "CMakeFiles/glimpse_gp.dir/gp/kernel.cpp.o.d"
+  "libglimpse_gp.a"
+  "libglimpse_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/measurer.cpp.o"
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/measurer.cpp.o.d"
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/perf_model.cpp.o"
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/perf_model.cpp.o.d"
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/resource_model.cpp.o"
+  "CMakeFiles/glimpse_gpusim.dir/gpusim/resource_model.cpp.o.d"
+  "libglimpse_gpusim.a"
+  "libglimpse_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_hwspec.dir/hwspec/database.cpp.o"
+  "CMakeFiles/glimpse_hwspec.dir/hwspec/database.cpp.o.d"
+  "CMakeFiles/glimpse_hwspec.dir/hwspec/gpu_spec.cpp.o"
+  "CMakeFiles/glimpse_hwspec.dir/hwspec/gpu_spec.cpp.o.d"
+  "libglimpse_hwspec.a"
+  "libglimpse_hwspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_hwspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_linalg.dir/linalg/decompositions.cpp.o"
+  "CMakeFiles/glimpse_linalg.dir/linalg/decompositions.cpp.o.d"
+  "CMakeFiles/glimpse_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/glimpse_linalg.dir/linalg/matrix.cpp.o.d"
+  "libglimpse_linalg.a"
+  "libglimpse_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autoencoder.cpp" "src/CMakeFiles/glimpse_ml.dir/ml/autoencoder.cpp.o" "gcc" "src/CMakeFiles/glimpse_ml.dir/ml/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/CMakeFiles/glimpse_ml.dir/ml/gbt.cpp.o" "gcc" "src/CMakeFiles/glimpse_ml.dir/ml/gbt.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/glimpse_ml.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/glimpse_ml.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/CMakeFiles/glimpse_ml.dir/ml/pca.cpp.o" "gcc" "src/CMakeFiles/glimpse_ml.dir/ml/pca.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/glimpse_ml.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/glimpse_ml.dir/ml/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

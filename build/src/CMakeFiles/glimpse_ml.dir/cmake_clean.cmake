@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_ml.dir/ml/autoencoder.cpp.o"
+  "CMakeFiles/glimpse_ml.dir/ml/autoencoder.cpp.o.d"
+  "CMakeFiles/glimpse_ml.dir/ml/gbt.cpp.o"
+  "CMakeFiles/glimpse_ml.dir/ml/gbt.cpp.o.d"
+  "CMakeFiles/glimpse_ml.dir/ml/kmeans.cpp.o"
+  "CMakeFiles/glimpse_ml.dir/ml/kmeans.cpp.o.d"
+  "CMakeFiles/glimpse_ml.dir/ml/pca.cpp.o"
+  "CMakeFiles/glimpse_ml.dir/ml/pca.cpp.o.d"
+  "CMakeFiles/glimpse_ml.dir/ml/scaler.cpp.o"
+  "CMakeFiles/glimpse_ml.dir/ml/scaler.cpp.o.d"
+  "libglimpse_ml.a"
+  "libglimpse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

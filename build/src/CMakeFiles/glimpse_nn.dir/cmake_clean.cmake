@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/glimpse_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/glimpse_nn.dir/nn/losses.cpp.o"
+  "CMakeFiles/glimpse_nn.dir/nn/losses.cpp.o.d"
+  "CMakeFiles/glimpse_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/glimpse_nn.dir/nn/mlp.cpp.o.d"
+  "libglimpse_nn.a"
+  "libglimpse_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

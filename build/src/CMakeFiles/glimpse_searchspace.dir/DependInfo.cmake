@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/searchspace/config_space.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/config_space.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/config_space.cpp.o.d"
+  "/root/repo/src/searchspace/features.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/features.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/features.cpp.o.d"
+  "/root/repo/src/searchspace/knob.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/knob.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/knob.cpp.o.d"
+  "/root/repo/src/searchspace/models.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/models.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/models.cpp.o.d"
+  "/root/repo/src/searchspace/task.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/task.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/task.cpp.o.d"
+  "/root/repo/src/searchspace/templates.cpp" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/templates.cpp.o" "gcc" "src/CMakeFiles/glimpse_searchspace.dir/searchspace/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_hwspec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

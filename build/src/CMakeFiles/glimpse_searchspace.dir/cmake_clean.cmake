@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/config_space.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/config_space.cpp.o.d"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/features.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/features.cpp.o.d"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/knob.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/knob.cpp.o.d"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/models.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/models.cpp.o.d"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/task.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/task.cpp.o.d"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/templates.cpp.o"
+  "CMakeFiles/glimpse_searchspace.dir/searchspace/templates.cpp.o.d"
+  "libglimpse_searchspace.a"
+  "libglimpse_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

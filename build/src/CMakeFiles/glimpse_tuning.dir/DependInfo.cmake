@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/dataset.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/dataset.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/dataset.cpp.o.d"
+  "/root/repo/src/tuning/measure.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/measure.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/measure.cpp.o.d"
+  "/root/repo/src/tuning/metrics.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/metrics.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/metrics.cpp.o.d"
+  "/root/repo/src/tuning/records.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/records.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/records.cpp.o.d"
+  "/root/repo/src/tuning/sa.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/sa.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/sa.cpp.o.d"
+  "/root/repo/src/tuning/session.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/session.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/session.cpp.o.d"
+  "/root/repo/src/tuning/tuner.cpp" "src/CMakeFiles/glimpse_tuning.dir/tuning/tuner.cpp.o" "gcc" "src/CMakeFiles/glimpse_tuning.dir/tuning/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_hwspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

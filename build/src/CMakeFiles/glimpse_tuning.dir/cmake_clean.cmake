@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glimpse_tuning.dir/tuning/dataset.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/dataset.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/measure.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/measure.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/metrics.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/metrics.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/records.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/records.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/sa.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/sa.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/session.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/session.cpp.o.d"
+  "CMakeFiles/glimpse_tuning.dir/tuning/tuner.cpp.o"
+  "CMakeFiles/glimpse_tuning.dir/tuning/tuner.cpp.o.d"
+  "libglimpse_tuning.a"
+  "libglimpse_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glimpse_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/blueprint_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/blueprint_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/blueprint_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/glimpse_tuner_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/glimpse_tuner_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/glimpse_tuner_test.cpp.o.d"
+  "/root/repo/tests/gp_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/gp_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/gp_test.cpp.o.d"
+  "/root/repo/tests/gpusim_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/gpusim_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/gpusim_test.cpp.o.d"
+  "/root/repo/tests/hwspec_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/hwspec_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/hwspec_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linalg_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/linalg_test.cpp.o.d"
+  "/root/repo/tests/meta_optimizer_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/meta_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/meta_optimizer_test.cpp.o.d"
+  "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/ml_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/prior_generator_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/prior_generator_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/prior_generator_test.cpp.o.d"
+  "/root/repo/tests/searchspace_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/searchspace_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/searchspace_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/glimpse_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/tuning_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/tuning_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/tuning_test.cpp.o.d"
+  "/root/repo/tests/validity_ensemble_test.cpp" "tests/CMakeFiles/glimpse_tests.dir/validity_ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/glimpse_tests.dir/validity_ensemble_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/glimpse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_hwspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/glimpse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
