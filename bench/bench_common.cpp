@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "common/strutil.hpp"
 
 namespace glimpse::bench {
@@ -172,6 +173,18 @@ tuning::Trace run_one(const Method& method, const searchspace::Task& task,
   tuning::Trace trace = tuning::run_session(*tuner, task, hw, measurer, options);
   if (gpu_seconds) *gpu_seconds = measurer.elapsed_seconds();
   return trace;
+}
+
+std::vector<tuning::Trace> run_cells(const std::vector<Cell>& cells,
+                                     const tuning::SessionOptions& options,
+                                     std::vector<double>* gpu_seconds) {
+  std::vector<double> seconds(cells.size(), 0.0);
+  std::vector<tuning::Trace> traces = parallel_map(cells.size(), 1, [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    return run_one(*cell.method, *cell.task, *cell.gpu, options, &seconds[i]);
+  });
+  if (gpu_seconds) *gpu_seconds = std::move(seconds);
+  return traces;
 }
 
 tuning::SessionOptions e2e_session_options() {

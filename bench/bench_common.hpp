@@ -72,6 +72,22 @@ tuning::Trace run_one(const Method& method, const searchspace::Task& task,
                       const hwspec::GpuSpec& hw, const tuning::SessionOptions& options,
                       double* gpu_seconds = nullptr);
 
+/// One (method, task, gpu) cell of a figure's sweep grid.
+struct Cell {
+  const Method* method;
+  const searchspace::Task* task;
+  const hwspec::GpuSpec* gpu;
+};
+
+/// Run every cell fanned across the thread pool, returning traces in cell
+/// order. Each cell is an independent, deterministically seeded session
+/// (see run_one), so the grid's results do not depend on the thread count.
+/// When `gpu_seconds` is non-null it is filled with per-cell simulated GPU
+/// time, aligned with the traces.
+std::vector<tuning::Trace> run_cells(const std::vector<Cell>& cells,
+                                     const tuning::SessionOptions& options,
+                                     std::vector<double>* gpu_seconds = nullptr);
+
 /// Session options used by the end-to-end experiments (plateau stopping).
 tuning::SessionOptions e2e_session_options();
 

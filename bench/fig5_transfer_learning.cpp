@@ -30,16 +30,28 @@ int main() {
                    "Glimpse (ours)"});
   std::vector<double> tl_ratios, glimpse_ratios;
 
+  // Fan the whole sweep grid across the thread pool (cell order mirrors the
+  // aggregation loops below).
+  std::vector<bench::Cell> cells;
+  for (const auto* gpu : setup.eval_gpus)
+    for (const auto& model : setup.models)
+      for (const auto& m : methods)
+        for (const auto* task : setup.representative_tasks(model))
+          cells.push_back({&m, task, gpu});
+  std::vector<tuning::Trace> traces = bench::run_cells(cells, opts);
+
+  std::size_t cell = 0;
   for (const auto* gpu : setup.eval_gpus) {
     for (const auto& model : setup.models) {
       // Per-method geomean of best GFLOPS over the model's representative
       // tasks within the budget.
       std::vector<double> per_method;
       for (const auto& m : methods) {
+        (void)m;
         std::vector<double> gf;
         for (const auto* task : setup.representative_tasks(model)) {
-          auto trace = bench::run_one(m, *task, *gpu, opts);
-          gf.push_back(std::max(1e-3, trace.best_gflops()));
+          (void)task;
+          gf.push_back(std::max(1e-3, traces[cell++].best_gflops()));
         }
         per_method.push_back(geomean(gf));
       }

@@ -32,13 +32,26 @@ int main() {
                    "quality (C/G vs A)"});
   std::vector<double> cham_fracs, glimpse_fracs;
 
+  // Fan the whole (GPU, model, task, method) grid across the thread pool;
+  // traces come back in cell order, so the aggregation below just replays
+  // the same nested loops.
+  std::vector<bench::Cell> cells;
+  for (const auto* gpu : setup.eval_gpus)
+    for (const auto& model : setup.models)
+      for (const auto* task : setup.representative_tasks(model))
+        for (std::size_t mi = 0; mi < methods.size(); ++mi)
+          cells.push_back({&methods[mi], task, gpu});
+  std::vector<tuning::Trace> traces = bench::run_cells(cells, opts);
+
+  std::size_t cell = 0;
   for (const auto* gpu : setup.eval_gpus) {
     for (const auto& model : setup.models) {
       std::vector<double> steps(methods.size(), 0.0);
       std::vector<double> quality(methods.size(), 0.0);
       for (const auto* task : setup.representative_tasks(model)) {
+        (void)task;
         for (std::size_t mi = 0; mi < methods.size(); ++mi) {
-          auto trace = bench::run_one(methods[mi], *task, *gpu, opts);
+          const auto& trace = traces[cell++];
           double best = trace.best_gflops();
           auto s = tuning::steps_to_reach(trace, best * 0.99);
           steps[mi] += static_cast<double>(s.value_or(trace.trials.size()));

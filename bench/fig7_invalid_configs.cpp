@@ -29,6 +29,17 @@ int main() {
                    "Glimpse redu."});
   std::vector<double> cham_redu, glimpse_redu, autotvm_invalid;
 
+  // Fan the whole sweep grid across the thread pool (cell order mirrors the
+  // aggregation loops below).
+  std::vector<bench::Cell> cells;
+  for (const auto* gpu : setup.eval_gpus)
+    for (const auto& model : setup.models)
+      for (std::size_t mi = 0; mi < methods.size(); ++mi)
+        for (const auto* task : setup.representative_tasks(model))
+          cells.push_back({&methods[mi], task, gpu});
+  std::vector<tuning::Trace> traces = bench::run_cells(cells, opts);
+
+  std::size_t cell = 0;
   for (const auto* gpu : setup.eval_gpus) {
     for (const auto& model : setup.models) {
       std::vector<double> invalid_frac(methods.size(), 0.0);
@@ -36,7 +47,8 @@ int main() {
       for (std::size_t mi = 0; mi < methods.size(); ++mi) {
         std::size_t inv = 0, tot = 0;
         for (const auto* task : setup.representative_tasks(model)) {
-          auto trace = bench::run_one(methods[mi], *task, *gpu, opts);
+          (void)task;
+          const auto& trace = traces[cell++];
           inv += trace.num_invalid();
           tot += trace.trials.size();
         }

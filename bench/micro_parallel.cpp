@@ -1,0 +1,268 @@
+// Serial-vs-parallel throughput for every path wired through the thread
+// pool (common/parallel.hpp): blocked linalg, GP kernel construction, the
+// surrogate ensemble, multi-chain annealing, and the figure-harness grid
+// fan-out (a scaled-down Fig. 6 sweep). Each path runs with the pool forced
+// to one thread and again at the configured width (GLIMPSE_NUM_THREADS or
+// hardware_concurrency); results go to stdout and BENCH_parallel.json.
+//
+// Determinism spot-checks ride along: paths with comparable outputs assert
+// that the 1-thread and N-thread runs agree before timing is reported.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "gp/gp_regression.hpp"
+#include "gp/kernel.hpp"
+#include "tuning/dataset.hpp"
+
+namespace {
+
+using namespace glimpse;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median-of-3 wall time of fn (one warmup run first).
+double time_ms(const std::function<void()>& fn) {
+  fn();
+  std::vector<double> runs;
+  for (int r = 0; r < 3; ++r) {
+    double t0 = now_ms();
+    fn();
+    runs.push_back(now_ms() - t0);
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
+struct PathResult {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+};
+
+// ---- fixtures (small offline pretrain, shared across paths) ----
+
+struct Fixture {
+  std::vector<searchspace::Task> tasks;
+  std::vector<const hwspec::GpuSpec*> train_gpus;
+  core::GlimpseArtifacts artifacts;
+
+  Fixture() {
+    searchspace::ConvShape conv;
+    conv.c = 256; conv.h = 14; conv.w = 14; conv.k = 256;
+    conv.kh = 3; conv.kw = 3; conv.stride = 1; conv.pad = 1;
+    tasks.emplace_back("micro.conv", searchspace::TemplateKind::kConv2d, conv);
+    searchspace::DenseShape dense;
+    dense.batch = 1; dense.in_dim = 4096; dense.out_dim = 1000;
+    tasks.emplace_back("micro.dense", dense);
+
+    train_gpus = hwspec::training_gpus({"RTX 2080 Ti"});
+    if (train_gpus.size() > 6) train_gpus.resize(6);
+
+    Rng rng(7);
+    std::vector<const searchspace::Task*> task_ptrs;
+    for (const auto& t : tasks) task_ptrs.push_back(&t);
+    auto dataset = tuning::OfflineDataset::generate(task_ptrs, train_gpus, 80, rng);
+    core::PriorTrainOptions po;
+    po.epochs = 6;
+    core::MetaTrainOptions mo;
+    mo.max_groups = 8;
+    mo.epochs = 6;
+    artifacts = core::pretrain_glimpse(dataset, train_gpus,
+                                       core::default_blueprint_dim(), rng, po, mo);
+  }
+};
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_parallel: serial vs parallel throughput ===\n\n");
+
+  set_num_threads(0);
+  const std::size_t n_par = num_threads();
+  std::printf("pool width: %zu thread(s) (GLIMPSE_NUM_THREADS to override)\n\n",
+              n_par);
+
+  Fixture fx;
+  std::vector<PathResult> results;
+  auto measure = [&](const std::string& name, const std::function<void()>& fn) {
+    PathResult r;
+    r.name = name;
+    set_num_threads(1);
+    r.serial_ms = time_ms(fn);
+    set_num_threads(n_par);
+    r.parallel_ms = time_ms(fn);
+    std::printf("%-24s serial %8.1f ms   parallel %8.1f ms   speedup %.2fx\n",
+                name.c_str(), r.serial_ms, r.parallel_ms,
+                r.serial_ms / std::max(1e-9, r.parallel_ms));
+    results.push_back(r);
+  };
+
+  // 1. Blocked + parallel matmul / matvec.
+  {
+    Rng rng(11);
+    linalg::Matrix a = random_matrix(224, 192, rng);
+    linalg::Matrix b = random_matrix(192, 208, rng);
+    measure("linalg_matmul", [&] {
+      for (int i = 0; i < 20; ++i) linalg::matmul(a, b);
+    });
+    linalg::Matrix m = random_matrix(768, 512, rng);
+    linalg::Vector x(512, 0.5);
+    measure("linalg_matvec", [&] {
+      for (int i = 0; i < 400; ++i) linalg::matvec(m, x);
+    });
+  }
+
+  // 2. GP kernel-matrix construction + solve.
+  {
+    Rng rng(13);
+    linalg::Matrix x = random_matrix(240, 16, rng);
+    linalg::Vector y(240);
+    for (auto& v : y) v = rng.normal();
+    measure("gp_fit", [&] {
+      gp::GpRegressor gpr(std::make_unique<gp::Matern52Kernel>(1.0, 1.0), 1e-4);
+      gpr.fit(x, y);
+    });
+  }
+
+  // 3. Surrogate ensemble fit and batch prediction.
+  {
+    Rng rng(17);
+    const auto& task = fx.tasks[0];
+    std::vector<linalg::Vector> rows;
+    linalg::Vector y;
+    for (int i = 0; i < 192; ++i) {
+      auto c = task.space().random_config(rng);
+      rows.push_back(searchspace::config_features(task, c));
+      y.push_back(rng.uniform());
+    }
+    linalg::Matrix x = linalg::Matrix::from_rows(rows);
+    core::SurrogateOptions so;
+    so.ensemble = 4;
+    measure("surrogate_fit", [&] {
+      Rng fit_rng(23);
+      core::NeuralSurrogate s(x.cols(), fit_rng, so);
+      s.fit(x, y, fit_rng);
+    });
+    Rng fit_rng(23);
+    core::NeuralSurrogate s(x.cols(), fit_rng, so);
+    s.fit(x, y, fit_rng);
+    std::vector<linalg::Vector> brows;
+    for (int i = 0; i < 2048; ++i)
+      brows.push_back(searchspace::config_features(
+          task, task.space().random_config(rng)));
+    linalg::Matrix bx = linalg::Matrix::from_rows(brows);
+    measure("surrogate_predict_batch", [&] { s.predict_batch(bx); });
+  }
+
+  // 4. Multi-chain simulated annealing (surrogate-priced energy), with a
+  //    determinism check: the 1-thread and N-thread walks must be identical.
+  {
+    Rng rng(29);
+    const auto& task = fx.tasks[0];
+    std::vector<linalg::Vector> rows;
+    linalg::Vector y;
+    for (int i = 0; i < 64; ++i) {
+      auto c = task.space().random_config(rng);
+      rows.push_back(searchspace::config_features(task, c));
+      y.push_back(rng.uniform());
+    }
+    Rng fit_rng(31);
+    core::NeuralSurrogate s(rows[0].size(), fit_rng);
+    s.fit(linalg::Matrix::from_rows(rows), y, fit_rng);
+    tuning::ScoreFn score = [&](const searchspace::Config& c) {
+      return s.predict(searchspace::config_features(task, c)).mean;
+    };
+    tuning::SaOptions opts;
+    opts.num_chains = 32;
+    opts.num_steps = 64;
+    auto run_sa = [&] {
+      Rng sa_rng(37);
+      return tuning::simulated_annealing(task.space(), score, 32, sa_rng, opts);
+    };
+    set_num_threads(1);
+    auto serial = run_sa();
+    set_num_threads(n_par);
+    auto parallel = run_sa();
+    if (serial.configs != parallel.configs || serial.scores != parallel.scores) {
+      std::fprintf(stderr, "FATAL: SA results differ between 1 and %zu threads\n",
+                   n_par);
+      return 1;
+    }
+    measure("sa_multi_chain", [&] { run_sa(); });
+  }
+
+  // 5. Figure-harness grid fan-out: a scaled-down Fig. 6 search-steps sweep
+  //    (3 methods x 2 tasks x 2 GPUs), with a cross-thread-count
+  //    determinism check on the traces.
+  {
+    std::vector<bench::Method> methods = {
+        {"AutoTVM", baselines::autotvm_factory()},
+        {"Chameleon", baselines::chameleon_factory()},
+        {"Glimpse", core::glimpse_factory(fx.artifacts)}};
+    std::vector<const hwspec::GpuSpec*> gpus = {hwspec::find_gpu("Titan Xp"),
+                                                hwspec::find_gpu("RTX 2080 Ti")};
+    tuning::SessionOptions opts;
+    opts.max_trials = 96;
+    opts.batch_size = 8;
+    std::vector<bench::Cell> cells;
+    for (const auto* gpu : gpus)
+      for (const auto& task : fx.tasks)
+        for (const auto& m : methods) cells.push_back({&m, &task, gpu});
+    auto best_vector = [&](const std::vector<tuning::Trace>& traces) {
+      std::vector<double> best;
+      for (const auto& t : traces) best.push_back(t.best_gflops());
+      return best;
+    };
+    set_num_threads(1);
+    auto serial_best = best_vector(bench::run_cells(cells, opts));
+    set_num_threads(n_par);
+    auto parallel_best = best_vector(bench::run_cells(cells, opts));
+    if (serial_best != parallel_best) {
+      std::fprintf(stderr,
+                   "FATAL: fig6-style sweep differs between 1 and %zu threads\n",
+                   n_par);
+      return 1;
+    }
+    measure("fig6_grid", [&] { bench::run_cells(cells, opts); });
+  }
+
+  set_num_threads(0);
+
+  // Emit machine-readable results.
+  const char* out_path = "BENCH_parallel.json";
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(f, "{\n  \"threads_serial\": 1,\n  \"threads_parallel\": %zu,\n",
+                 n_par);
+    std::fprintf(f, "  \"paths\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"serial_ms\": %.3f, "
+                   "\"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                   r.name.c_str(), r.serial_ms, r.parallel_ms,
+                   r.serial_ms / std::max(1e-9, r.parallel_ms),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  }
+  return 0;
+}

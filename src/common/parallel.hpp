@@ -1,0 +1,64 @@
+// Deterministic thread-pool parallelism for the library's hot loops.
+//
+// A single lazily-initialized global pool (size from GLIMPSE_NUM_THREADS,
+// default std::thread::hardware_concurrency) executes index ranges split
+// into fixed-size chunks. Determinism contract: the chunk structure depends
+// only on (begin, end, grain) — never on the thread count — and every chunk
+// writes only to its own output slots, so serial and parallel runs produce
+// bit-identical results. Loops that need randomness derive one independent
+// stream per chunk with Rng::fork(seed, chunk_id) instead of sharing a
+// sequential stream.
+//
+// Exception contract: if any chunk throws, the loop drains (no new chunks
+// start), and the exception of the lowest-indexed throwing chunk is
+// rethrown — the same exception a serial left-to-right run would surface.
+//
+// Nested parallel_for calls (from inside a worker) run serially on the
+// calling worker; they cannot deadlock the pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace glimpse {
+
+/// Width of the global pool (>= 1). First call initializes the pool from
+/// GLIMPSE_NUM_THREADS (default: hardware_concurrency).
+std::size_t num_threads();
+
+/// Resize the global pool (0 = re-read env / hardware default). Joins the
+/// old workers; must not race with in-flight parallel loops. Benches and
+/// tests use this to compare serial vs parallel runs in one process.
+void set_num_threads(std::size_t n);
+
+/// True while executing inside a pool worker (nested loops run serially).
+bool in_parallel_region();
+
+/// Execute `body(chunk_begin, chunk_end, chunk_id)` over [begin, end) split
+/// into contiguous chunks of at most `grain` indices. Chunks may run on any
+/// thread but the chunk structure is fixed, so deterministic bodies give
+/// deterministic results. Runs serially when the pool has one thread, the
+/// range fits in one chunk, or the call is nested.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Element-wise form: `fn(i)` for each i in [begin, end), chunked by `grain`.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Map i -> fn(i) into a vector, preserving index order. The result type
+/// must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, std::size_t grain, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(n);
+  parallel_for_chunks(0, n, grain,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
+                      });
+  return out;
+}
+
+}  // namespace glimpse

@@ -43,7 +43,18 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
 
   /// Derive an independent child stream; deterministic in (parent state, tag).
+  /// Advances the parent — fork order matters. For parallel loops use the
+  /// static overload below, which reads no shared state.
   Rng fork(std::uint64_t tag) { return Rng(hash_combine(engine_(), tag)); }
+
+  /// Derive an independent substream purely from (seed, stream_id) —
+  /// SplitMix64-style, no parent state read or advanced. Parallel loops
+  /// draw one base seed serially, then give chunk i the stream
+  /// Rng::fork(base, i); results are then independent of thread count and
+  /// chunk execution order.
+  static Rng fork(std::uint64_t seed, std::uint64_t stream_id) {
+    return Rng(hash_combine(hash_combine(seed, 0xda3e39cb94b95bdbULL), stream_id));
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {

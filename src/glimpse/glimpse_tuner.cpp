@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "searchspace/features.hpp"
 
@@ -86,10 +89,6 @@ GlimpseTuner::GlimpseTuner(const searchspace::Task& task, const hwspec::GpuSpec&
   prior_std_ = std::max(1e-9, stddev(scores));
 }
 
-double GlimpseTuner::prior_z(const Config& c) const {
-  return (prior_->config_score(c) - prior_mean_) / prior_std_;
-}
-
 bool GlimpseTuner::sampler_accepts(const Config& c) {
   if (!options_.use_validity) return true;
   if (artifacts_.validity->accept(task_, c, thresholds_)) return true;
@@ -163,6 +162,33 @@ void GlimpseTuner::maybe_refit_surrogate() {
 }
 
 std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
+  // Per-round memo: the annealing energy and the re-rank loop below both
+  // need a candidate's features, prior score and surrogate prediction, and
+  // chains revisit configs — featurize each distinct config once per round.
+  // Concurrent chains may duplicate a computation on a map miss (the values
+  // are deterministic; the first insert wins) but never hold the lock while
+  // computing.
+  struct Scored {
+    double prior_score = 0.0;
+    NeuralSurrogate::Prediction pred;
+    linalg::Vector derived;  ///< meta-optimizer kernel-feature block
+  };
+  std::unordered_map<Config, Scored, searchspace::ConfigHash> memo;
+  std::mutex memo_mu;
+  auto scored = [&](const Config& c) -> const Scored& {
+    {
+      std::lock_guard<std::mutex> lock(memo_mu);
+      auto it = memo.find(c);
+      if (it != memo.end()) return it->second;
+    }
+    Scored s;
+    s.prior_score = options_.use_prior ? prior_->config_score(c) : 0.0;
+    s.pred = surrogate_.predict(config_features(task_, c));
+    if (options_.use_meta) s.derived = MetaOptimizer::derived_block(task_, c);
+    std::lock_guard<std::mutex> lock(memo_mu);
+    return memo.try_emplace(c, std::move(s)).first->second;
+  };
+
   // 1. Simulated annealing with the surrogate as the energy function,
   //    blended with the (progress-decayed) Blueprint prior.
   std::vector<Config> init;
@@ -180,18 +206,19 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   double meta_w = options_.use_meta ? 0.6 * (1.0 - progress0) : 0.0;
   tuning::SaResult sa = tuning::simulated_annealing(
       task_.space(),
-      [this, prior_w, meta_w, progress0](const Config& c) {
-        auto pred = surrogate_.predict(config_features(task_, c));
-        double energy = pred.mean;
-        if (prior_w > 0.0) energy += prior_w * 0.1 * prior_z(c);
+      [this, prior_w, meta_w, progress0, &scored](const Config& c) {
+        const Scored& sc = scored(c);
+        double energy = sc.pred.mean;
+        if (prior_w > 0.0)
+          energy += prior_w * 0.1 * (sc.prior_score - prior_mean_) / prior_std_;
         if (meta_w > 0.0) {
           MetaFeatures f;
-          f.surrogate_mean = pred.mean;
-          f.surrogate_std = pred.std;
-          f.prior_z = options_.use_prior ? prior_z(c) : 0.0;
+          f.surrogate_mean = sc.pred.mean;
+          f.surrogate_std = sc.pred.std;
+          f.prior_z =
+              options_.use_prior ? (sc.prior_score - prior_mean_) / prior_std_ : 0.0;
           f.progress = progress0;
-          energy += meta_w * artifacts_.meta->score(
-                                 f, blueprint_, MetaOptimizer::derived_block(task_, c));
+          energy += meta_w * artifacts_.meta->score(f, blueprint_, sc.derived);
         }
         return energy;
       },
@@ -206,31 +233,33 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   }
 
   // 2. Hardware-Aware Exploration: the neural acquisition function re-ranks
-  //    the pool using the Blueprint and the optimization progress.
+  //    the pool using the Blueprint and the optimization progress. Every
+  //    pool config was scored during annealing, so these are memo hits;
+  //    the ranking itself fans across the pool.
   std::vector<double> rank_scores(pool.size());
   if (options_.use_meta && !pool.empty()) {
     std::vector<double> prior_scores(pool.size(), 0.0);
     if (options_.use_prior)
       for (std::size_t i = 0; i < pool.size(); ++i)
-        prior_scores[i] = prior_->config_score(pool[i]);
+        prior_scores[i] = scored(pool[i]).prior_score;
     double pm = mean(prior_scores);
     double ps = std::max(1e-9, stddev(prior_scores));
     double progress = std::min(
         1.0, static_cast<double>(measured_configs_.size()) /
                  static_cast<double>(std::max<std::size_t>(1, options_.expected_trials)));
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      auto pred = surrogate_.predict(config_features(task_, pool[i]));
+    parallel_for(0, pool.size(), 8, [&](std::size_t i) {
+      const Scored& sc = scored(pool[i]);
       MetaFeatures f;
-      f.surrogate_mean = pred.mean;
-      f.surrogate_std = pred.std;
+      f.surrogate_mean = sc.pred.mean;
+      f.surrogate_std = sc.pred.std;
       f.prior_z = (prior_scores[i] - pm) / ps;
       f.progress = progress;
-      rank_scores[i] = artifacts_.meta->score(
-          f, blueprint_, MetaOptimizer::derived_block(task_, pool[i]));
-    }
+      rank_scores[i] = artifacts_.meta->score(f, blueprint_, sc.derived);
+    });
   } else {
-    for (std::size_t i = 0; i < pool.size(); ++i)
-      rank_scores[i] = surrogate_.predict(config_features(task_, pool[i])).mean;
+    parallel_for(0, pool.size(), 8, [&](std::size_t i) {
+      rank_scores[i] = scored(pool[i]).pred.mean;
+    });
   }
 
   std::vector<std::size_t> order(pool.size());

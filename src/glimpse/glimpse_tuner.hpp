@@ -93,10 +93,6 @@ class GlimpseTuner final : public tuning::TunerBase {
   GlimpseArtifacts artifacts_;
   GlimpseOptions options_;
 
-  /// Prior score z-normalized against a random-config sample (so the prior
-  /// term is commensurate with the surrogate's normalized outputs).
-  double prior_z(const tuning::Config& c) const;
-
   linalg::Vector blueprint_;
   std::optional<Prior> prior_;
   double prior_mean_ = 0.0, prior_std_ = 1.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/losses.hpp"
 
 namespace glimpse::core {
@@ -23,9 +24,13 @@ void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng&
 
   std::size_t n = x.rows();
   std::size_t batch = std::min<std::size_t>(16, n);
-  for (std::size_t e = 0; e < nets_.size(); ++e) {
+  // Ensemble members train independently, one per pool slot, each on its
+  // own forked shuffle stream so the result does not depend on thread count.
+  const std::uint64_t base_seed = rng.engine()();
+  parallel_for(0, nets_.size(), 1, [&](std::size_t e) {
+    Rng net_rng = Rng::fork(base_seed, e);
     for (int epoch = 0; epoch < options_.epochs_per_fit; ++epoch) {
-      auto order = rng.sample_without_replacement(n, n);
+      auto order = net_rng.sample_without_replacement(n, n);
       for (std::size_t start = 0; start + batch <= n; start += batch) {
         nn::MlpParams grad = nets_[e].zero_like();
         for (std::size_t i = start; i < start + batch; ++i) {
@@ -42,7 +47,7 @@ void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng&
         opts_[e].step(nets_[e], grad);
       }
     }
-  }
+  });
   fitted_ = true;
 }
 
@@ -60,6 +65,12 @@ NeuralSurrogate::Prediction NeuralSurrogate::predict(std::span<const double> x) 
   p.mean = sum / n;
   p.std = std::sqrt(std::max(0.0, sumsq / n - p.mean * p.mean));
   return p;
+}
+
+std::vector<NeuralSurrogate::Prediction> NeuralSurrogate::predict_batch(
+    const linalg::Matrix& x) const {
+  GLIMPSE_CHECK(fitted_) << "NeuralSurrogate::predict_batch before fit";
+  return parallel_map(x.rows(), 8, [&](std::size_t i) { return predict(x.row(i)); });
 }
 
 }  // namespace glimpse::core

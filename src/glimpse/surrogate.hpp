@@ -38,6 +38,9 @@ class NeuralSurrogate {
   };
   Prediction predict(std::span<const double> x) const;
 
+  /// Score a batch of inputs (rows of x), fanned across the thread pool.
+  std::vector<Prediction> predict_batch(const linalg::Matrix& x) const;
+
   bool fitted() const { return fitted_; }
 
  private:

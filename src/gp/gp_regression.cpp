@@ -1,8 +1,10 @@
 #include "gp/gp_regression.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace glimpse::gp {
@@ -21,14 +23,18 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
 
   std::size_t n = x.rows();
   linalg::Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      double v = (*kernel_)(x.row(i), x.row(j));
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-    k(i, i) += noise_;
-  }
+  // Kernel-matrix rows are independent; each row i fills its upper-triangle
+  // tail and mirrors it (distinct elements, no write overlap). Dynamic chunk
+  // claiming balances the shrinking row tails across the pool.
+  parallel_for(0, n, std::max<std::size_t>(1, 2048 / std::max<std::size_t>(1, n)),
+               [&](std::size_t i) {
+                 for (std::size_t j = i; j < n; ++j) {
+                   double v = (*kernel_)(x.row(i), x.row(j));
+                   k(i, j) = v;
+                   k(j, i) = v;
+                 }
+                 k(i, i) += noise_;
+               });
   chol_ = linalg::cholesky(k);
 
   linalg::Vector ys(n);
@@ -41,7 +47,7 @@ GpPrediction GpRegressor::predict(std::span<const double> x) const {
   GLIMPSE_CHECK(fitted_) << "GpRegressor::predict before fit";
   std::size_t n = x_.rows();
   linalg::Vector kstar(n);
-  for (std::size_t i = 0; i < n; ++i) kstar[i] = (*kernel_)(x_.row(i), x);
+  parallel_for(0, n, 256, [&](std::size_t i) { kstar[i] = (*kernel_)(x_.row(i), x); });
 
   GpPrediction p;
   p.mean = linalg::dot(kstar, alpha_) * y_std_ + y_mean_;

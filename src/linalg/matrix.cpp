@@ -1,11 +1,26 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace glimpse::linalg {
+
+namespace {
+/// Minimum flops a chunk should own before fanning out to the pool; below
+/// this, scheduling overhead beats the parallel win.
+constexpr std::size_t kGrainFlops = 1 << 15;
+/// k-panel height for the blocked matmul (fits comfortably in L1 alongside
+/// the output row).
+constexpr std::size_t kBlockK = 64;
+
+std::size_t row_grain(std::size_t flops_per_row) {
+  return std::max<std::size_t>(1, kGrainFlops / std::max<std::size_t>(1, flops_per_row));
+}
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
   rows_ = init.size();
@@ -82,31 +97,59 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   GLIMPSE_CHECK(a.cols() == b.rows()) << "matmul shape mismatch: " << a.rows() << "x"
                                       << a.cols() << " * " << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
-  // ikj loop order keeps the inner loop contiguous over b and c.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+  const std::size_t m = a.rows(), kk = a.cols(), nn = b.cols();
+  if (m == 0 || kk == 0 || nn == 0) return c;
+  // Row-parallel blocked ikj: each output row is owned by exactly one chunk
+  // and accumulates over k in ascending order, so the result is bit-identical
+  // to the serial product at any thread count. The k-panel keeps a hot set of
+  // b rows resident while the inner loop streams contiguously over b and c.
+  parallel_for_chunks(0, m, row_grain(kk * nn), [&](std::size_t ib, std::size_t ie,
+                                                    std::size_t) {
+    for (std::size_t k0 = 0; k0 < kk; k0 += kBlockK) {
+      const std::size_t k1 = std::min(kk, k0 + kBlockK);
+      for (std::size_t i = ib; i < ie; ++i) {
+        double* crow = c.row(i).data();
+        for (std::size_t k = k0; k < k1; ++k) {
+          double aik = a(i, k);
+          if (aik == 0.0) continue;
+          const double* brow = b.row(k).data();
+          for (std::size_t j = 0; j < nn; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {
   GLIMPSE_CHECK(a.cols() == x.size());
   Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  parallel_for(0, a.rows(), row_grain(a.cols()),
+               [&](std::size_t i) { y[i] = dot(a.row(i), x); });
   return y;
 }
 
 Vector matvec_t(const Matrix& a, std::span<const double> x) {
   GLIMPSE_CHECK(a.rows() == x.size());
   Vector y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto r = a.row(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += r[j] * x[i];
-  }
+  // Rows accumulate into shared output slots, so each chunk reduces into a
+  // private partial; partials are summed in chunk order afterwards. The
+  // chunk structure (and thus the summation order) is fixed by the shapes
+  // alone, keeping results thread-count independent.
+  const std::size_t grain = row_grain(a.cols());
+  const std::size_t num_chunks = a.rows() ? (a.rows() + grain - 1) / grain : 0;
+  std::vector<Vector> partials(num_chunks);
+  parallel_for_chunks(0, a.rows(), grain,
+                      [&](std::size_t ib, std::size_t ie, std::size_t chunk) {
+                        Vector p(a.cols(), 0.0);
+                        for (std::size_t i = ib; i < ie; ++i) {
+                          auto r = a.row(i);
+                          for (std::size_t j = 0; j < a.cols(); ++j) p[j] += r[j] * x[i];
+                        }
+                        partials[chunk] = std::move(p);
+                      });
+  for (const auto& p : partials)
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] += p[j];
   return y;
 }
 

@@ -6,35 +6,20 @@
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace glimpse::tuning {
 
-SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
-                             std::size_t top_k, Rng& rng, SaOptions options,
-                             std::vector<searchspace::Config> init) {
-  GLIMPSE_CHECK(options.num_chains >= 1 && options.num_steps >= 1);
-  SaResult result;
+namespace {
 
-  // Chain states.
-  std::vector<searchspace::Config> points;
-  points.reserve(options.num_chains);
-  for (auto& c : init) {
-    if (points.size() < static_cast<std::size_t>(options.num_chains))
-      points.push_back(std::move(c));
-  }
-  while (points.size() < static_cast<std::size_t>(options.num_chains))
-    points.push_back(space.random_config(rng));
-
-  std::vector<double> point_scores(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    point_scores[i] = score(points[i]);
-    ++result.evaluations;
-  }
-
-  // Track best distinct configs seen anywhere (small ordered pool).
+/// Bounded pool of the best distinct configs seen by one chain (or by the
+/// final merge): ascending multimap capped at `top_k`.
+struct BestPool {
+  std::size_t top_k;
   std::unordered_set<searchspace::Config, searchspace::ConfigHash> seen;
   std::multimap<double, searchspace::Config> best;  // ascending by score
-  auto offer = [&](double s, const searchspace::Config& c) {
+
+  void offer(double s, const searchspace::Config& c) {
     if (!seen.insert(c).second) return;
     if (best.size() < top_k) {
       best.emplace(s, c);
@@ -42,29 +27,76 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
       best.erase(best.begin());
       best.emplace(s, c);
     }
+  }
+};
+
+}  // namespace
+
+SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
+                             std::size_t top_k, Rng& rng, SaOptions options,
+                             std::vector<searchspace::Config> init) {
+  GLIMPSE_CHECK(options.num_chains >= 1 && options.num_steps >= 1);
+  const std::size_t num_chains = static_cast<std::size_t>(options.num_chains);
+
+  // Chain starting points come from the caller's stream (serially, so the
+  // trajectory depends only on the seed); each chain then walks its own
+  // forked substream, making the run independent of how chains are scheduled
+  // across threads.
+  std::vector<searchspace::Config> points;
+  points.reserve(num_chains);
+  for (auto& c : init) {
+    if (points.size() < num_chains) points.push_back(std::move(c));
+  }
+  while (points.size() < num_chains) points.push_back(space.random_config(rng));
+  const std::uint64_t base_seed = rng.engine()();
+
+  struct ChainOut {
+    BestPool pool;
+    long long evaluations = 0;
   };
-  for (std::size_t i = 0; i < points.size(); ++i) offer(point_scores[i], points[i]);
 
   // Scores from a learned model are roughly z-scored; a unit temperature
   // scale works across models.
-  for (int step = 0; step < options.num_steps; ++step) {
-    double frac = static_cast<double>(step) / std::max(1, options.num_steps - 1);
-    double temp = options.temp_start + (options.temp_end - options.temp_start) * frac;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      searchspace::Config cand = space.neighbor(points[i], rng);
+  auto run_chain = [&](std::size_t chain) {
+    Rng chain_rng = Rng::fork(base_seed, chain);
+    ChainOut out;
+    out.pool.top_k = top_k;
+    searchspace::Config point = points[chain];
+    double point_score = score(point);
+    ++out.evaluations;
+    out.pool.offer(point_score, point);
+    for (int step = 0; step < options.num_steps; ++step) {
+      double frac = static_cast<double>(step) / std::max(1, options.num_steps - 1);
+      double temp = options.temp_start + (options.temp_end - options.temp_start) * frac;
+      searchspace::Config cand = space.neighbor(point, chain_rng);
       double s = score(cand);
-      ++result.evaluations;
-      offer(s, cand);
-      double delta = s - point_scores[i];
-      if (delta >= 0.0 || rng.chance(std::exp(delta / std::max(1e-9, temp)))) {
-        points[i] = std::move(cand);
-        point_scores[i] = s;
+      ++out.evaluations;
+      out.pool.offer(s, cand);
+      double delta = s - point_score;
+      if (delta >= 0.0 || chain_rng.chance(std::exp(delta / std::max(1e-9, temp)))) {
+        point = std::move(cand);
+        point_score = s;
       }
     }
+    return out;
+  };
+
+  std::vector<ChainOut> chains = parallel_map(num_chains, 1, run_chain);
+
+  // Deterministic merge in chain order. The global top_k of all evaluations
+  // equals the top_k of the union of per-chain top_k pools, since any
+  // globally retained config is also retained by the chain that saw it.
+  SaResult result;
+  BestPool merged;
+  merged.top_k = top_k;
+  for (const auto& chain : chains) {
+    result.evaluations += chain.evaluations;
+    for (auto it = chain.pool.best.rbegin(); it != chain.pool.best.rend(); ++it)
+      merged.offer(it->first, it->second);
   }
 
   // Emit descending.
-  for (auto it = best.rbegin(); it != best.rend(); ++it) {
+  for (auto it = merged.best.rbegin(); it != merged.best.rend(); ++it) {
     result.configs.push_back(it->second);
     result.scores.push_back(it->first);
   }

@@ -4,6 +4,10 @@
 // This mirrors AutoTVM's model-guided proposal step: a batch of Markov
 // chains walks the knob space by single-knob mutations; the best-scoring
 // distinct points seen anywhere become measurement candidates.
+//
+// Chains are independent and run on the shared thread pool (one forked RNG
+// substream per chain), so results are identical at any thread count; the
+// score function must be safe to call concurrently.
 #pragma once
 
 #include <functional>

@@ -60,6 +60,63 @@ TEST(MatrixTest, MatmulAgainstHandComputed) {
   EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
 }
 
+TEST(MatrixTest, MatmulNonSquareShapes) {
+  // 2x3 · 3x4 — exercises m != k != n in the blocked kernel.
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix b{{1.0, 0.0, 2.0, -1.0},
+           {0.0, 1.0, 1.0, 0.5},
+           {2.0, -1.0, 0.0, 3.0}};
+  Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(c(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c(0, 3), 9.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 16.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(c(1, 2), 13.0);
+  EXPECT_DOUBLE_EQ(c(1, 3), 16.5);
+}
+
+TEST(MatrixTest, MatmulDegenerateShapes) {
+  // Zero rows: 0x3 · 3x2 -> 0x2.
+  Matrix c0 = matmul(Matrix(0, 3), Matrix(3, 2));
+  EXPECT_EQ(c0.rows(), 0u);
+  EXPECT_EQ(c0.cols(), 2u);
+  // Zero inner dimension: 2x0 · 0x3 -> 2x3 of zeros.
+  Matrix c1 = matmul(Matrix(2, 0), Matrix(0, 3));
+  ASSERT_EQ(c1.rows(), 2u);
+  ASSERT_EQ(c1.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(c1(i, j), 0.0);
+  // Zero cols: 2x3 · 3x0 -> 2x0.
+  Matrix c2 = matmul(Matrix(2, 3), Matrix(3, 0));
+  EXPECT_EQ(c2.rows(), 2u);
+  EXPECT_EQ(c2.cols(), 0u);
+}
+
+TEST(MatrixTest, MatmulLargeMatchesNaiveReference) {
+  // Regression guard for the blocked/parallel kernel: sizes straddle the
+  // k-panel width and row-grain so several chunks and panels are exercised.
+  Rng rng(7);
+  const std::size_t m = 37, k = 130, n = 41;
+  Matrix a(m, k), b(k, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  Matrix c = matmul(a, b);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t p = 0; p < k; ++p) ref += a(i, p) * b(p, j);
+      // The blocked kernel accumulates in the same ascending-k order as this
+      // reference loop, so equality is exact, not approximate.
+      EXPECT_DOUBLE_EQ(c(i, j), ref) << "at (" << i << "," << j << ")";
+    }
+}
+
 TEST(MatrixTest, MatmulShapeMismatchThrows) {
   Matrix a(2, 3), b(2, 3);
   EXPECT_THROW(matmul(a, b), CheckError);

@@ -1,0 +1,204 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "glimpse/glimpse_tuner.hpp"
+#include "gpusim/measurer.hpp"
+#include "test_util.hpp"
+#include "tuning/sa.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse {
+namespace {
+
+using glimpse::testing::small_conv_task;
+using glimpse::testing::tiny_artifacts;
+using glimpse::testing::titan_xp;
+
+/// Restore the default pool width when a test returns.
+struct PoolGuard {
+  ~PoolGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelTest, NumThreadsIsAtLeastOne) {
+  PoolGuard guard;
+  EXPECT_GE(num_threads(), 1u);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+}
+
+TEST(ParallelTest, ForCoversEveryIndexExactlyOnce) {
+  PoolGuard guard;
+  set_num_threads(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(0, hits.size(), 16,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyRangeRunsNothing) {
+  PoolGuard guard;
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::size_t) { ++calls; });  // inverted == empty
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelTest, GrainLargerThanRangeRunsSerially) {
+  PoolGuard guard;
+  set_num_threads(8);
+  std::vector<std::size_t> chunk_ids;
+  parallel_for_chunks(0, 10, 1000,
+                      [&](std::size_t b, std::size_t e, std::size_t c) {
+                        EXPECT_EQ(b, 0u);
+                        EXPECT_EQ(e, 10u);
+                        chunk_ids.push_back(c);  // single chunk: no race
+                      });
+  ASSERT_EQ(chunk_ids.size(), 1u);
+  EXPECT_EQ(chunk_ids[0], 0u);
+}
+
+TEST(ParallelTest, ZeroGrainTreatedAsOne) {
+  PoolGuard guard;
+  set_num_threads(2);
+  std::vector<std::atomic<int>> hits(10);
+  parallel_for(0, hits.size(), 0, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, ChunkStructureIndependentOfThreadCount) {
+  PoolGuard guard;
+  auto chunks_at = [&](std::size_t n_threads) {
+    set_num_threads(n_threads);
+    std::mutex mu;
+    std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> chunks;
+    parallel_for_chunks(3, 103, 7,
+                        [&](std::size_t b, std::size_t e, std::size_t c) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          chunks.emplace_back(b, e, c);
+                        });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(8));
+}
+
+TEST(ParallelTest, ExceptionPropagatesLowestChunk) {
+  PoolGuard guard;
+  set_num_threads(8);
+  try {
+    parallel_for(0, 1000, 1, [&](std::size_t i) {
+      if (i >= 100) throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    // The lowest-index thrower must win, as in a serial left-to-right run.
+    EXPECT_STREQ(e.what(), "chunk 100");
+  }
+}
+
+TEST(ParallelTest, ExceptionInSerialFallbackPropagates) {
+  PoolGuard guard;
+  set_num_threads(1);
+  EXPECT_THROW(
+      parallel_for(0, 10, 1, [&](std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+}
+
+TEST(ParallelTest, NestedCallsRunSeriallyWithoutDeadlock) {
+  PoolGuard guard;
+  set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 8, 1, [&](std::size_t outer) {
+    // A nested loop from a pool thread must complete serially in-place.
+    EXPECT_TRUE(in_parallel_region());
+    parallel_for(0, 8, 1,
+                 [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, MapPreservesOrder) {
+  PoolGuard guard;
+  set_num_threads(4);
+  auto out = parallel_map(100, 3, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+// ---------- Rng substreams ----------
+
+TEST(RngForkStreamTest, ReproducibleAcrossCalls) {
+  Rng a = Rng::fork(123, 5);
+  Rng b = Rng::fork(123, 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.engine()(), b.engine()());
+}
+
+TEST(RngForkStreamTest, StreamsAreIndependent) {
+  Rng a = Rng::fork(123, 0);
+  Rng b = Rng::fork(123, 1);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i)
+    if (a.engine()() != b.engine()()) ++diff;
+  EXPECT_EQ(diff, 16);
+}
+
+TEST(RngForkStreamTest, DoesNotTouchParentState) {
+  Rng parent(99);
+  Rng reference(99);
+  (void)Rng::fork(42, 7);  // static: cannot consume any parent state
+  EXPECT_EQ(parent.engine()(), reference.engine()());
+}
+
+// ---------- end-to-end determinism ----------
+
+TEST(ParallelDeterminismTest, SaIdenticalAtOneAndEightThreads) {
+  PoolGuard guard;
+  const auto& task = small_conv_task();
+  tuning::ScoreFn score = [](const searchspace::Config& c) {
+    return static_cast<double>((c[0] * 31 + c[1] * 7) % 53);
+  };
+  auto run = [&] {
+    Rng rng(404);
+    return tuning::simulated_annealing(task.space(), score, 16, rng,
+                                       {.num_chains = 12, .num_steps = 40});
+  };
+  set_num_threads(1);
+  auto serial = run();
+  set_num_threads(8);
+  auto parallel = run();
+  EXPECT_EQ(serial.configs, parallel.configs);
+  EXPECT_EQ(serial.scores, parallel.scores);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+}
+
+TEST(ParallelDeterminismTest, TunerTrajectoryIdenticalAtOneAndEightThreads) {
+  PoolGuard guard;
+  auto run_trace = [&] {
+    core::GlimpseTuner tuner(small_conv_task(), titan_xp(), 1234, tiny_artifacts());
+    gpusim::SimMeasurer measurer;
+    return tuning::run_session(tuner, small_conv_task(), titan_xp(), measurer,
+                               {.max_trials = 64, .batch_size = 8});
+  };
+  set_num_threads(1);
+  auto serial = run_trace();
+  set_num_threads(8);
+  auto parallel = run_trace();
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].config, parallel.trials[i].config) << "trial " << i;
+    EXPECT_EQ(serial.trials[i].result.valid, parallel.trials[i].result.valid);
+    EXPECT_DOUBLE_EQ(serial.trials[i].result.gflops, parallel.trials[i].result.gflops);
+  }
+}
+
+}  // namespace
+}  // namespace glimpse
