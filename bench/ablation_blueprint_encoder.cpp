@@ -58,5 +58,5 @@ int main() {
       "loss) PCA matches or beats it at ~1000x less fitting compute, with a\n"
       "size knob that needs no retraining and no architecture search — the\n"
       "paper's stated reasons for choosing PCA for the Blueprint (3.1).\n");
-  return 0;
+  return bench::finish();
 }

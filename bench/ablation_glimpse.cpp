@@ -132,5 +132,5 @@ int main() {
       "tau sweep is flat here because the threshold predictors agree on\n"
       "nearly every configuration; tau guards against predictor outliers on\n"
       "less-typical hardware.\n");
-  return 0;
+  return bench::finish();
 }

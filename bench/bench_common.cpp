@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "common/strutil.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace glimpse::bench {
 
@@ -193,6 +194,21 @@ tuning::SessionOptions e2e_session_options() {
   o.batch_size = 8;
   o.plateau_trials = 44;
   return o;
+}
+
+int finish() {
+  if (telemetry::metrics_enabled()) {
+    std::string summary = telemetry::metrics_summary();
+    if (!summary.empty())
+      std::printf("\n--- telemetry metrics (GLIMPSE_METRICS) ---\n%s",
+                  summary.c_str());
+  }
+  for (const std::string& path : telemetry::export_to_env_paths())
+    std::printf("telemetry: wrote %s\n", path.c_str());
+  if (telemetry::num_dropped_events() > 0)
+    std::fprintf(stderr, "telemetry: trace truncated, %llu event(s) dropped\n",
+                 static_cast<unsigned long long>(telemetry::num_dropped_events()));
+  return 0;
 }
 
 std::string fmt(double v, int digits) { return strformat("%.*f", digits, v); }

@@ -91,6 +91,12 @@ std::vector<tuning::Trace> run_cells(const std::vector<Cell>& cells,
 /// Session options used by the end-to-end experiments (plateau stopping).
 tuning::SessionOptions e2e_session_options();
 
+/// Standard bench epilogue: prints the telemetry metrics summary block
+/// (when GLIMPSE_METRICS enabled collection) and writes the Chrome trace /
+/// JSONL metrics files to the GLIMPSE_TRACE / GLIMPSE_METRICS paths.
+/// Returns 0 so harness mains can end with `return bench::finish();`.
+int finish();
+
 /// Format helpers.
 std::string fmt(double v, int digits = 2);
 std::string fmt_pct(double fraction, int digits = 1);

@@ -70,5 +70,5 @@ int main() {
   report("RTX 2080 Ti", "Titan Xp", on_ti, on_xp, *xp);
   std::printf("\nPaper reports 27.79%% / 31.33%% slowdowns for the same transplant;\n"
               "the takeaway (optimal binaries are hardware-specific) holds.\n");
-  return 0;
+  return bench::finish();
 }

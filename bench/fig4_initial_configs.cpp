@@ -74,5 +74,5 @@ int main() {
   }
   std::printf("Expected shape (paper): Glimpse's curve dominates — its prior-driven\n"
               "initial samples start near-optimal while the blind methods ramp up.\n");
-  return 0;
+  return bench::finish();
 }

@@ -68,5 +68,5 @@ int main() {
 
   std::printf("\nPaper: Glimpse geomean 1.40x (up to 2.18x); transfer learning\n"
               "geomean ~1.00x and occasionally below the no-TL baseline.\n");
-  return 0;
+  return bench::finish();
 }

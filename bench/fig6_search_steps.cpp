@@ -77,5 +77,5 @@ int main() {
   std::printf("\nReductions: Glimpse %.2fx vs AutoTVM, %.2fx vs Chameleon\n",
               1.0 / glimpse_gm, cham_gm / glimpse_gm);
   std::printf("Paper: 19.7%% / 50.3%% geomeans -> 5.07x and 2.55x reductions.\n");
-  return 0;
+  return bench::finish();
 }

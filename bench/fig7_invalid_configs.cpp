@@ -80,5 +80,5 @@ int main() {
               "5.56x (Glimpse); Glimpse also 4.53x over Chameleon.\n");
   std::printf("Measured Glimpse-over-Chameleon: %.2fx\n",
               geomean(glimpse_redu) / geomean(cham_redu));
-  return 0;
+  return bench::finish();
 }

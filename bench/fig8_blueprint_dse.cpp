@@ -35,5 +35,5 @@ int main() {
       chosen, bench::fmt_pct(static_cast<double>(chosen) / dse.size()).c_str(),
       enc.information_loss(),
       enc.information_loss() * enc.information_loss() * 100.0);
-  return 0;
+  return bench::finish();
 }

@@ -116,5 +116,5 @@ int main() {
               bench::fmt(results[mi][me].search_s, 0),
               bench::fmt(results[mi][me].latency_s * 1e3, 3));
   raw.print(std::cout);
-  return 0;
+  return bench::finish();
 }

@@ -10,11 +10,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/json_writer.hpp"
 #include "common/parallel.hpp"
 #include "gp/gp_regression.hpp"
 #include "gp/kernel.hpp"
@@ -247,22 +249,25 @@ int main() {
 
   // Emit machine-readable results.
   const char* out_path = "BENCH_parallel.json";
-  if (FILE* f = std::fopen(out_path, "w")) {
-    std::fprintf(f, "{\n  \"threads_serial\": 1,\n  \"threads_parallel\": %zu,\n",
-                 n_par);
-    std::fprintf(f, "  \"paths\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"serial_ms\": %.3f, "
-                   "\"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n",
-                   r.name.c_str(), r.serial_ms, r.parallel_ms,
-                   r.serial_ms / std::max(1e-9, r.parallel_ms),
-                   i + 1 < results.size() ? "," : "");
+  if (std::ofstream f{out_path}) {
+    JsonWriter w(f);
+    w.begin_object();
+    w.kv("threads_serial", std::uint64_t{1});
+    w.kv("threads_parallel", static_cast<std::uint64_t>(n_par));
+    w.key("paths");
+    w.begin_array();
+    for (const auto& r : results) {
+      w.begin_object();
+      w.kv("name", r.name);
+      w.kv_fixed("serial_ms", r.serial_ms, 3);
+      w.kv_fixed("parallel_ms", r.parallel_ms, 3);
+      w.kv_fixed("speedup", r.serial_ms / std::max(1e-9, r.parallel_ms), 3);
+      w.end_object();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.end_object();
+    w.done();
     std::printf("\nwrote %s\n", out_path);
   }
-  return 0;
+  return bench::finish();
 }

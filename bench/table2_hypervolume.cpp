@@ -79,5 +79,5 @@ int main() {
       "(e.g. ResNet-18: Chameleon 3.19, DGP 3.64, Glimpse 4.40), because it\n"
       "cuts search time the most while matching or beating the others'\n"
       "inference latency. The same ordering should appear above.\n");
-  return 0;
+  return bench::finish();
 }

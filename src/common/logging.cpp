@@ -1,11 +1,33 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/telemetry/span.hpp"  // thread_tag()
 
 namespace glimpse {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;  // quiet by default; benches raise it
+
+/// GLIMPSE_LOG_LEVEL=debug|info|warn|error|off (case-sensitive, as
+/// documented in README); unset or unrecognized -> the quiet default.
+LogLevel level_from_env() {
+  const char* env = std::getenv("GLIMPSE_LOG_LEVEL");
+  if (env) {
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;  // quiet by default; benches raise it
+}
+
+/// Read by pool threads while the main thread may call set_log_level.
+std::atomic<LogLevel> g_level{level_from_env()};
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -17,14 +39,25 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // One formatted buffer, one stdio call: concurrent pool threads emit
+  // whole lines, never interleaved fragments. The tNN tag says which.
+  std::string line = "[";
+  line += level_name(level);
+  char tid[16];
+  std::snprintf(tid, sizeof(tid), " t%02u] ", telemetry::thread_tag());
+  line += tid;
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 CheckFailure::CheckFailure(const char* expr, const char* file, int line) {

@@ -1,0 +1,156 @@
+#include "common/telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+#include "common/strutil.hpp"
+
+namespace glimpse::telemetry {
+
+namespace {
+
+std::string env_path(const char* var) {
+  const char* v = std::getenv(var);
+  return v ? std::string(v) : std::string();
+}
+
+}  // namespace
+
+const std::string& trace_path() {
+  static const std::string path = env_path("GLIMPSE_TRACE");
+  return path;
+}
+
+const std::string& metrics_path() {
+  static const std::string path = env_path("GLIMPSE_METRICS");
+  return path;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  // Stable presentation: sort by (tid, start, longer-first) so nested spans
+  // follow their parents regardless of per-thread completion order.
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const auto& e : events) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->tid != b->tid) return a->tid < b->tid;
+              if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+              return a->dur_ns > b->dur_ns;
+            });
+
+  JsonWriter w(os, /*indent=*/1);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent* e : sorted) {
+    w.begin_object();
+    w.kv("name", e->name);
+    w.kv("cat", "glimpse");
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(e->tid));
+    w.kv_fixed("ts", static_cast<double>(e->start_ns) / 1e3, 3);   // µs
+    w.kv_fixed("dur", static_cast<double>(e->dur_ns) / 1e3, 3);    // µs
+    w.key("args").begin_object();
+    w.kv("depth", static_cast<std::uint64_t>(e->depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+void write_chrome_trace(std::ostream& os) { write_chrome_trace(os, snapshot_events()); }
+
+void write_metrics_jsonl(std::ostream& os,
+                         const std::vector<MetricSnapshot>& metrics) {
+  for (const MetricSnapshot& m : metrics) {
+    JsonWriter w(os, /*indent=*/0);
+    w.begin_object();
+    w.kv("name", m.name);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        w.kv("type", "counter");
+        w.kv("value", static_cast<std::uint64_t>(m.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        w.kv("type", "gauge");
+        w.kv("value", m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        w.kv("type", "histogram");
+        w.kv("count", m.count);
+        w.kv("sum", m.sum);
+        w.kv("min", m.min);
+        w.kv("max", m.max);
+        w.kv("p50", m.p50);
+        w.kv("p90", m.p90);
+        w.kv("p99", m.p99);
+        w.key("buckets").begin_array();
+        for (const auto& [bound, count] : m.buckets) {
+          w.begin_object();
+          w.kv("le", bound);  // null for the +inf overflow bucket
+          w.kv("count", count);
+          w.end_object();
+        }
+        w.end_array();
+        break;
+    }
+    w.end_object();
+    os << "\n";
+  }
+}
+
+void write_metrics_jsonl(std::ostream& os) {
+  write_metrics_jsonl(os, MetricsRegistry::global().snapshot());
+}
+
+std::vector<std::string> export_to_env_paths() {
+  std::vector<std::string> written;
+  if (!trace_path().empty() && tracing_enabled()) {
+    std::ofstream os(trace_path());
+    if (os.good()) {
+      write_chrome_trace(os);
+      written.push_back(trace_path());
+    }
+  }
+  if (!metrics_path().empty() && metrics_enabled()) {
+    std::ofstream os(metrics_path());
+    if (os.good()) {
+      write_metrics_jsonl(os);
+      written.push_back(metrics_path());
+    }
+  }
+  return written;
+}
+
+std::string metrics_summary() {
+  const auto metrics = MetricsRegistry::global().snapshot();
+  if (metrics.empty()) return "";
+  std::ostringstream os;
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << strformat("  %-36s %12llu\n", m.name.c_str(),
+                        static_cast<unsigned long long>(m.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << strformat("  %-36s %12.4g\n", m.name.c_str(), m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        os << strformat(
+            "  %-36s n=%-8llu p50=%-10.4g p90=%-10.4g p99=%-10.4g max=%.4g\n",
+            m.name.c_str(), static_cast<unsigned long long>(m.count), m.p50,
+            m.p90, m.p99, m.max);
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace glimpse::telemetry

@@ -1,0 +1,46 @@
+// Telemetry exporters:
+//  * Chrome trace-event JSON ("X" complete events) — load in
+//    chrome://tracing or https://ui.perfetto.dev.
+//  * JSONL metrics snapshots — one JSON object per line, one line per
+//    instrument (counters/gauges: value; histograms: count/sum/min/max,
+//    p50/p90/p99, and the full bucket table).
+//
+// Destinations come from GLIMPSE_TRACE=<path> / GLIMPSE_METRICS=<path>
+// (which also flip the corresponding collection on at startup — see
+// span.hpp / metrics.hpp) or from the programmatic stream overloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/span.hpp"
+
+namespace glimpse::telemetry {
+
+/// Path configured via GLIMPSE_TRACE / GLIMPSE_METRICS; empty when unset.
+const std::string& trace_path();
+const std::string& metrics_path();
+
+/// Emit the given events as a Chrome trace (one "X" event per span, pid 0,
+/// tid = thread_tag, timestamps in microseconds).
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+/// Snapshot the live span buffers and emit them (buffers are kept).
+void write_chrome_trace(std::ostream& os);
+
+/// Emit the given snapshots as JSONL (one compact object per line).
+void write_metrics_jsonl(std::ostream& os, const std::vector<MetricSnapshot>& metrics);
+/// Snapshot the global registry and emit it.
+void write_metrics_jsonl(std::ostream& os);
+
+/// Write trace/metrics files to the env-configured paths (skipping either
+/// when its variable is unset or its collection is disabled). Returns the
+/// paths written, for logging.
+std::vector<std::string> export_to_env_paths();
+
+/// Human-readable metrics block for bench stdout: counters and gauges one
+/// per line, histograms with count/p50/p90/p99. Empty registry -> "".
+std::string metrics_summary();
+
+}  // namespace glimpse::telemetry

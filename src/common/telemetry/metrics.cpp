@@ -1,0 +1,226 @@
+#include "common/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace glimpse::telemetry {
+
+namespace {
+
+std::atomic<bool> g_metrics{false};
+
+bool metrics_env_default() {
+  const char* env = std::getenv("GLIMPSE_METRICS");
+  return env != nullptr && *env != '\0';
+}
+
+struct MetricsInit {
+  MetricsInit() { g_metrics.store(metrics_env_default(), std::memory_order_relaxed); }
+};
+MetricsInit g_metrics_init;
+
+/// Relaxed CAS add for pre-C++20-fetch_add portability on doubles.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> make_bounds(const HistogramOptions& o) {
+  if (!o.bounds.empty()) {
+    for (std::size_t i = 1; i < o.bounds.size(); ++i)
+      if (!(o.bounds[i - 1] < o.bounds[i]))
+        throw std::invalid_argument("Histogram bounds must be ascending");
+    return o.bounds;
+  }
+  if (!(o.lo > 0.0 && o.hi > o.lo && o.buckets >= 2))
+    throw std::invalid_argument("Histogram needs 0 < lo < hi and >= 2 buckets");
+  std::vector<double> b(o.buckets);
+  const double step = std::log(o.hi / o.lo) / static_cast<double>(o.buckets - 1);
+  for (std::size_t i = 0; i < o.buckets; ++i)
+    b[i] = o.lo * std::exp(step * static_cast<double>(i));
+  b.back() = o.hi;  // exact despite float accumulation
+  return b;
+}
+
+}  // namespace
+
+bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool on) {
+  g_metrics.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const HistogramOptions& options)
+    : bounds_(make_bounds(options)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  const std::size_t n = bounds_.size() + 1;  // + overflow
+  counts_storage_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  counts_ = std::span<std::atomic<std::uint64_t>>(counts_storage_.get(), n);
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo = min(), hi = max();
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (cum + c >= rank && c > 0) {
+      const double lower = i == 0 ? lo : bounds_[i - 1];
+      const double upper = i < bounds_.size() ? bounds_[i] : hi;
+      const double frac = (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      return std::clamp(lower + (upper - lower) * std::clamp(frac, 0.0, 1.0), lo, hi);
+    }
+    cum += c;
+  }
+  return hi;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Entry {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: exit-safe
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto e = std::make_unique<Entry>();
+    e->kind = MetricSnapshot::Kind::kCounter;
+    e->counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second->kind != MetricSnapshot::Kind::kCounter)
+    throw std::logic_error("metric '" + std::string(name) + "' is not a counter");
+  return *it->second->counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto e = std::make_unique<Entry>();
+    e->kind = MetricSnapshot::Kind::kGauge;
+    e->gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second->kind != MetricSnapshot::Kind::kGauge)
+    throw std::logic_error("metric '" + std::string(name) + "' is not a gauge");
+  return *it->second->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto e = std::make_unique<Entry>();
+    e->kind = MetricSnapshot::Kind::kHistogram;
+    e->histogram = std::make_unique<Histogram>(options);
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second->kind != MetricSnapshot::Kind::kHistogram)
+    throw std::logic_error("metric '" + std::string(name) + "' is not a histogram");
+  return *it->second->histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = static_cast<double>(e->counter->value());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e->gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = s.count ? h.min() : 0.0;
+        s.max = s.count ? h.max() : 0.0;
+        s.p50 = h.percentile(50.0);
+        s.p90 = h.percentile(90.0);
+        s.p99 = h.percentile(99.0);
+        s.buckets.reserve(h.num_buckets());
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          double bound = i < h.bounds().size()
+                             ? h.bounds()[i]
+                             : std::numeric_limits<double>::infinity();
+          s.buckets.emplace_back(bound, h.bucket_count(i));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e->kind) {
+      case MetricSnapshot::Kind::kCounter: e->counter->reset(); break;
+      case MetricSnapshot::Kind::kGauge: e->gauge->reset(); break;
+      case MetricSnapshot::Kind::kHistogram: e->histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace glimpse::telemetry

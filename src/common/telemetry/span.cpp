@@ -1,0 +1,148 @@
+#include "common/telemetry/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace glimpse::telemetry {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_dropped{0};
+
+/// Tracing defaults on when GLIMPSE_TRACE names an export path (the
+/// exporter layer reads the same variable for the destination).
+bool tracing_env_default() {
+  const char* env = std::getenv("GLIMPSE_TRACE");
+  return env != nullptr && *env != '\0';
+}
+
+struct TracingInit {
+  TracingInit() { g_tracing.store(tracing_env_default(), std::memory_order_relaxed); }
+};
+TracingInit g_tracing_init;
+
+std::uint64_t clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process-local time base so exported timestamps start near zero.
+std::uint64_t base_ns() {
+  static const std::uint64_t base = clock_ns();
+  return base;
+}
+
+/// Owned by one thread for appends; kept alive by the registry after the
+/// thread exits so its events still reach the flush.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< live span nesting depth of the owner thread
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // registration order
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable from thread exits
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = thread_tag();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  base_ns();  // pin the time base before the first span
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_tag() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tag =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+std::uint64_t now_ns() { return clock_ns() - base_ns(); }
+
+void Span::begin(const char* name) {
+  ThreadBuffer& buf = local_buffer();
+  name_ = name;
+  depth_ = buf.depth++;
+  start_ns_ = now_ns();  // last: exclude buffer setup from the interval
+}
+
+void Span::end() {
+  const std::uint64_t end_ns = now_ns();
+  ThreadBuffer& buf = local_buffer();
+  buf.depth = depth_;  // robust even if an enabled/disabled toggle raced
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name_;
+  e.tid = buf.tid;
+  e.depth = depth_;
+  e.start_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  buf.events.push_back(e);
+}
+
+std::vector<TraceEvent> snapshot_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& b : r.buffers) total += b->events.size();
+  out.reserve(total);
+  for (const auto& b : r.buffers)
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  return out;
+}
+
+std::vector<TraceEvent> drain_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& b : r.buffers) {
+    out.insert(out.end(), b->events.begin(), b->events.end());
+    b->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+void clear_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) b->events.clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t num_dropped_events() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace glimpse::telemetry

@@ -1,0 +1,103 @@
+// Tracing spans: scoped wall-clock intervals recorded into per-thread
+// buffers and merged at flush time.
+//
+// Design constraints (see DESIGN.md §8):
+//  * Zero work when disabled: GLIMPSE_SPAN compiles to one relaxed atomic
+//    load and a branch; no clock read, no allocation, no stores.
+//  * No cross-thread contention when enabled: each thread appends to its own
+//    buffer (registered once, on the thread's first span); only
+//    drain_events()/snapshot take the registry lock. The PR-1 thread pool
+//    therefore runs spans without sharing a cache line between workers.
+//  * No interaction with determinism: spans read the monotonic clock and
+//    nothing else — never an Rng — so traced and untraced runs produce
+//    bit-identical tuning results.
+//
+// Flush contract: snapshot_events()/drain_events() must be called from a
+// quiescent point — after parallel_for has returned, so the pool's
+// completion synchronization orders worker appends before the merge (the
+// same contract the pool's output slots rely on).
+//
+// Span names must have static storage duration (string literals); events
+// store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glimpse::telemetry {
+
+/// True when span recording is on (GLIMPSE_TRACE set, or enabled
+/// programmatically). One relaxed atomic load.
+bool tracing_enabled();
+/// Programmatic override (tests, examples). Does not change the export path.
+void set_tracing_enabled(bool on);
+
+/// Small sequential id for the calling thread (0 = first thread to ask).
+/// Stable for the thread's lifetime; reused nowhere. Shared by span buffers
+/// and the logging layer's line tags.
+std::uint32_t thread_tag();
+
+/// One completed span. Times are nanoseconds on the process-local monotonic
+/// clock (t = 0 at telemetry init).
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string (the GLIMPSE_SPAN literal)
+  std::uint32_t tid = 0;       ///< thread_tag() of the recording thread
+  std::uint32_t depth = 0;     ///< nesting depth within the thread (0 = root)
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Nanoseconds since telemetry init on the monotonic clock.
+std::uint64_t now_ns();
+
+/// RAII span. Prefer the GLIMPSE_SPAN macro. A span constructed while
+/// tracing is disabled stays inert even if tracing is enabled before it
+/// closes (and vice versa), so toggling mid-span cannot corrupt nesting.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) begin(name);
+  }
+  ~Span() {
+    if (name_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Copy of every buffered event, in per-thread recording order (threads
+/// concatenated in registration order). Buffers keep their contents.
+std::vector<TraceEvent> snapshot_events();
+
+/// snapshot_events() + clear all buffers.
+std::vector<TraceEvent> drain_events();
+
+/// Clear all buffers without reading them.
+void clear_events();
+
+/// Events recorded but dropped because a thread buffer hit its cap
+/// (kMaxEventsPerThread); nonzero means the trace is truncated.
+std::uint64_t num_dropped_events();
+
+/// Per-thread buffer cap; beyond it spans are counted as dropped, not
+/// stored, so a runaway loop cannot exhaust memory.
+inline constexpr std::size_t kMaxEventsPerThread = 1u << 21;  // ~84 MB/thread max
+
+}  // namespace glimpse::telemetry
+
+#define GLIMPSE_TELEMETRY_CONCAT2(a, b) a##b
+#define GLIMPSE_TELEMETRY_CONCAT(a, b) GLIMPSE_TELEMETRY_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+/// Usage: GLIMPSE_SPAN("sa.chain");
+#define GLIMPSE_SPAN(name)                                          \
+  ::glimpse::telemetry::Span GLIMPSE_TELEMETRY_CONCAT(glimpse_span_, \
+                                                      __LINE__)(name)

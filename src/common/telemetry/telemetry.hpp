@@ -1,0 +1,12 @@
+// Umbrella header for the telemetry subsystem: tracing spans
+// (GLIMPSE_SPAN), the metrics registry, and the Chrome-trace / JSONL
+// exporters. See DESIGN.md §8 for the architecture and overhead model.
+//
+// Quick use:
+//   GLIMPSE_TRACE=trace.json GLIMPSE_METRICS=metrics.jsonl ./build/bench/fig7_invalid_configs
+// then load trace.json in chrome://tracing (or ui.perfetto.dev).
+#pragma once
+
+#include "common/telemetry/export.hpp"   // IWYU pragma: export
+#include "common/telemetry/metrics.hpp"  // IWYU pragma: export
+#include "common/telemetry/span.hpp"     // IWYU pragma: export

@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "searchspace/features.hpp"
 
 namespace glimpse::core {
@@ -93,6 +94,8 @@ bool GlimpseTuner::sampler_accepts(const Config& c) {
   if (!options_.use_validity) return true;
   if (artifacts_.validity->accept(task_, c, thresholds_)) return true;
   ++rejected_by_sampler_;
+  if (telemetry::metrics_enabled())
+    telemetry::MetricsRegistry::global().counter("tuner.sampler_rejections").add(1);
   return false;
 }
 
@@ -101,6 +104,7 @@ std::vector<Config> GlimpseTuner::initial_configs(std::size_t n) {
 }
 
 std::vector<Config> GlimpseTuner::propose_from_prior(std::size_t n) {
+  GLIMPSE_SPAN("tuner.prior_draw");
   std::vector<Config> out;
   if (options_.use_prior) {
     // Hedge against a misleading prior (an off-population target): a
@@ -147,6 +151,7 @@ void GlimpseTuner::maybe_refit_surrogate() {
   for (const auto& r : measured_results_)
     if (r.valid) ++valid;
   if (!surrogate_dirty_ || valid < options_.min_data_to_fit) return;
+  GLIMPSE_SPAN("tuner.surrogate_refit");
 
   std::vector<linalg::Vector> rows;
   linalg::Vector y;
@@ -162,6 +167,7 @@ void GlimpseTuner::maybe_refit_surrogate() {
 }
 
 std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
+  GLIMPSE_SPAN("tuner.search");
   // Per-round memo: the annealing energy and the re-rank loop below both
   // need a candidate's features, prior score and surrogate prediction, and
   // chains revisit configs — featurize each distinct config once per round.
@@ -237,6 +243,7 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   //    pool config was scored during annealing, so these are memo hits;
   //    the ranking itself fans across the pool.
   std::vector<double> rank_scores(pool.size());
+  telemetry::Span rerank_span("tuner.rerank");  // acquisition re-rank + pick
   if (options_.use_meta && !pool.empty()) {
     std::vector<double> prior_scores(pool.size(), 0.0);
     if (options_.use_prior)
@@ -296,6 +303,9 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
 }
 
 std::vector<Config> GlimpseTuner::propose(std::size_t n) {
+  GLIMPSE_SPAN("tuner.propose");
+  if (telemetry::metrics_enabled())
+    telemetry::MetricsRegistry::global().counter("tuner.propose_rounds").add(1);
   maybe_refit_surrogate();
   ++rounds_;
   std::size_t valid = 0;

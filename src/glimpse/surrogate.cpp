@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "nn/losses.hpp"
 
 namespace glimpse::core {
@@ -20,6 +21,8 @@ NeuralSurrogate::NeuralSurrogate(std::size_t input_dim, Rng& rng,
 
 void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rng) {
   GLIMPSE_CHECK(x.rows() == y.size() && x.rows() >= 2);
+  GLIMPSE_SPAN("surrogate.fit");
+  const std::uint64_t fit_start_ns = telemetry::now_ns();
   scaler_.fit(x);
 
   std::size_t n = x.rows();
@@ -28,8 +31,10 @@ void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng&
   // own forked shuffle stream so the result does not depend on thread count.
   const std::uint64_t base_seed = rng.engine()();
   parallel_for(0, nets_.size(), 1, [&](std::size_t e) {
+    GLIMPSE_SPAN("surrogate.net_fit");
     Rng net_rng = Rng::fork(base_seed, e);
     for (int epoch = 0; epoch < options_.epochs_per_fit; ++epoch) {
+      GLIMPSE_SPAN("surrogate.epoch");
       auto order = net_rng.sample_without_replacement(n, n);
       for (std::size_t start = 0; start + batch <= n; start += batch) {
         nn::MlpParams grad = nets_[e].zero_like();
@@ -49,6 +54,15 @@ void NeuralSurrogate::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng&
     }
   });
   fitted_ = true;
+  if (telemetry::metrics_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("surrogate.fits").add(1);
+    reg.counter("surrogate.epochs").add(
+        nets_.size() * static_cast<std::size_t>(std::max(0, options_.epochs_per_fit)));
+    reg.gauge("surrogate.train_size").set(static_cast<double>(n));
+    reg.histogram("surrogate.fit_s")
+        .record(static_cast<double>(telemetry::now_ns() - fit_start_ns) / 1e9);
+  }
 }
 
 NeuralSurrogate::Prediction NeuralSurrogate::predict(std::span<const double> x) const {
@@ -70,6 +84,9 @@ NeuralSurrogate::Prediction NeuralSurrogate::predict(std::span<const double> x) 
 std::vector<NeuralSurrogate::Prediction> NeuralSurrogate::predict_batch(
     const linalg::Matrix& x) const {
   GLIMPSE_CHECK(fitted_) << "NeuralSurrogate::predict_batch before fit";
+  GLIMPSE_SPAN("surrogate.predict_batch");
+  if (telemetry::metrics_enabled())
+    telemetry::MetricsRegistry::global().counter("surrogate.predictions").add(x.rows());
   return parallel_map(x.rows(), 8, [&](std::size_t i) { return predict(x.row(i)); });
 }
 

@@ -4,11 +4,36 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "gpusim/resource_model.hpp"
 
 namespace glimpse::core {
 
 namespace {
+
+const char* dim_metric_name(std::size_t dim) {
+  switch (static_cast<ResourceDim>(dim)) {
+    case ResourceDim::kThreadsPerBlock: return "validity.reject.threads_per_block";
+    case ResourceDim::kSharedBytes: return "validity.reject.shared_bytes";
+    case ResourceDim::kRegsPerThread: return "validity.reject.regs_per_thread";
+    case ResourceDim::kVThreads: return "validity.reject.vthreads";
+    case ResourceDim::kUnrolledBody: return "validity.reject.unrolled_body";
+    case ResourceDim::kRegsPerBlock: return "validity.reject.regs_per_block";
+    case ResourceDim::kCount: break;
+  }
+  return "validity.reject.unknown";
+}
+
+/// Cached per-dimension rejection counters (registry lookup once).
+telemetry::Counter& dim_reject_counter(std::size_t dim) {
+  static std::array<telemetry::Counter*, kNumResourceDims> counters = [] {
+    std::array<telemetry::Counter*, kNumResourceDims> c{};
+    for (std::size_t d = 0; d < kNumResourceDims; ++d)
+      c[d] = &telemetry::MetricsRegistry::global().counter(dim_metric_name(d));
+    return c;
+  }();
+  return *counters[dim];
+}
 
 /// Datasheet limit of a resource dimension for one GPU.
 double limit_of(ResourceDim dim, const hwspec::GpuSpec& g) {
@@ -149,13 +174,34 @@ bool ValidityEnsemble::accept(const searchspace::DerivedConfig& d,
       std::ceil(d.regs_per_thread / 8.0) * 8.0 * static_cast<double>(d.threads_per_block),
   };
   double members = static_cast<double>(thresholds.size());
+  if (!telemetry::metrics_enabled()) {
+    for (std::size_t dim = 0; dim < kNumResourceDims; ++dim) {
+      int invalid_votes = 0;
+      for (const auto& t : thresholds)
+        if (usage[dim] > t[dim]) ++invalid_votes;
+      if (static_cast<double>(invalid_votes) / members > options_.tau) return false;
+    }
+    return true;
+  }
+  // Instrumented path: same verdict, but every dimension is scanned so each
+  // flagged one is attributed (the paper's Fig. 7 breakdown, live). Extra
+  // work only — no behavioural difference, and no Rng involved.
+  static telemetry::Counter& accepts =
+      telemetry::MetricsRegistry::global().counter("validity.accepts");
+  static telemetry::Counter& rejects =
+      telemetry::MetricsRegistry::global().counter("validity.rejects");
+  bool accepted = true;
   for (std::size_t dim = 0; dim < kNumResourceDims; ++dim) {
     int invalid_votes = 0;
     for (const auto& t : thresholds)
       if (usage[dim] > t[dim]) ++invalid_votes;
-    if (static_cast<double>(invalid_votes) / members > options_.tau) return false;
+    if (static_cast<double>(invalid_votes) / members > options_.tau) {
+      dim_reject_counter(dim).add(1);
+      accepted = false;
+    }
   }
-  return true;
+  (accepted ? accepts : rejects).add(1);
+  return accepted;
 }
 
 bool ValidityEnsemble::accept(const searchspace::Task& task,

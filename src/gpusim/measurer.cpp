@@ -3,12 +3,28 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace glimpse::gpusim {
+
+namespace {
+
+/// Simulated-cost histogram plus outcome counters for one measurement.
+void record_measure_metrics(const MeasureResult& r) {
+  if (!telemetry::metrics_enabled()) return;
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("measure.count").add(1);
+  if (!r.valid) reg.counter("measure.invalid").add(1);
+  reg.histogram("measure.cost_s").record(r.cost_s);
+  if (r.valid) reg.histogram("measure.latency_s").record(r.latency_s);
+}
+
+}  // namespace
 
 MeasureResult SimMeasurer::measure(const searchspace::Task& task,
                                    const hwspec::GpuSpec& hw,
                                    const searchspace::Config& config) {
+  GLIMPSE_SPAN("measure.measure");
   PerfEstimate est = estimate(task, config, hw);
   MeasureResult r;
   r.reason = est.reason;
@@ -25,6 +41,7 @@ MeasureResult SimMeasurer::measure(const searchspace::Task& task,
       r.cost_s = options_.compile_s + options_.rpc_overhead_s;
     }
     elapsed_s_ += r.cost_s;
+    record_measure_metrics(r);
     return r;
   }
 
@@ -40,6 +57,7 @@ MeasureResult SimMeasurer::measure(const searchspace::Task& task,
   r.cost_s = options_.compile_s + options_.rpc_overhead_s +
              options_.repeats * r.latency_s;
   elapsed_s_ += r.cost_s;
+  record_measure_metrics(r);
   return r;
 }
 

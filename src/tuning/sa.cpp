@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace glimpse::tuning {
 
@@ -36,6 +37,7 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
                              std::size_t top_k, Rng& rng, SaOptions options,
                              std::vector<searchspace::Config> init) {
   GLIMPSE_CHECK(options.num_chains >= 1 && options.num_steps >= 1);
+  GLIMPSE_SPAN("sa.run");
   const std::size_t num_chains = static_cast<std::size_t>(options.num_chains);
 
   // Chain starting points come from the caller's stream (serially, so the
@@ -58,6 +60,7 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
   // Scores from a learned model are roughly z-scored; a unit temperature
   // scale works across models.
   auto run_chain = [&](std::size_t chain) {
+    GLIMPSE_SPAN("sa.chain");  // runs on a pool worker: per-thread buffer
     Rng chain_rng = Rng::fork(base_seed, chain);
     ChainOut out;
     out.pool.top_k = top_k;
@@ -99,6 +102,12 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
   for (auto it = merged.best.rbegin(); it != merged.best.rend(); ++it) {
     result.configs.push_back(it->second);
     result.scores.push_back(it->first);
+  }
+  if (telemetry::metrics_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("sa.runs").add(1);
+    reg.counter("sa.chains").add(num_chains);
+    reg.counter("sa.evaluations").add(static_cast<std::uint64_t>(result.evaluations));
   }
   return result;
 }

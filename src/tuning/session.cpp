@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace glimpse::tuning {
 
@@ -62,6 +63,7 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
                   const hwspec::GpuSpec& hw, gpusim::SimMeasurer& measurer,
                   const SessionOptions& options) {
   GLIMPSE_CHECK(options.batch_size >= 1);
+  GLIMPSE_SPAN("session.run");
   Trace trace;
   double session_start_s = measurer.elapsed_seconds();
   std::size_t step = 0;
@@ -69,6 +71,7 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
   std::size_t last_improvement_step = 0;
 
   while (step < options.max_trials) {
+    GLIMPSE_SPAN("session.batch");
     double elapsed = measurer.elapsed_seconds() - session_start_s;
     if (elapsed >= options.time_budget_s) break;
 
@@ -99,6 +102,14 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
     if (options.plateau_trials > 0 && plateau_best > 0.0 &&
         step - last_improvement_step >= options.plateau_trials)
       break;
+  }
+  if (telemetry::metrics_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("session.sessions").add(1);
+    reg.counter("session.trials").add(trace.trials.size());
+    reg.counter("session.trials_invalid").add(trace.num_invalid());
+    reg.gauge("session.last_best_gflops").set(trace.best_gflops());
+    reg.histogram("session.gpu_seconds").record(trace.total_cost_s());
   }
   return trace;
 }

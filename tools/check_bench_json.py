@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Validate the repo's machine-readable outputs.
+
+Checks three file shapes, selected by content sniffing (or forced with
+--kind):
+
+  * bench      -- BENCH_*.json from bench/micro_parallel.cpp:
+                  {"threads_serial", "threads_parallel", "paths": [
+                    {"name", "serial_ms", "parallel_ms", "speedup"}, ...]}
+  * trace      -- Chrome trace-event JSON written via GLIMPSE_TRACE:
+                  {"traceEvents": [{"name", "ph", "ts", ...}, ...]};
+                  "X" (complete) events must also carry "dur".
+  * metrics    -- JSONL written via GLIMPSE_METRICS: one object per line,
+                  each with "name" and "type" (counter | gauge | histogram);
+                  histograms carry count/sum/min/max/p50/p90/p99/buckets.
+
+Usage:
+  tools/check_bench_json.py FILE [FILE ...]
+  tools/check_bench_json.py --selftest
+
+Standard library only; exit status 0 iff every file validates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+NUMBER = (int, float)
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValidationError(msg)
+
+
+def _require_keys(obj: dict, keys: dict, where: str) -> None:
+    """keys maps name -> required type (or tuple of types)."""
+    _require(isinstance(obj, dict), f"{where}: expected an object")
+    for name, types in keys.items():
+        _require(name in obj, f"{where}: missing key '{name}'")
+        _require(
+            isinstance(obj[name], types) and not isinstance(obj[name], bool),
+            f"{where}: key '{name}' has wrong type "
+            f"({type(obj[name]).__name__})",
+        )
+
+
+# ---- validators -------------------------------------------------------------
+
+
+def check_bench(doc: object, name: str) -> int:
+    _require_keys(doc, {"threads_serial": int, "threads_parallel": int,
+                        "paths": list}, name)
+    _require(doc["threads_serial"] >= 1, f"{name}: threads_serial < 1")
+    _require(doc["threads_parallel"] >= 1, f"{name}: threads_parallel < 1")
+    _require(len(doc["paths"]) > 0, f"{name}: empty paths list")
+    for i, p in enumerate(doc["paths"]):
+        where = f"{name}: paths[{i}]"
+        _require_keys(p, {"name": str, "serial_ms": NUMBER,
+                          "parallel_ms": NUMBER}, where)
+        _require(p["serial_ms"] >= 0, f"{where}: negative serial_ms")
+        _require(p["parallel_ms"] >= 0, f"{where}: negative parallel_ms")
+    return len(doc["paths"])
+
+
+def check_trace(doc: object, name: str) -> int:
+    _require_keys(doc, {"traceEvents": list}, name)
+    events = doc["traceEvents"]
+    _require(len(events) > 0, f"{name}: empty traceEvents")
+    for i, e in enumerate(events):
+        where = f"{name}: traceEvents[{i}]"
+        _require_keys(e, {"name": str, "ph": str, "ts": NUMBER}, where)
+        _require(e["ts"] >= 0, f"{where}: negative ts")
+        if e["ph"] == "X":
+            _require_keys(e, {"dur": NUMBER}, where)
+            _require(e["dur"] >= 0, f"{where}: negative dur")
+    return len(events)
+
+
+def check_metrics_lines(lines: list[str], name: str) -> int:
+    kinds = {"counter", "gauge", "histogram"}
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{name}:{lineno}"
+        try:
+            m = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"{where}: bad JSON ({e})") from e
+        _require_keys(m, {"name": str, "type": str}, where)
+        _require(m["type"] in kinds,
+                 f"{where}: unknown metric type '{m['type']}'")
+        if m["type"] in ("counter", "gauge"):
+            _require_keys(m, {"value": NUMBER}, where)
+        else:
+            _require_keys(m, {"count": int, "sum": NUMBER, "min": NUMBER,
+                              "max": NUMBER, "p50": NUMBER, "p90": NUMBER,
+                              "p99": NUMBER, "buckets": list}, where)
+            total = 0
+            for j, b in enumerate(m["buckets"]):
+                bwhere = f"{where}: buckets[{j}]"
+                _require_keys(b, {"count": int}, bwhere)
+                _require("le" in b, f"{bwhere}: missing key 'le'")
+                _require(b["le"] is None or isinstance(b["le"], NUMBER),
+                         f"{bwhere}: 'le' must be a number or null")
+                total += b["count"]
+            _require(total == m["count"],
+                     f"{where}: bucket counts sum to {total}, "
+                     f"but count={m['count']}")
+        n += 1
+    _require(n > 0, f"{name}: no metric lines")
+    return n
+
+
+# ---- dispatch ---------------------------------------------------------------
+
+
+def sniff_kind(text: str) -> str:
+    stripped = text.lstrip()
+    first_line = stripped.splitlines()[0] if stripped else ""
+    try:
+        doc = json.loads(first_line)
+        if isinstance(doc, dict) and "name" in doc and "type" in doc:
+            return "metrics"
+    except json.JSONDecodeError:
+        pass
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return "metrics"  # multi-line JSONL; per-line errors surface there
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace"
+    return "bench"
+
+
+def check_file(path: Path, kind: str | None) -> str:
+    text = path.read_text()
+    kind = kind or sniff_kind(text)
+    if kind == "bench":
+        n = check_bench(json.loads(text), str(path))
+        return f"bench json, {n} path(s)"
+    if kind == "trace":
+        n = check_trace(json.loads(text), str(path))
+        return f"chrome trace, {n} event(s)"
+    if kind == "metrics":
+        n = check_metrics_lines(text.splitlines(), str(path))
+        return f"metrics jsonl, {n} metric(s)"
+    raise ValidationError(f"{path}: unknown kind '{kind}'")
+
+
+# ---- selftest ---------------------------------------------------------------
+
+VALID_BENCH = {
+    "threads_serial": 1,
+    "threads_parallel": 8,
+    "paths": [
+        {"name": "gemm", "serial_ms": 10.0, "parallel_ms": 2.5,
+         "speedup": 4.0},
+    ],
+}
+
+VALID_TRACE = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {"name": "session.run", "cat": "glimpse", "ph": "X", "pid": 0,
+         "tid": 0, "ts": 0.0, "dur": 125.5, "args": {"depth": 0}},
+        {"name": "sa.chain", "cat": "glimpse", "ph": "X", "pid": 0,
+         "tid": 1, "ts": 10.0, "dur": 50.0, "args": {"depth": 1}},
+    ],
+}
+
+VALID_METRICS = "\n".join([
+    json.dumps({"name": "session.trials", "type": "counter", "value": 64}),
+    json.dumps({"name": "surrogate.train_size", "type": "gauge",
+                "value": 48.0}),
+    json.dumps({"name": "measure.cost_s", "type": "histogram", "count": 3,
+                "sum": 1.5, "min": 0.1, "max": 1.0, "p50": 0.4, "p90": 0.9,
+                "p99": 1.0,
+                "buckets": [{"le": 0.5, "count": 2},
+                            {"le": None, "count": 1}]}),
+])
+
+
+def selftest() -> int:
+    cases = [
+        # (description, kind, content, should_pass)
+        ("valid bench", None, json.dumps(VALID_BENCH), True),
+        ("valid trace", None, json.dumps(VALID_TRACE), True),
+        ("valid metrics", None, VALID_METRICS, True),
+        ("bench missing paths", "bench",
+         json.dumps({"threads_serial": 1, "threads_parallel": 8}), False),
+        ("bench path missing serial_ms", "bench",
+         json.dumps({"threads_serial": 1, "threads_parallel": 8,
+                     "paths": [{"name": "x", "parallel_ms": 1.0}]}), False),
+        ("trace event missing dur", "trace",
+         json.dumps({"traceEvents": [{"name": "a", "ph": "X", "ts": 0.0}]}),
+         False),
+        ("trace with string ts", "trace",
+         json.dumps({"traceEvents": [{"name": "a", "ph": "X", "ts": "0",
+                                      "dur": 1.0}]}), False),
+        ("metrics line missing type", "metrics",
+         json.dumps({"name": "x", "value": 1}), False),
+        ("metrics bucket sum mismatch", "metrics",
+         json.dumps({"name": "h", "type": "histogram", "count": 5,
+                     "sum": 1.0, "min": 0.1, "max": 1.0, "p50": 0.5,
+                     "p90": 0.9, "p99": 1.0,
+                     "buckets": [{"le": None, "count": 1}]}), False),
+        ("not json at all", "bench", "not json {", False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
+        for i, (desc, kind, content, should_pass) in enumerate(cases):
+            path = Path(tmp) / f"case_{i}.json"
+            path.write_text(content)
+            try:
+                check_file(path, kind)
+                passed = True
+            except (ValidationError, json.JSONDecodeError):
+                passed = False
+            status = "ok" if passed == should_pass else "FAIL"
+            if passed != should_pass:
+                failures += 1
+            expect = "accept" if should_pass else "reject"
+            print(f"[{status}] selftest: {desc} (expected {expect})")
+    if failures:
+        print(f"selftest: {failures} case(s) misbehaved", file=sys.stderr)
+        return 1
+    print(f"selftest: all {len(cases)} cases behaved")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="files to validate")
+    parser.add_argument("--kind", choices=["bench", "trace", "metrics"],
+                        help="force the file kind instead of sniffing")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in validator test cases")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.files:
+        parser.error("no files given (or use --selftest)")
+
+    status = 0
+    for path in args.files:
+        try:
+            print(f"[ok] {path}: {check_file(path, args.kind)}")
+        except FileNotFoundError:
+            print(f"[FAIL] {path}: no such file", file=sys.stderr)
+            status = 1
+        except (ValidationError, json.JSONDecodeError) as e:
+            print(f"[FAIL] {e}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
