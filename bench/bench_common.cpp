@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "common/strutil.hpp"
 #include "common/telemetry/telemetry.hpp"
+#include "gpusim/faulty_measurer.hpp"
 
 namespace glimpse::bench {
 
@@ -171,7 +172,17 @@ tuning::Trace run_one(const Method& method, const searchspace::Task& task,
                                     hw.seed());
   auto tuner = method.factory(task, hw, seed);
   gpusim::SimMeasurer measurer;
-  tuning::Trace trace = tuning::run_session(*tuner, task, hw, measurer, options);
+  // GLIMPSE_FAULT_* environment variables turn any figure/table bench into a
+  // robustness run: measurements go through the fault injector (and thus the
+  // retry pipeline) instead of hitting the simulator directly.
+  gpusim::FaultPlan fault_plan = gpusim::FaultPlan::from_env();
+  tuning::Trace trace;
+  if (fault_plan.enabled()) {
+    gpusim::FaultInjector injector(measurer, fault_plan);
+    trace = tuning::run_session(*tuner, task, hw, injector, options);
+  } else {
+    trace = tuning::run_session(*tuner, task, hw, measurer, options);
+  }
   if (gpu_seconds) *gpu_seconds = measurer.elapsed_seconds();
   return trace;
 }

@@ -1,0 +1,218 @@
+// Robustness bench: session behaviour and overhead under injected faults.
+//
+// Sweeps the transient-fault rate over a fixed tuning workload and reports,
+// per rate: faulted/recovered trial counts, achieved GFLOPS, simulated GPU
+// seconds (retries + backoff are charged to the simulated clock), and wall
+// time. Two extra rows quantify the crash-safety machinery itself: one runs
+// with per-batch checkpointing on to price the snapshot writes, and one
+// kills the session halfway, resumes from the snapshot, and verifies the
+// resumed trace is bit-identical to the uninterrupted run.
+//
+// Results go to stdout and BENCH_faults.json (validated by
+// tools/check_bench_json.py --kind faults).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/random_tuner.hpp"
+#include "common/json_writer.hpp"
+#include "gpusim/faulty_measurer.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "tuning/checkpoint.hpp"
+#include "tuning/session.hpp"
+
+namespace {
+
+using namespace glimpse;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  std::string name;
+  double p_transient = 0.0;
+  std::size_t trials = 0;
+  std::size_t faulted = 0;
+  std::size_t recovered = 0;  ///< trials that needed >1 attempt and succeeded
+  std::uint64_t injected = 0;
+  double best_gflops = 0.0;
+  double gpu_seconds = 0.0;
+  double wall_ms = 0.0;
+  bool checkpointed = false;
+  bool resume_bit_identical = true;  ///< only meaningful for the resume row
+};
+
+struct Workload {
+  searchspace::Task task;
+  const hwspec::GpuSpec* gpu;
+};
+
+Workload make_workload() {
+  searchspace::ConvShape conv;
+  conv.c = 256;
+  conv.h = 14;
+  conv.w = 14;
+  conv.k = 256;
+  conv.kh = 3;
+  conv.kw = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  const hwspec::GpuSpec* gpu = hwspec::find_gpu("Titan Xp");
+  if (!gpu) gpu = hwspec::evaluation_gpus().front();
+  return {searchspace::Task("faults.conv", searchspace::TemplateKind::kConv2d, conv),
+          gpu};
+}
+
+tuning::SessionOptions session_options() {
+  tuning::SessionOptions o;
+  o.max_trials = 96;
+  o.batch_size = 8;
+  return o;
+}
+
+Row run_row(const Workload& w, const std::string& name, const gpusim::FaultPlan& plan,
+            tuning::SessionOptions opts) {
+  baselines::RandomTuner tuner(w.task, *w.gpu, 71);
+  gpusim::SimMeasurer sim;
+  gpusim::FaultInjector injector(sim, plan);
+  double t0 = now_ms();
+  tuning::Trace trace = tuning::run_session(tuner, w.task, *w.gpu, injector, opts);
+  Row r;
+  r.name = name;
+  r.p_transient = plan.p_transient;
+  r.wall_ms = now_ms() - t0;
+  r.trials = trace.trials.size();
+  r.faulted = trace.num_faulted();
+  for (const auto& t : trace.trials)
+    r.recovered += t.result.attempts > 1 &&
+                   t.result.error == gpusim::MeasureError::kNone;
+  r.injected = injector.num_failures();
+  r.best_gflops = trace.best_gflops();
+  r.gpu_seconds = sim.elapsed_seconds();
+  r.checkpointed = !opts.checkpoint_path.empty();
+  return r;
+}
+
+void print_row(const Row& r) {
+  std::printf(
+      "%-22s p=%.2f  trials %3zu  faulted %3zu  recovered %3zu  injected %4llu"
+      "  best %8.1f GFLOPS  gpu %8.1f s  wall %7.1f ms%s\n",
+      r.name.c_str(), r.p_transient, r.trials, r.faulted, r.recovered,
+      static_cast<unsigned long long>(r.injected), r.best_gflops, r.gpu_seconds,
+      r.wall_ms, r.checkpointed ? "  [ckpt]" : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_faults: tuning sessions under fault injection ===\n\n");
+  Workload w = make_workload();
+  std::vector<Row> rows;
+
+  // Fault-rate sweep, no checkpointing.
+  for (double p : {0.0, 0.05, 0.2, 0.5}) {
+    gpusim::FaultPlan plan;
+    plan.p_transient = p;
+    char name[32];
+    std::snprintf(name, sizeof(name), "transient_p%.2f", p);
+    rows.push_back(run_row(w, name, plan, session_options()));
+    print_row(rows.back());
+  }
+
+  // Checkpoint overhead: the 20 % row again with per-batch snapshots.
+  std::string ckpt = "BENCH_faults_checkpoint.txt";
+  {
+    gpusim::FaultPlan plan;
+    plan.p_transient = 0.2;
+    tuning::SessionOptions opts = session_options();
+    opts.checkpoint_path = ckpt;
+    rows.push_back(run_row(w, "transient_p0.20_ckpt", plan, opts));
+    print_row(rows.back());
+  }
+
+  // Kill at half budget, resume from the snapshot, verify bit-identity
+  // against the uninterrupted 20 % run.
+  {
+    gpusim::FaultPlan plan;
+    plan.p_transient = 0.2;
+    tuning::SessionOptions full = session_options();
+    tuning::Trace ref;
+    {
+      baselines::RandomTuner tuner(w.task, *w.gpu, 71);
+      gpusim::SimMeasurer sim;
+      gpusim::FaultInjector injector(sim, plan);
+      ref = tuning::run_session(tuner, w.task, *w.gpu, injector, full);
+    }
+    {
+      baselines::RandomTuner tuner(w.task, *w.gpu, 71);
+      gpusim::SimMeasurer sim;
+      gpusim::FaultInjector injector(sim, plan);
+      tuning::SessionOptions half = full;
+      half.max_trials = full.max_trials / 2;
+      half.checkpoint_path = ckpt;
+      tuning::run_session(tuner, w.task, *w.gpu, injector, half);
+    }
+    baselines::RandomTuner tuner(w.task, *w.gpu, 71);
+    gpusim::SimMeasurer sim;
+    gpusim::FaultInjector injector(sim, plan);
+    tuning::SessionOptions resume = full;
+    resume.resume_from = ckpt;
+    double t0 = now_ms();
+    tuning::Trace resumed = tuning::run_session(tuner, w.task, *w.gpu, injector, resume);
+    Row r;
+    r.name = "transient_p0.20_resume";
+    r.p_transient = 0.2;
+    r.wall_ms = now_ms() - t0;
+    r.trials = resumed.trials.size();
+    r.faulted = resumed.num_faulted();
+    r.injected = injector.num_failures();
+    r.best_gflops = resumed.best_gflops();
+    r.gpu_seconds = sim.elapsed_seconds();
+    r.checkpointed = true;
+    r.resume_bit_identical = resumed.trials.size() == ref.trials.size();
+    for (std::size_t i = 0; r.resume_bit_identical && i < ref.trials.size(); ++i)
+      r.resume_bit_identical = resumed.trials[i] == ref.trials[i];
+    rows.push_back(r);
+    print_row(r);
+    std::printf("%-22s resume bit-identical: %s\n", "",
+                r.resume_bit_identical ? "yes" : "NO — DETERMINISM BROKEN");
+    std::remove(ckpt.c_str());
+    std::remove(tuning::journal_path(ckpt).c_str());
+  }
+
+  const char* out_path = "BENCH_faults.json";
+  if (std::ofstream f{out_path}) {
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.kv("max_trials", static_cast<std::uint64_t>(session_options().max_trials));
+    jw.kv("batch_size", static_cast<std::uint64_t>(session_options().batch_size));
+    jw.key("fault_paths");
+    jw.begin_array();
+    for (const Row& r : rows) {
+      jw.begin_object();
+      jw.kv("name", r.name);
+      jw.kv_fixed("p_transient", r.p_transient, 3);
+      jw.kv("trials", static_cast<std::uint64_t>(r.trials));
+      jw.kv("faulted", static_cast<std::uint64_t>(r.faulted));
+      jw.kv("recovered", static_cast<std::uint64_t>(r.recovered));
+      jw.kv("injected_failures", r.injected);
+      jw.kv_fixed("best_gflops", r.best_gflops, 2);
+      jw.kv_fixed("gpu_seconds", r.gpu_seconds, 2);
+      jw.kv_fixed("wall_ms", r.wall_ms, 3);
+      jw.kv("checkpointed", r.checkpointed);
+      jw.kv("resume_bit_identical", r.resume_bit_identical);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    jw.done();
+    std::printf("\nwrote %s\n", out_path);
+  }
+  return 0;
+}

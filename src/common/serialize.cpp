@@ -1,5 +1,7 @@
 #include "common/serialize.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -7,6 +9,16 @@
 #include <stdexcept>
 
 namespace glimpse {
+
+namespace {
+
+// Cap on speculative up-front allocation when honoring a size prefix from
+// untrusted input: a corrupted/garbled prefix (e.g. "999999999999") must
+// fail with "unexpected end of input" while parsing elements, not take the
+// process down trying to reserve terabytes first.
+constexpr std::size_t kMaxPrealloc = std::size_t{1} << 20;
+
+}  // namespace
 
 void TextWriter::tag(const std::string& t) { os_ << t << ' '; }
 
@@ -53,36 +65,88 @@ void TextReader::expect(const std::string& tag) {
 
 double TextReader::scalar() {
   std::string tok = next_token();
-  std::size_t pos = 0;
-  double v = std::stod(tok, &pos);
-  if (pos != tok.size()) throw std::runtime_error("TextReader: bad scalar " + tok);
+  // strtod, not stod: stod throws out_of_range on subnormal values, which
+  // the writer emits legally. strtod returns the closest representable
+  // double (denormal, 0, or ±inf) and lets us reject partial parses.
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size())
+    throw std::runtime_error("TextReader: bad scalar " + tok);
   return v;
 }
 
 std::size_t TextReader::scalar_u() {
   std::string tok = next_token();
-  std::size_t pos = 0;
-  unsigned long long v = std::stoull(tok, &pos);
-  if (pos != tok.size()) throw std::runtime_error("TextReader: bad integer " + tok);
-  return static_cast<std::size_t>(v);
+  // stoull silently accepts (and wraps) negative numbers and skips trailing
+  // junk; require pure decimal digits so garbled input fails loudly.
+  if (tok.empty()) throw std::runtime_error("TextReader: bad integer (empty)");
+  for (char c : tok)
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw std::runtime_error("TextReader: bad integer " + tok);
+  try {
+    std::size_t pos = 0;
+    unsigned long long v = std::stoull(tok, &pos);
+    if (pos != tok.size()) throw std::runtime_error("TextReader: bad integer " + tok);
+    return static_cast<std::size_t>(v);
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::runtime_error("TextReader: bad integer " + tok);
+  }
 }
 
 linalg::Vector TextReader::vector() {
   std::size_t n = scalar_u();
-  linalg::Vector v(n);
-  for (std::size_t i = 0; i < n; ++i) v[i] = scalar();
+  linalg::Vector v;
+  v.reserve(std::min(n, kMaxPrealloc));
+  for (std::size_t i = 0; i < n; ++i) v.push_back(scalar());
   return v;
 }
 
 linalg::Matrix TextReader::matrix() {
   std::size_t r = scalar_u();
   std::size_t c = scalar_u();
+  if (c != 0 && r > std::numeric_limits<std::size_t>::max() / c)
+    throw std::runtime_error("TextReader: matrix dimensions overflow");
+  std::size_t total = r * c;
+  // Parse every element before allocating rows*cols: a corrupted dimension
+  // pair then dies on end-of-input instead of a huge allocation.
+  linalg::Vector data;
+  data.reserve(std::min(total, kMaxPrealloc));
+  for (std::size_t i = 0; i < total; ++i) data.push_back(scalar());
   linalg::Matrix m(r, c);
-  auto data = m.data();
-  for (std::size_t i = 0; i < data.size(); ++i) data[i] = scalar();
+  auto dst = m.data();
+  for (std::size_t i = 0; i < total; ++i) dst[i] = data[i];
   return m;
 }
 
 std::string TextReader::text() { return next_token(); }
+
+void write_rng(TextWriter& w, const Rng& rng) {
+  std::ostringstream ss;
+  ss << rng.engine();  // space-separated state words + position
+  std::istringstream split(ss.str());
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (split >> tok) tokens.push_back(tok);
+  w.tag("rng");
+  w.scalar_u(tokens.size());
+  for (const auto& t : tokens) w.text(t);
+}
+
+void read_rng(TextReader& r, Rng& rng) {
+  r.expect("rng");
+  std::size_t n = r.scalar_u();
+  if (n == 0 || n > 4096)
+    throw std::runtime_error("TextReader: implausible rng state size");
+  std::string joined;
+  for (std::size_t i = 0; i < n; ++i) {
+    joined += r.text();
+    joined += ' ';
+  }
+  std::istringstream ss(joined);
+  ss >> rng.engine();
+  if (ss.fail()) throw std::runtime_error("TextReader: bad rng state");
+}
 
 }  // namespace glimpse

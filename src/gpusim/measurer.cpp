@@ -7,6 +7,16 @@
 
 namespace glimpse::gpusim {
 
+const char* to_string(MeasureError e) {
+  switch (e) {
+    case MeasureError::kNone: return "none";
+    case MeasureError::kTransient: return "transient";
+    case MeasureError::kTimeout: return "timeout";
+    case MeasureError::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Simulated-cost histogram plus outcome counters for one measurement.
@@ -23,7 +33,8 @@ void record_measure_metrics(const MeasureResult& r) {
 
 MeasureResult SimMeasurer::measure(const searchspace::Task& task,
                                    const hwspec::GpuSpec& hw,
-                                   const searchspace::Config& config) {
+                                   const searchspace::Config& config,
+                                   double timeout_s) {
   GLIMPSE_SPAN("measure.measure");
   PerfEstimate est = estimate(task, config, hw);
   MeasureResult r;
@@ -39,6 +50,11 @@ MeasureResult SimMeasurer::measure(const searchspace::Task& task,
     } else {
       // Launch failure: full compile + upload, then the error comes back.
       r.cost_s = options_.compile_s + options_.rpc_overhead_s;
+    }
+    if (r.cost_s > timeout_s) {
+      r.reason = InvalidReason::kNone;
+      r.error = MeasureError::kTimeout;
+      r.cost_s = timeout_s;
     }
     elapsed_s_ += r.cost_s;
     record_measure_metrics(r);
@@ -56,6 +72,15 @@ MeasureResult SimMeasurer::measure(const searchspace::Task& task,
   r.gflops = task.flops() / r.latency_s / 1e9;
   r.cost_s = options_.compile_s + options_.rpc_overhead_s +
              options_.repeats * r.latency_s;
+  if (r.cost_s > timeout_s) {
+    // The attempt was cut off before the timed runs completed.
+    r.valid = false;
+    r.error = MeasureError::kTimeout;
+    r.latency_s = 0.0;
+    r.gflops = 0.0;
+    r.cost_s = timeout_s;
+    ++num_invalid_;
+  }
   elapsed_s_ += r.cost_s;
   record_measure_metrics(r);
   return r;
@@ -65,6 +90,20 @@ void SimMeasurer::reset_accounting() {
   elapsed_s_ = 0.0;
   num_measurements_ = 0;
   num_invalid_ = 0;
+}
+
+void SimMeasurer::save_state(TextWriter& w) const {
+  w.tag("sim_measurer_v1");
+  w.scalar(elapsed_s_);
+  w.scalar_u(num_measurements_);
+  w.scalar_u(num_invalid_);
+}
+
+void SimMeasurer::load_state(TextReader& r) {
+  r.expect("sim_measurer_v1");
+  elapsed_s_ = r.scalar();
+  num_measurements_ = r.scalar_u();
+  num_invalid_ = r.scalar_u();
 }
 
 }  // namespace glimpse::gpusim

@@ -24,6 +24,11 @@ class Adam {
   void set_lr(double lr) { options_.lr = lr; }
   long steps_taken() const { return t_; }
 
+  /// Persist / restore the optimizer moments (for warm-start checkpoints).
+  /// Options are not serialized; construct with the same options first.
+  void save(TextWriter& w) const;
+  void load(TextReader& r);
+
  private:
   AdamOptions options_;
   MlpParams m_, v_;

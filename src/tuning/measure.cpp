@@ -1,3 +1,131 @@
 #include "tuning/measure.hpp"
 
-// Header-only types; this TU anchors the target.
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
+
+namespace glimpse::tuning {
+
+namespace {
+
+// Tag mixed into the per-trial fork so the retry stream never collides with
+// other consumers of the session seed.
+constexpr std::uint64_t kRetryStreamTag = 0x7265747279ULL;  // "retry"
+
+void record_fault_metrics(MeasureError e) {
+  if (!telemetry::metrics_enabled()) return;
+  telemetry::MetricsRegistry::global()
+      .counter(std::string("measure.fault.") + gpusim::to_string(e))
+      .add(1);
+}
+
+}  // namespace
+
+bool implausible(const MeasureResult& r) {
+  if (!r.valid) return false;
+  return !std::isfinite(r.latency_s) || r.latency_s <= 0.0 ||
+         !std::isfinite(r.gflops) || r.gflops <= 0.0 || !std::isfinite(r.cost_s) ||
+         r.cost_s < 0.0;
+}
+
+double backoff_for_retry(const RetryPolicy& policy, int retry) {
+  double wait =
+      policy.backoff_base_s * std::pow(policy.backoff_mult, std::max(0, retry - 1));
+  return std::min(policy.backoff_max_s, wait);
+}
+
+MeasureResult measure_with_retry(gpusim::Measurer& measurer,
+                                 const searchspace::Task& task,
+                                 const hwspec::GpuSpec& hw, const Config& config,
+                                 const RetryPolicy& policy, std::uint64_t seed,
+                                 std::uint64_t trial_id) {
+  GLIMPSE_SPAN("measure.with_retry");
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const double timeout =
+      policy.timeout_s > 0.0 ? policy.timeout_s : std::numeric_limits<double>::infinity();
+  Rng rng = Rng::fork(hash_combine(seed, kRetryStreamTag), trial_id);
+
+  MeasureResult last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    MeasureResult r = measurer.measure(task, hw, config, timeout);
+    if (implausible(r)) {
+      // The payload claims success but cannot be real: treat as corruption
+      // rather than poisoning the tuner with garbage.
+      r.valid = false;
+      r.error = MeasureError::kCorrupt;
+      r.latency_s = 0.0;
+      r.gflops = 0.0;
+    }
+    r.attempts = attempt;
+    if (r.error == MeasureError::kNone) {
+      if (attempt > 1 && telemetry::metrics_enabled())
+        telemetry::MetricsRegistry::global().counter("measure.recovered").add(1);
+      if (telemetry::metrics_enabled())
+        telemetry::MetricsRegistry::global().histogram("measure.attempts").record(
+            static_cast<double>(attempt));
+      return r;
+    }
+    record_fault_metrics(r.error);
+    last = r;
+    if (attempt < max_attempts) {
+      double wait = backoff_for_retry(policy, attempt);
+      wait *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0);
+      wait = std::max(0.0, wait);
+      measurer.add_cost(wait);
+      if (telemetry::metrics_enabled()) {
+        auto& reg = telemetry::MetricsRegistry::global();
+        reg.counter("measure.retries").add(1);
+        reg.histogram("measure.backoff_s").record(wait);
+      }
+    }
+  }
+  // Out of attempts: the trial is recorded as faulted (valid == false,
+  // error == last failure kind), never silently dropped.
+  last.valid = false;
+  if (telemetry::metrics_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("measure.faulted_trials").add(1);
+    reg.histogram("measure.attempts").record(static_cast<double>(last.attempts));
+  }
+  return last;
+}
+
+void write_config(TextWriter& w, const Config& c) {
+  w.scalar_u(c.size());
+  for (std::uint32_t v : c) w.scalar_u(v);
+}
+
+Config read_config(TextReader& r) {
+  std::size_t n = r.scalar_u();
+  Config c;
+  c.reserve(std::min<std::size_t>(n, 4096));
+  for (std::size_t i = 0; i < n; ++i)
+    c.push_back(static_cast<std::uint32_t>(r.scalar_u()));
+  return c;
+}
+
+void write_result(TextWriter& w, const MeasureResult& res) {
+  w.scalar_u(res.valid ? 1 : 0);
+  w.scalar_u(static_cast<std::size_t>(res.reason));
+  w.scalar_u(static_cast<std::size_t>(res.error));
+  w.scalar_u(static_cast<std::size_t>(std::max(1, res.attempts)));
+  w.scalar(res.latency_s);
+  w.scalar(res.gflops);
+  w.scalar(res.cost_s);
+}
+
+MeasureResult read_result(TextReader& r) {
+  MeasureResult res;
+  res.valid = r.scalar_u() != 0;
+  res.reason = static_cast<gpusim::InvalidReason>(r.scalar_u());
+  res.error = static_cast<MeasureError>(r.scalar_u());
+  res.attempts = static_cast<int>(r.scalar_u());
+  res.latency_s = r.scalar();
+  res.gflops = r.scalar();
+  res.cost_s = r.scalar();
+  return res;
+}
+
+}  // namespace glimpse::tuning

@@ -1,5 +1,10 @@
-// Measurement request/response types shared by all tuners.
+// Measurement request/response types shared by all tuners, plus the retry
+// pipeline that turns an unreliable Measurer into the clean stream the
+// session loop consumes.
 #pragma once
+
+#include <cstdint>
+#include <limits>
 
 #include "gpusim/measurer.hpp"
 #include "hwspec/gpu_spec.hpp"
@@ -7,6 +12,7 @@
 
 namespace glimpse::tuning {
 
+using gpusim::MeasureError;
 using gpusim::MeasureResult;
 using searchspace::Config;
 
@@ -16,5 +22,45 @@ struct MeasureInput {
   const hwspec::GpuSpec* hw = nullptr;
   Config config;
 };
+
+/// Retry policy for one trial: per-attempt timeout plus exponential backoff
+/// with jitter between attempts. Backoff jitter is drawn from a stateless
+/// Rng substream forked from (seed, trial id), so the schedule is identical
+/// at any GLIMPSE_NUM_THREADS and reproducible from a checkpoint.
+struct RetryPolicy {
+  int max_attempts = 3;     ///< 1 disables retries
+  /// Per-attempt simulated timeout in seconds; <= 0 means unlimited.
+  double timeout_s = 0.0;
+  double backoff_base_s = 0.5;
+  double backoff_mult = 2.0;
+  double backoff_max_s = 8.0;
+  /// Uniform jitter fraction: each wait is scaled by 1 + jitter*U(-1,1).
+  double jitter = 0.25;
+};
+
+/// The backoff wait before retry number `retry` (1-based), jitter excluded.
+double backoff_for_retry(const RetryPolicy& policy, int retry);
+
+/// Measure one configuration with retries. Transient faults, timeouts, and
+/// corrupted payloads (implausible values that claim to be valid) are
+/// retried up to `policy.max_attempts` times with backoff charged to the
+/// measurer's simulated clock. A trial that still fails is returned with
+/// valid == false and error set to its last failure kind — faulted, not
+/// silently dropped. `attempts` records the attempts consumed.
+MeasureResult measure_with_retry(gpusim::Measurer& measurer,
+                                 const searchspace::Task& task,
+                                 const hwspec::GpuSpec& hw, const Config& config,
+                                 const RetryPolicy& policy, std::uint64_t seed,
+                                 std::uint64_t trial_id);
+
+/// True if a result claiming to be valid carries impossible values (negative
+/// or non-finite latency/gflops/cost) — the corruption detector.
+bool implausible(const MeasureResult& r);
+
+/// Token-stream serialization of the measurement types (checkpoint format).
+void write_config(TextWriter& w, const Config& c);
+Config read_config(TextReader& r);
+void write_result(TextWriter& w, const MeasureResult& res);
+MeasureResult read_result(TextReader& r);
 
 }  // namespace glimpse::tuning

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/telemetry/telemetry.hpp"
+#include "tuning/checkpoint.hpp"
 
 namespace glimpse::tuning {
 
@@ -45,7 +46,7 @@ double Trace::best_gflops_within(double budget_s) const {
 std::size_t Trace::num_invalid() const {
   std::size_t n = 0;
   for (const auto& t : trials)
-    if (!t.result.valid) ++n;
+    if (!t.result.valid && t.result.error == MeasureError::kNone) ++n;
   return n;
 }
 
@@ -55,27 +56,50 @@ double Trace::invalid_fraction() const {
                               static_cast<double>(trials.size());
 }
 
+std::size_t Trace::num_faulted() const {
+  std::size_t n = 0;
+  for (const auto& t : trials)
+    if (t.result.error != MeasureError::kNone) ++n;
+  return n;
+}
+
+double Trace::faulted_fraction() const {
+  return trials.empty() ? 0.0
+                        : static_cast<double>(num_faulted()) /
+                              static_cast<double>(trials.size());
+}
+
 double Trace::total_cost_s() const {
   return trials.empty() ? 0.0 : trials.back().elapsed_s;
 }
 
 Trace run_session(Tuner& tuner, const searchspace::Task& task,
-                  const hwspec::GpuSpec& hw, gpusim::SimMeasurer& measurer,
+                  const hwspec::GpuSpec& hw, gpusim::Measurer& measurer,
                   const SessionOptions& options) {
   GLIMPSE_CHECK(options.batch_size >= 1);
   GLIMPSE_SPAN("session.run");
-  Trace trace;
-  double session_start_s = measurer.elapsed_seconds();
-  std::size_t step = 0;
-  double plateau_best = 0.0;
-  std::size_t last_improvement_step = 0;
+  SessionCheckpoint st;
+  st.task_name = task.name();
+  st.hw_name = hw.name;
+  if (!options.resume_from.empty()) {
+    load_checkpoint(options.resume_from, st, tuner, measurer);
+    GLIMPSE_CHECK(st.task_name == checkpoint_word(task.name()) &&
+                  st.hw_name == checkpoint_word(hw.name))
+        << "resume_from snapshot is for (" << st.task_name << ", " << st.hw_name
+        << "), session runs (" << task.name() << ", " << hw.name << ")";
+  } else {
+    st.session_start_s = measurer.elapsed_seconds();
+  }
+  Trace& trace = st.trace;
+  std::size_t journaled = trace.trials.size();  // already in the journal
+  std::size_t batches_since_checkpoint = 0;
 
-  while (step < options.max_trials) {
+  while (st.step < options.max_trials) {
     GLIMPSE_SPAN("session.batch");
-    double elapsed = measurer.elapsed_seconds() - session_start_s;
+    double elapsed = measurer.elapsed_seconds() - st.session_start_s;
     if (elapsed >= options.time_budget_s) break;
 
-    std::size_t want = std::min(options.batch_size, options.max_trials - step);
+    std::size_t want = std::min(options.batch_size, options.max_trials - st.step);
     std::vector<Config> batch = tuner.propose(want);
     if (batch.empty()) break;  // space exhausted
 
@@ -83,24 +107,41 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
     results.reserve(batch.size());
     bool reached_target = false;
     for (const Config& c : batch) {
-      MeasureResult r = measurer.measure(task, hw, c);
+      MeasureResult r = measure_with_retry(measurer, task, hw, c, options.retry,
+                                           options.seed, st.step);
       results.push_back(r);
       TrialRecord rec;
       rec.config = c;
       rec.result = r;
-      rec.step = step++;
-      rec.elapsed_s = measurer.elapsed_seconds() - session_start_s;
+      rec.step = st.step++;
+      rec.elapsed_s = measurer.elapsed_seconds() - st.session_start_s;
       trace.trials.push_back(std::move(rec));
       if (r.valid && r.gflops >= options.early_stop_gflops) reached_target = true;
-      if (r.valid && r.gflops > plateau_best * 1.01) {
-        plateau_best = r.gflops;
-        last_improvement_step = step - 1;  // the trial just recorded
+      if (r.valid && r.gflops > st.plateau_best * 1.01) {
+        st.plateau_best = r.gflops;
+        st.trials_since_improvement = 1;  // counts the improving trial itself
+      } else if (r.error == MeasureError::kNone) {
+        // Faulted trials carry no signal about the search: they must not
+        // advance the plateau clock, or a burst of flaky measurements would
+        // fake convergence and kill the session early.
+        ++st.trials_since_improvement;
       }
     }
     tuner.update(batch, results);
+
+    if (!options.checkpoint_path.empty() &&
+        ++batches_since_checkpoint >= std::max<std::size_t>(1, options.checkpoint_every_batches)) {
+      GLIMPSE_SPAN("session.checkpoint");
+      append_journal(journal_path(options.checkpoint_path), trace, journaled);
+      journaled = trace.trials.size();
+      save_checkpoint(options.checkpoint_path, st, tuner, measurer);
+      batches_since_checkpoint = 0;
+      if (telemetry::metrics_enabled())
+        telemetry::MetricsRegistry::global().counter("session.checkpoints").add(1);
+    }
     if (reached_target) break;
-    if (options.plateau_trials > 0 && plateau_best > 0.0 &&
-        step - last_improvement_step >= options.plateau_trials)
+    if (options.plateau_trials > 0 && st.plateau_best > 0.0 &&
+        st.trials_since_improvement >= options.plateau_trials)
       break;
   }
   if (telemetry::metrics_enabled()) {
@@ -108,6 +149,7 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
     reg.counter("session.sessions").add(1);
     reg.counter("session.trials").add(trace.trials.size());
     reg.counter("session.trials_invalid").add(trace.num_invalid());
+    reg.counter("session.trials_faulted").add(trace.num_faulted());
     reg.gauge("session.last_best_gflops").set(trace.best_gflops());
     reg.histogram("session.gpu_seconds").record(trace.total_cost_s());
   }

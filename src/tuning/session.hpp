@@ -1,9 +1,19 @@
 // Tuning session: drives one tuner against one (task, device) pair under a
 // trial/time budget, producing a trace the metrics and benches consume.
+//
+// Robustness: measurements go through the retry pipeline (tuning/measure.hpp)
+// so transient faults, timeouts, and corrupted payloads are retried with
+// backoff and, if they persist, recorded as faulted trials; plateau logic
+// ignores faulted trials so injected failures cannot fake convergence. With
+// `checkpoint_path` set, the session journals every trial (append-only
+// JSONL) and atomically snapshots tuner/measurer/session state after each
+// batch; `resume_from` restores a snapshot and continues bit-identically.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "tuning/tuner.hpp"
@@ -15,6 +25,14 @@ struct TrialRecord {
   MeasureResult result;
   std::size_t step = 0;     ///< 0-based measurement index within the session
   double elapsed_s = 0.0;   ///< simulated seconds elapsed after this trial
+
+  friend bool operator==(const TrialRecord& a, const TrialRecord& b) {
+    return a.config == b.config && a.step == b.step && a.elapsed_s == b.elapsed_s &&
+           a.result.valid == b.result.valid && a.result.reason == b.result.reason &&
+           a.result.error == b.result.error && a.result.attempts == b.result.attempts &&
+           a.result.latency_s == b.result.latency_s &&
+           a.result.gflops == b.result.gflops && a.result.cost_s == b.result.cost_s;
+  }
 };
 
 /// Complete log of one tuning session.
@@ -22,7 +40,7 @@ struct Trace {
   std::vector<TrialRecord> trials;
 
   /// Best valid GFLOPS over the first `upto` trials (all by default);
-  /// 0 when nothing valid yet.
+  /// 0 when nothing valid yet (including empty and all-faulted traces).
   double best_gflops(std::size_t upto = std::numeric_limits<std::size_t>::max()) const;
   /// Best valid latency in seconds; +inf when nothing valid.
   double best_latency() const;
@@ -32,8 +50,14 @@ struct Trace {
   /// seconds (for fixed-time-budget comparisons, paper Fig. 5).
   double best_gflops_within(double budget_s) const;
 
+  /// Trials the model rejected as invalid configurations. Faulted trials
+  /// (measurement-infrastructure failures) are counted separately — a flaky
+  /// device must not inflate the paper's invalid-config statistics.
   std::size_t num_invalid() const;
-  double invalid_fraction() const;
+  double invalid_fraction() const;  ///< 0 on an empty trace
+  /// Trials that failed after all retry attempts (result.error != kNone).
+  std::size_t num_faulted() const;
+  double faulted_fraction() const;  ///< 0 on an empty trace
   double total_cost_s() const;
 };
 
@@ -46,12 +70,28 @@ struct SessionOptions {
   /// Stop early once this GFLOPS is reached (convergence experiments).
   double early_stop_gflops = std::numeric_limits<double>::infinity();
   /// Plateau stop (AutoTVM's `early_stopping`): end the session when the
-  /// best result has not improved by >1 % for this many trials. 0 disables.
+  /// best result has not improved by >1 % for this many non-faulted trials.
+  /// 0 disables. Faulted trials do not advance the plateau counter.
   std::size_t plateau_trials = 0;
+
+  /// Per-trial retry/backoff policy (defaults retry transient failures).
+  RetryPolicy retry;
+  /// Seed for the session's own deterministic streams (backoff jitter).
+  std::uint64_t seed = 0x676c696d707365ULL;  // "glimpse"
+
+  /// When non-empty: after every `checkpoint_every_batches` batches, append
+  /// new trials to `<checkpoint_path>.journal.jsonl` and atomically rewrite
+  /// the snapshot at `checkpoint_path` (tmp file + rename).
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_batches = 1;
+  /// When non-empty: restore the snapshot (trials, tuner, measurer, session
+  /// counters) before tuning. The resumed session's trace — prior trials
+  /// plus the remainder — is bit-identical to an uninterrupted run.
+  std::string resume_from;
 };
 
 Trace run_session(Tuner& tuner, const searchspace::Task& task,
-                  const hwspec::GpuSpec& hw, gpusim::SimMeasurer& measurer,
+                  const hwspec::GpuSpec& hw, gpusim::Measurer& measurer,
                   const SessionOptions& options);
 
 }  // namespace glimpse::tuning

@@ -28,6 +28,13 @@ class Tuner {
   /// Feed back measurement results for previously proposed configs.
   virtual void update(const std::vector<Config>& configs,
                       const std::vector<MeasureResult>& results) = 0;
+
+  /// Crash-safe session checkpoints (tuning/checkpoint.hpp) snapshot the
+  /// tuner between batches. A checkpointable tuner restored with load()
+  /// must continue bit-identically to one that was never snapshotted.
+  virtual bool checkpointable() const { return false; }
+  virtual void save(TextWriter& w) const;  ///< throws unless checkpointable
+  virtual void load(TextReader& r);        ///< throws unless checkpointable
 };
 
 /// Factory signature used by the experiment harness: build a tuner for one
@@ -44,6 +51,12 @@ class TunerBase : public Tuner {
 
   void update(const std::vector<Config>& configs,
               const std::vector<MeasureResult>& results) override;
+
+  /// Base bookkeeping (rng, visited set, history, best) round-trips; tuners
+  /// with extra state override save/load and chain to these.
+  bool checkpointable() const override { return true; }
+  void save(TextWriter& w) const override;
+  void load(TextReader& r) override;
 
  protected:
   /// Record-keeping part of update(); subclasses call this then learn.

@@ -1,0 +1,284 @@
+#include "proptest_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace glimpse::testing {
+
+PropResult run_prop(std::uint64_t base_seed, int iters,
+                    const std::function<bool(Rng&)>& prop) {
+  for (int i = 0; i < iters; ++i) {
+    Rng rng = Rng::fork(base_seed, static_cast<std::uint64_t>(i));
+    PropResult fail;
+    fail.ok = false;
+    fail.failing_iter = i;
+    try {
+      if (!prop(rng)) return fail;
+    } catch (const std::exception& e) {
+      fail.message = e.what();
+      return fail;
+    } catch (...) {
+      fail.message = "(non-std exception)";
+      return fail;
+    }
+  }
+  return {};
+}
+
+double finite_double(Rng& rng) {
+  // Uniform mantissa, exponent spread over nearly the whole binary range —
+  // covers huge, tiny, and subnormal magnitudes that uniform() never hits.
+  double mant = rng.uniform(-1.0, 1.0);
+  int exp = static_cast<int>(rng.uniform_int(-1000, 1000));
+  return std::ldexp(mant, exp);
+}
+
+double any_double(Rng& rng) {
+  switch (rng.index(10)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return std::numeric_limits<double>::quiet_NaN();
+    case 5:
+      return std::numeric_limits<double>::denorm_min() *
+             static_cast<double>(rng.uniform_int(1, 1000));
+    case 6: return static_cast<double>(rng.uniform_int(-1000000, 1000000));
+    default: return finite_double(rng);
+  }
+}
+
+std::string any_word(Rng& rng, std::size_t max_len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "_-./+:%#@!";
+  std::size_t len = 1 + rng.index(max_len);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(kChars[rng.index(sizeof(kChars) - 1)]);
+  return s;
+}
+
+std::string any_string(Rng& rng, std::size_t max_len) {
+  std::size_t len = rng.index(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.index(6)) {
+      case 0: s.push_back('"'); break;
+      case 1: s.push_back('\\'); break;
+      case 2: s.push_back(static_cast<char>(rng.uniform_int(0, 31))); break;
+      case 3: s.push_back(static_cast<char>(rng.uniform_int(128, 255))); break;
+      default: s.push_back(static_cast<char>(rng.uniform_int(32, 126))); break;
+    }
+  }
+  return s;
+}
+
+linalg::Vector any_vector(Rng& rng, std::size_t max_len) {
+  std::size_t len = rng.index(max_len + 1);
+  linalg::Vector v;
+  v.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) v.push_back(any_double(rng));
+  return v;
+}
+
+linalg::Matrix any_matrix(Rng& rng, std::size_t max_dim) {
+  std::size_t r = rng.index(max_dim + 1);
+  std::size_t c = rng.index(max_dim + 1);
+  linalg::Matrix m(r, c);
+  for (double& x : m.data()) x = any_double(rng);
+  return m;
+}
+
+bool same_double(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b && std::signbit(a) == std::signbit(b);
+}
+
+std::string garble(const std::string& s, Rng& rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  switch (rng.index(4)) {
+    case 0: {  // truncate
+      out.resize(rng.index(out.size()));
+      break;
+    }
+    case 1: {  // delete a chunk
+      std::size_t at = rng.index(out.size());
+      std::size_t len = 1 + rng.index(std::min<std::size_t>(16, out.size() - at));
+      out.erase(at, len);
+      break;
+    }
+    case 2: {  // flip 1..4 characters to random printables
+      int flips = 1 + static_cast<int>(rng.index(4));
+      for (int i = 0; i < flips; ++i)
+        out[rng.index(out.size())] = static_cast<char>(rng.uniform_int(33, 126));
+      break;
+    }
+    default: {  // duplicate a span in place
+      std::size_t at = rng.index(out.size());
+      std::size_t len = 1 + rng.index(std::min<std::size_t>(8, out.size() - at));
+      out.insert(at, out.substr(at, len));
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t last_token_start(const std::string& s) {
+  std::size_t end = s.find_last_not_of(" \t\n\r");
+  if (end == std::string::npos) return std::string::npos;
+  std::size_t ws = s.find_last_of(" \t\n\r", end);
+  return ws == std::string::npos ? 0 : ws + 1;
+}
+
+namespace {
+
+// Recursive-descent JSON syntax checker (RFC 8259 subset: strict numbers,
+// \uXXXX escapes, no trailing garbage).
+struct JsonScan {
+  const std::string& s;
+  std::size_t i = 0;
+  int depth = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  bool lit(const char* t) {
+    std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size()) {
+      unsigned char c = static_cast<unsigned char>(s[i]);
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: must be escaped
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        char e = s[i];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i;
+            if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++i;
+    }
+    return false;  // unterminated
+  }
+  bool digits() {
+    std::size_t start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    return i > start;
+  }
+  bool number() {
+    if (i < s.size() && s[i] == '-') ++i;
+    if (i < s.size() && s[i] == '0') {
+      ++i;
+    } else if (!digits()) {
+      return false;
+    }
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+  bool value() {
+    if (++depth > 256) return false;
+    ws();
+    bool ok = false;
+    if (i >= s.size()) {
+      ok = false;
+    } else if (s[i] == '{') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        ok = true;
+      } else {
+        for (;;) {
+          ws();
+          if (!string()) break;
+          ws();
+          if (i >= s.size() || s[i] != ':') break;
+          ++i;
+          if (!value()) break;
+          ws();
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+          }
+          ok = i < s.size() && s[i] == '}';
+          if (ok) ++i;
+          break;
+        }
+      }
+    } else if (s[i] == '[') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) break;
+          ws();
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+          }
+          ok = i < s.size() && s[i] == ']';
+          if (ok) ++i;
+          break;
+        }
+      }
+    } else if (s[i] == '"') {
+      ok = string();
+    } else if (s[i] == 't') {
+      ok = lit("true");
+    } else if (s[i] == 'f') {
+      ok = lit("false");
+    } else if (s[i] == 'n') {
+      ok = lit("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(const std::string& s) {
+  JsonScan scan{s};
+  if (!scan.value()) return false;
+  scan.ws();
+  return scan.i == s.size();
+}
+
+}  // namespace glimpse::testing

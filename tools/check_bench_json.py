@@ -13,6 +13,13 @@ Checks three file shapes, selected by content sniffing (or forced with
   * metrics    -- JSONL written via GLIMPSE_METRICS: one object per line,
                   each with "name" and "type" (counter | gauge | histogram);
                   histograms carry count/sum/min/max/p50/p90/p99/buckets.
+  * faults     -- BENCH_faults.json from bench/micro_faults.cpp:
+                  {"max_trials", "batch_size", "fault_paths": [
+                    {"name", "p_transient", "trials", "faulted", ...}, ...]}
+  * journal    -- <checkpoint>.journal.jsonl written by the session's
+                  crash-safety layer: one trial object per line with
+                  "step", "config", "valid", "error", "attempts", ...;
+                  steps must be consecutive from 0.
 
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
@@ -69,6 +76,69 @@ def check_bench(doc: object, name: str) -> int:
         _require(p["serial_ms"] >= 0, f"{where}: negative serial_ms")
         _require(p["parallel_ms"] >= 0, f"{where}: negative parallel_ms")
     return len(doc["paths"])
+
+
+def check_faults(doc: object, name: str) -> int:
+    _require_keys(doc, {"max_trials": int, "batch_size": int,
+                        "fault_paths": list}, name)
+    _require(len(doc["fault_paths"]) > 0, f"{name}: empty fault_paths list")
+    for i, p in enumerate(doc["fault_paths"]):
+        where = f"{name}: fault_paths[{i}]"
+        _require_keys(p, {"name": str, "p_transient": NUMBER, "trials": int,
+                          "faulted": int, "recovered": int,
+                          "injected_failures": int, "best_gflops": NUMBER,
+                          "gpu_seconds": NUMBER, "wall_ms": NUMBER}, where)
+        for key in ("checkpointed", "resume_bit_identical"):
+            _require(isinstance(p.get(key), bool),
+                     f"{where}: key '{key}' must be a boolean")
+        _require(0.0 <= p["p_transient"] <= 1.0,
+                 f"{where}: p_transient outside [0, 1]")
+        _require(p["faulted"] <= p["trials"],
+                 f"{where}: more faulted trials than trials")
+        _require(p["recovered"] <= p["trials"],
+                 f"{where}: more recovered trials than trials")
+        _require(p["injected_failures"] >= p["faulted"],
+                 f"{where}: fewer injected failures than faulted trials")
+        _require(p["best_gflops"] >= 0, f"{where}: negative best_gflops")
+        _require(p["gpu_seconds"] >= 0, f"{where}: negative gpu_seconds")
+        _require(p["wall_ms"] >= 0, f"{where}: negative wall_ms")
+    return len(doc["fault_paths"])
+
+
+def check_journal_lines(lines: list[str], name: str) -> int:
+    errors = {"none", "transient", "timeout", "corrupt"}
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{name}:{lineno}"
+        try:
+            t = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"{where}: bad JSON ({e})") from e
+        _require_keys(t, {"step": int, "config": list, "error": str,
+                          "attempts": int, "gflops": (int, float, type(None)),
+                          "latency_s": (int, float, type(None)),
+                          "cost_s": NUMBER, "elapsed_s": NUMBER}, where)
+        _require(isinstance(t.get("valid"), bool),
+                 f"{where}: key 'valid' must be a boolean")
+        _require(t["error"] in errors,
+                 f"{where}: unknown error kind '{t['error']}'")
+        _require(t["step"] == n,
+                 f"{where}: step {t['step']}, expected {n} "
+                 f"(journal must be gapless and duplicate-free)")
+        _require(t["attempts"] >= 1, f"{where}: attempts < 1")
+        _require(t["cost_s"] >= 0, f"{where}: negative cost_s")
+        for j, v in enumerate(t["config"]):
+            _require(isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+                     f"{where}: config[{j}] is not a non-negative integer")
+        if t["valid"]:
+            _require(t["error"] == "none",
+                     f"{where}: valid trial carries error '{t['error']}'")
+        n += 1
+    _require(n > 0, f"{name}: no journal lines")
+    return n
 
 
 def check_trace(doc: object, name: str) -> int:
@@ -130,6 +200,8 @@ def sniff_kind(text: str) -> str:
     first_line = stripped.splitlines()[0] if stripped else ""
     try:
         doc = json.loads(first_line)
+        if isinstance(doc, dict) and "step" in doc and "config" in doc:
+            return "journal"
         if isinstance(doc, dict) and "name" in doc and "type" in doc:
             return "metrics"
     except json.JSONDecodeError:
@@ -140,6 +212,8 @@ def sniff_kind(text: str) -> str:
         return "metrics"  # multi-line JSONL; per-line errors surface there
     if isinstance(doc, dict) and "traceEvents" in doc:
         return "trace"
+    if isinstance(doc, dict) and "fault_paths" in doc:
+        return "faults"
     return "bench"
 
 
@@ -155,6 +229,12 @@ def check_file(path: Path, kind: str | None) -> str:
     if kind == "metrics":
         n = check_metrics_lines(text.splitlines(), str(path))
         return f"metrics jsonl, {n} metric(s)"
+    if kind == "faults":
+        n = check_faults(json.loads(text), str(path))
+        return f"faults json, {n} fault path(s)"
+    if kind == "journal":
+        n = check_journal_lines(text.splitlines(), str(path))
+        return f"session journal, {n} trial(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -178,6 +258,26 @@ VALID_TRACE = {
          "tid": 1, "ts": 10.0, "dur": 50.0, "args": {"depth": 1}},
     ],
 }
+
+VALID_FAULTS = {
+    "max_trials": 96,
+    "batch_size": 8,
+    "fault_paths": [
+        {"name": "transient_p0.20", "p_transient": 0.2, "trials": 96,
+         "faulted": 3, "recovered": 14, "injected_failures": 23,
+         "best_gflops": 397.8, "gpu_seconds": 217.1, "wall_ms": 0.5,
+         "checkpointed": False, "resume_bit_identical": True},
+    ],
+}
+
+VALID_JOURNAL = "\n".join([
+    json.dumps({"step": 0, "config": [1, 0, 3], "valid": True,
+                "error": "none", "attempts": 1, "gflops": 120.5,
+                "latency_s": 0.001, "cost_s": 0.1, "elapsed_s": 0.1}),
+    json.dumps({"step": 1, "config": [2, 2, 0], "valid": False,
+                "error": "transient", "attempts": 3, "gflops": 0.0,
+                "latency_s": 0.0, "cost_s": 0.3, "elapsed_s": 2.4}),
+])
 
 VALID_METRICS = "\n".join([
     json.dumps({"name": "session.trials", "type": "counter", "value": 64}),
@@ -216,6 +316,22 @@ def selftest() -> int:
                      "p90": 0.9, "p99": 1.0,
                      "buckets": [{"le": None, "count": 1}]}), False),
         ("not json at all", "bench", "not json {", False),
+        ("valid faults", None, json.dumps(VALID_FAULTS), True),
+        ("valid journal", None, VALID_JOURNAL, True),
+        ("faults more faulted than trials", "faults",
+         json.dumps({"max_trials": 8, "batch_size": 8, "fault_paths": [
+             dict(VALID_FAULTS["fault_paths"][0], faulted=97)]}), False),
+        ("faults missing resume flag", "faults",
+         json.dumps({"max_trials": 8, "batch_size": 8, "fault_paths": [
+             {k: v for k, v in VALID_FAULTS["fault_paths"][0].items()
+              if k != "resume_bit_identical"}]}), False),
+        ("journal with a step gap", "journal",
+         VALID_JOURNAL.replace('"step": 1', '"step": 5'), False),
+        ("journal valid trial with error", "journal",
+         VALID_JOURNAL.replace('"error": "none"', '"error": "timeout"'),
+         False),
+        ("journal unknown error kind", "journal",
+         VALID_JOURNAL.replace('"transient"', '"gremlins"'), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -243,7 +359,9 @@ def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path,
                         help="files to validate")
-    parser.add_argument("--kind", choices=["bench", "trace", "metrics"],
+    parser.add_argument("--kind",
+                        choices=["bench", "trace", "metrics", "faults",
+                                 "journal"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
