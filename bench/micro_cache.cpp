@@ -1,0 +1,261 @@
+// Result-cache bench: repeated-task tuning with the measurement cache on.
+//
+// A transfer-learning style sweep (paper Fig. 5) re-tunes the same task many
+// times — across seeds, tuner variants, and ablation arms — and without a
+// cache every repeat pays the full simulated measurement bill again. This
+// bench runs R identical tuning sessions per arm, once without and once with
+// a shared ResultCache, and reports the reduction in measurer invocations
+// (expected: ~R×, since only the first repeat measures) plus a
+// decisions-identity check: the cache must change the simulated clock only,
+// never a tuning decision.
+//
+// Arms: Random and AutoTVM single sessions, and the multi-task scheduler
+// running four identical jobs over a bounded slot pool (cross-job sharing
+// already dedups within a run; the cache removes the across-run repeats).
+//
+// Results go to stdout and BENCH_cache.json (validated by
+// tools/check_bench_json.py --kind cache).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/random_tuner.hpp"
+#include "common/json_writer.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "tuning/result_cache.hpp"
+#include "tuning/scheduler.hpp"
+#include "tuning/session.hpp"
+
+namespace {
+
+using namespace glimpse;
+
+constexpr std::size_t kRepeats = 6;
+constexpr std::size_t kMaxTrials = 64;
+constexpr std::size_t kBatch = 8;
+constexpr std::uint64_t kSeed = 95;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Workload {
+  searchspace::Task task;
+  const hwspec::GpuSpec* gpu;
+};
+
+Workload make_workload() {
+  searchspace::ConvShape conv;
+  conv.c = 256;
+  conv.h = 14;
+  conv.w = 14;
+  conv.k = 256;
+  conv.kh = 3;
+  conv.kw = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  const hwspec::GpuSpec* gpu = hwspec::find_gpu("Titan Xp");
+  if (!gpu) gpu = hwspec::evaluation_gpus().front();
+  return {searchspace::Task("cache.conv", searchspace::TemplateKind::kConv2d, conv),
+          gpu};
+}
+
+tuning::SessionOptions session_options() {
+  tuning::SessionOptions o;
+  o.max_trials = kMaxTrials;
+  o.batch_size = kBatch;
+  return o;
+}
+
+struct Sweep {
+  std::string name;
+  std::string tuner;
+  std::size_t repeats = 0;
+  std::size_t trials_total = 0;
+  std::size_t measurements_no_cache = 0;
+  std::size_t measurements_cache = 0;
+  double reduction = 0.0;
+  std::uint64_t cache_hits = 0;
+  bool traces_identical = true;
+  double wall_ms = 0.0;
+};
+
+using TunerFactory = std::function<std::unique_ptr<tuning::Tuner>()>;
+
+/// R identical sessions; `cache` nullptr for the baseline arm. Returns the
+/// traces and accumulates measurer invocations into `measurements`.
+std::vector<tuning::Trace> run_repeats(const Workload& w, const TunerFactory& make,
+                                       tuning::ResultCache* cache,
+                                       std::size_t& measurements) {
+  std::vector<tuning::Trace> traces;
+  for (std::size_t r = 0; r < kRepeats; ++r) {
+    auto tuner = make();
+    gpusim::SimMeasurer sim;
+    tuning::SessionOptions opts = session_options();
+    opts.result_cache = cache;
+    traces.push_back(tuning::run_session(*tuner, w.task, *w.gpu, sim, opts));
+    measurements += sim.num_measurements();
+  }
+  return traces;
+}
+
+Sweep run_session_sweep(const Workload& w, const std::string& name,
+                        const std::string& tuner_name, const TunerFactory& make) {
+  Sweep s;
+  s.name = name;
+  s.tuner = tuner_name;
+  s.repeats = kRepeats;
+  double t0 = now_ms();
+
+  std::vector<tuning::Trace> plain = run_repeats(w, make, nullptr,
+                                                 s.measurements_no_cache);
+  tuning::ResultCache cache;
+  std::vector<tuning::Trace> cached = run_repeats(w, make, &cache,
+                                                  s.measurements_cache);
+
+  s.wall_ms = now_ms() - t0;
+  s.cache_hits = cache.stats().hits;
+  for (std::size_t r = 0; r < kRepeats; ++r) {
+    s.trials_total += cached[r].trials.size();
+    s.traces_identical = s.traces_identical &&
+                         tuning::trace_decisions_identical(plain[r], cached[r]);
+  }
+  s.reduction = s.measurements_cache
+                    ? static_cast<double>(s.measurements_no_cache) /
+                          static_cast<double>(s.measurements_cache)
+                    : 0.0;
+  return s;
+}
+
+/// Four identical jobs per scheduler run (cross-job dedup makes three of
+/// them pure followers), repeated R times against one shared cache.
+Sweep run_scheduler_sweep(const Workload& w) {
+  constexpr std::size_t kJobs = 4;
+  const std::size_t slots = tuning::scheduler_slots_from_env(4);
+  Sweep s;
+  s.name = "scheduler_4x_random";
+  s.tuner = "Random";
+  s.repeats = kRepeats;
+  double t0 = now_ms();
+
+  auto run_once = [&](tuning::ResultCache* cache, std::size_t& measurements) {
+    std::vector<std::unique_ptr<baselines::RandomTuner>> tuners;
+    std::vector<std::unique_ptr<gpusim::SimMeasurer>> sims;
+    std::vector<tuning::ScheduledJob> jobs;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      tuners.push_back(std::make_unique<baselines::RandomTuner>(w.task, *w.gpu, kSeed));
+      sims.push_back(std::make_unique<gpusim::SimMeasurer>());
+      tuning::ScheduledJob job;
+      job.tuner = tuners.back().get();
+      job.task = &w.task;
+      job.hw = w.gpu;
+      job.measurer = sims.back().get();
+      job.options = session_options();
+      job.options.result_cache = cache;
+      jobs.push_back(job);
+    }
+    tuning::SchedulerOptions so;
+    so.slots = slots;
+    std::vector<tuning::Trace> traces = tuning::run_scheduled(jobs, so);
+    for (const auto& sim : sims) measurements += sim->num_measurements();
+    return traces;
+  };
+
+  std::vector<std::vector<tuning::Trace>> plain, cached;
+  for (std::size_t r = 0; r < kRepeats; ++r)
+    plain.push_back(run_once(nullptr, s.measurements_no_cache));
+  tuning::ResultCache cache;
+  for (std::size_t r = 0; r < kRepeats; ++r)
+    cached.push_back(run_once(&cache, s.measurements_cache));
+
+  s.wall_ms = now_ms() - t0;
+  s.cache_hits = cache.stats().hits;
+  for (std::size_t r = 0; r < kRepeats; ++r)
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      s.trials_total += cached[r][j].trials.size();
+      s.traces_identical =
+          s.traces_identical &&
+          tuning::trace_decisions_identical(plain[r][j], cached[r][j]);
+    }
+  s.reduction = s.measurements_cache
+                    ? static_cast<double>(s.measurements_no_cache) /
+                          static_cast<double>(s.measurements_cache)
+                    : 0.0;
+  return s;
+}
+
+void print_sweep(const Sweep& s) {
+  std::printf(
+      "%-22s %-8s repeats %zu  trials %4zu  meas %5zu -> %4zu  reduction %5.1fx"
+      "  hits %5llu  identical %s  wall %7.1f ms\n",
+      s.name.c_str(), s.tuner.c_str(), s.repeats, s.trials_total,
+      s.measurements_no_cache, s.measurements_cache, s.reduction,
+      static_cast<unsigned long long>(s.cache_hits),
+      s.traces_identical ? "yes" : "NO", s.wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_cache: repeated-task tuning with the result cache ===\n\n");
+  Workload w = make_workload();
+  std::vector<Sweep> sweeps;
+
+  sweeps.push_back(run_session_sweep(w, "repeat_random", "Random", [&] {
+    return std::make_unique<baselines::RandomTuner>(w.task, *w.gpu, kSeed);
+  }));
+  print_sweep(sweeps.back());
+
+  sweeps.push_back(run_session_sweep(w, "repeat_autotvm", "AutoTVM", [&] {
+    return std::make_unique<baselines::AutoTvmTuner>(w.task, *w.gpu, kSeed);
+  }));
+  print_sweep(sweeps.back());
+
+  sweeps.push_back(run_scheduler_sweep(w));
+  print_sweep(sweeps.back());
+
+  bool ok = true;
+  for (const Sweep& s : sweeps)
+    ok = ok && s.traces_identical && s.reduction >= 5.0;
+  std::printf("\nacceptance (reduction >= 5x, decisions identical): %s\n",
+              ok ? "PASS" : "FAIL");
+
+  const char* out_path = "BENCH_cache.json";
+  if (std::ofstream f{out_path}) {
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.kv("max_trials", static_cast<std::uint64_t>(kMaxTrials));
+    jw.kv("batch_size", static_cast<std::uint64_t>(kBatch));
+    jw.kv("repeats", static_cast<std::uint64_t>(kRepeats));
+    jw.key("sweeps");
+    jw.begin_array();
+    for (const Sweep& s : sweeps) {
+      jw.begin_object();
+      jw.kv("name", s.name);
+      jw.kv("tuner", s.tuner);
+      jw.kv("repeats", static_cast<std::uint64_t>(s.repeats));
+      jw.kv("trials_total", static_cast<std::uint64_t>(s.trials_total));
+      jw.kv("measurements_no_cache",
+            static_cast<std::uint64_t>(s.measurements_no_cache));
+      jw.kv("measurements_cache", static_cast<std::uint64_t>(s.measurements_cache));
+      jw.kv_fixed("reduction", s.reduction, 2);
+      jw.kv("cache_hits", s.cache_hits);
+      jw.kv("traces_identical", s.traces_identical);
+      jw.kv_fixed("wall_ms", s.wall_ms, 3);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    jw.done();
+    std::printf("wrote %s\n", out_path);
+  }
+  return ok ? 0 : 1;
+}

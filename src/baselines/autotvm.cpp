@@ -150,6 +150,26 @@ void AutoTvmTuner::update(const std::vector<tuning::Config>& configs,
   needs_refit_ = true;
 }
 
+void AutoTvmTuner::save(TextWriter& w) const {
+  w.tag("autotvm_v1");
+  TunerBase::save(w);
+  w.scalar_u(needs_refit_ ? 1 : 0);
+  w.scalar_u(local_fitted_ ? 1 : 0);
+}
+
+void AutoTvmTuner::load(TextReader& r) {
+  r.expect("autotvm_v1");
+  TunerBase::load(r);
+  needs_refit_ = r.scalar_u() != 0;
+  bool had_fit = r.scalar_u() != 0;
+  // The model weights are not in the snapshot; force a deterministic lazy
+  // refit from the restored history + rng. Session snapshots are always
+  // taken right after update(), so the uninterrupted run refits at the same
+  // round from the same state and the traces stay bit-identical.
+  local_fitted_ = false;
+  if (had_fit) needs_refit_ = true;
+}
+
 tuning::TunerFactory autotvm_factory(
     AutoTvmOptions options, std::shared_ptr<const ml::GbtRegressor> transfer_model) {
   return [options, transfer_model](const searchspace::Task& task,

@@ -45,6 +45,14 @@ class AutoTvmTuner : public tuning::TunerBase {
   void update(const std::vector<tuning::Config>& configs,
               const std::vector<tuning::MeasureResult>& results) override;
 
+  /// Checkpoints chain TunerBase state plus the fit flags. The GBT model
+  /// itself is not serialized: snapshots are written right after update()
+  /// (which marks the model dirty), so a resumed tuner lazily refits from
+  /// the restored history and rng at its next propose() — the same fit, at
+  /// the same point, from the same rng state as the uninterrupted run.
+  void save(TextWriter& w) const override;
+  void load(TextReader& r) override;
+
  protected:
   /// Model-based score of a config (local model, else transfer model).
   double score(const tuning::Config& c) const;

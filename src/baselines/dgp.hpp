@@ -41,6 +41,12 @@ class DgpTuner final : public tuning::TunerBase {
   void update(const std::vector<tuning::Config>& configs,
               const std::vector<tuning::MeasureResult>& results) override;
 
+  /// Chains TunerBase state. The local GP is not serialized: refit_gp() is
+  /// rng-free and deterministic in the measured history, so load() forces a
+  /// lazy refit and the resumed posterior is bit-identical.
+  void save(TextWriter& w) const override;
+  void load(TextReader& r) override;
+
  private:
   double ucb(const tuning::Config& c) const;
   void refit_gp();

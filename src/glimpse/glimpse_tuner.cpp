@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -170,29 +171,47 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   GLIMPSE_SPAN("tuner.search");
   // Per-round memo: the annealing energy and the re-rank loop below both
   // need a candidate's features, prior score and surrogate prediction, and
-  // chains revisit configs — featurize each distinct config once per round.
-  // Concurrent chains may duplicate a computation on a map miss (the values
-  // are deterministic; the first insert wins) but never hold the lock while
-  // computing.
+  // chains revisit configs — featurize each distinct config EXACTLY once
+  // per round. The mutex guards only map access; the computation itself
+  // runs under a per-key once-flag, so concurrent chains missing on the
+  // same config block on the one computing thread instead of duplicating
+  // the work (the old scheme computed outside the lock and let the first
+  // insert win, so concurrent misses paid the featurization repeatedly).
+  // Entries live behind unique_ptr: node addresses survive rehashing.
   struct Scored {
     double prior_score = 0.0;
     NeuralSurrogate::Prediction pred;
     linalg::Vector derived;  ///< meta-optimizer kernel-feature block
   };
-  std::unordered_map<Config, Scored, searchspace::ConfigHash> memo;
+  struct MemoEntry {
+    std::once_flag once;
+    Scored value;
+  };
+  std::unordered_map<Config, std::unique_ptr<MemoEntry>, searchspace::ConfigHash>
+      memo;
   std::mutex memo_mu;
   auto scored = [&](const Config& c) -> const Scored& {
+    MemoEntry* entry;
     {
       std::lock_guard<std::mutex> lock(memo_mu);
-      auto it = memo.find(c);
-      if (it != memo.end()) return it->second;
+      auto& slot = memo[c];
+      if (!slot) slot = std::make_unique<MemoEntry>();
+      entry = slot.get();
     }
-    Scored s;
-    s.prior_score = options_.use_prior ? prior_->config_score(c) : 0.0;
-    s.pred = surrogate_.predict(config_features(task_, c));
-    if (options_.use_meta) s.derived = MetaOptimizer::derived_block(task_, c);
-    std::lock_guard<std::mutex> lock(memo_mu);
-    return memo.try_emplace(c, std::move(s)).first->second;
+    bool computed = false;
+    std::call_once(entry->once, [&] {
+      Scored s;
+      s.prior_score = options_.use_prior ? prior_->config_score(c) : 0.0;
+      s.pred = surrogate_.predict(config_features(task_, c));
+      if (options_.use_meta) s.derived = MetaOptimizer::derived_block(task_, c);
+      entry->value = std::move(s);
+      computed = true;
+    });
+    if (telemetry::metrics_enabled())
+      telemetry::MetricsRegistry::global()
+          .counter(computed ? "tuner.memo_compute" : "tuner.memo_hit")
+          .add(1);
+    return entry->value;
   };
 
   // 1. Simulated annealing with the surrogate as the energy function,

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "common/telemetry/telemetry.hpp"
+#include "tuning/result_cache.hpp"
 
 namespace glimpse::tuning {
 
@@ -40,8 +41,19 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
                                  const searchspace::Task& task,
                                  const hwspec::GpuSpec& hw, const Config& config,
                                  const RetryPolicy& policy, std::uint64_t seed,
-                                 std::uint64_t trial_id) {
+                                 std::uint64_t trial_id, ResultCache* cache) {
   GLIMPSE_SPAN("measure.with_retry");
+  CacheKey cache_key;
+  if (cache) {
+    // Consult the cache before the measurer, the retry loop, or the jitter
+    // stream: a hit charges no simulated time and advances no state, so the
+    // rest of the session is untouched by whether the hit happened.
+    cache_key.task_fp = task_fingerprint(task);
+    cache_key.hw_fp = hardware_fingerprint(hw);
+    cache_key.config = config;
+    MeasureResult hit;
+    if (cache->lookup(cache_key, hit)) return hit;
+  }
   const int max_attempts = std::max(1, policy.max_attempts);
   const double timeout =
       policy.timeout_s > 0.0 ? policy.timeout_s : std::numeric_limits<double>::infinity();
@@ -65,6 +77,9 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
       if (telemetry::metrics_enabled())
         telemetry::MetricsRegistry::global().histogram("measure.attempts").record(
             static_cast<double>(attempt));
+      // Settled: valid measurement or deterministic model rejection. Either
+      // way the answer is final for this (task, hw, config), so cache it.
+      if (cache) cache->insert(cache_key, r);
       return r;
     }
     record_fault_metrics(r.error);
@@ -82,7 +97,10 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
     }
   }
   // Out of attempts: the trial is recorded as faulted (valid == false,
-  // error == last failure kind), never silently dropped.
+  // error == last failure kind), never silently dropped. Faults are NOT
+  // cached — a later retry of the same config must hit real measurement,
+  // and with a fresh per-trial jitter fork, so the earlier fault's backoff
+  // state cannot leak into it.
   last.valid = false;
   if (telemetry::metrics_enabled()) {
     auto& reg = telemetry::MetricsRegistry::global();

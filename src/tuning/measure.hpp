@@ -41,17 +41,31 @@ struct RetryPolicy {
 /// The backoff wait before retry number `retry` (1-based), jitter excluded.
 double backoff_for_retry(const RetryPolicy& policy, int retry);
 
+class ResultCache;
+
 /// Measure one configuration with retries. Transient faults, timeouts, and
 /// corrupted payloads (implausible values that claim to be valid) are
 /// retried up to `policy.max_attempts` times with backoff charged to the
 /// measurer's simulated clock. A trial that still fails is returned with
 /// valid == false and error set to its last failure kind — faulted, not
 /// silently dropped. `attempts` records the attempts consumed.
+///
+/// With `cache` set, the cache is consulted before the measurer is touched:
+/// a hit returns the stored result — bit-identical to what a fresh
+/// measurement would produce, measurements being deterministic in (task,
+/// hardware, config) — and charges ZERO simulated time (no measurement
+/// cost, no backoff). Settled results (error == kNone, valid or
+/// model-invalid) are inserted after measurement; infrastructure faults are
+/// never cached, so a faulted trial stays retryable. Backoff jitter is a
+/// stateless per-trial fork of (seed, trial id): a hit consumes nothing
+/// from any shared stream, and a fault retried in an earlier trial cannot
+/// inflate a later trial's backoff schedule.
 MeasureResult measure_with_retry(gpusim::Measurer& measurer,
                                  const searchspace::Task& task,
                                  const hwspec::GpuSpec& hw, const Config& config,
                                  const RetryPolicy& policy, std::uint64_t seed,
-                                 std::uint64_t trial_id);
+                                 std::uint64_t trial_id,
+                                 ResultCache* cache = nullptr);
 
 /// True if a result claiming to be valid carries impossible values (negative
 /// or non-finite latency/gflops/cost) — the corruption detector.

@@ -1,0 +1,359 @@
+#include "tuning/result_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "tuning/measure.hpp"
+
+namespace glimpse::tuning {
+
+namespace {
+
+void bump(const char* name) {
+  if (telemetry::metrics_enabled())
+    telemetry::MetricsRegistry::global().counter(name).add(1);
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_cache_line(std::ostream& os, const CacheKey& key,
+                      const gpusim::MeasureResult& r) {
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("task_fp", hex_u64(key.task_fp));
+  w.kv("hw_fp", hex_u64(key.hw_fp));
+  w.key("config");
+  w.begin_array();
+  for (std::uint32_t v : key.config) w.value(static_cast<std::uint64_t>(v));
+  w.end_array();
+  w.kv("valid", r.valid);
+  w.kv("reason", static_cast<std::uint64_t>(r.reason));
+  w.kv("error", static_cast<std::uint64_t>(r.error));
+  w.kv("attempts", static_cast<std::uint64_t>(std::max(1, r.attempts)));
+  w.kv("latency_s", r.latency_s);
+  w.kv("gflops", r.gflops);
+  w.kv("cost_s", r.cost_s);
+  w.end_object();
+  os << '\n';
+}
+
+/// Strict scanner for the cache's own JSONL lines. The writer emits a fixed
+/// key order, so the reader demands it: anything else — truncation, bit
+/// flips, hand edits — fails the line, and the caller drops it.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& s) : p_(s.c_str()), end_(p_ + s.size()) {}
+
+  bool lit(const char* s) {
+    skip_ws();
+    std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end_ - p_) < n || std::memcmp(p_, s, n) != 0)
+      return false;
+    p_ += n;
+    return true;
+  }
+
+  bool quoted_hex(std::uint64_t& out) {
+    skip_ws();
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    const char* start = p_;
+    while (p_ != end_ && *p_ != '"') ++p_;
+    if (p_ == end_ || p_ == start || p_ - start > 16) return false;
+    std::uint64_t v = 0;
+    for (const char* q = start; q != p_; ++q) {
+      char c = *q;
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else return false;
+      v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    ++p_;  // closing quote
+    out = v;
+    return true;
+  }
+
+  bool number(double& out) {
+    skip_ws();
+    char* after = nullptr;
+    double v = std::strtod(p_, &after);
+    if (after == p_) return false;
+    p_ = after;
+    out = v;
+    return true;
+  }
+
+  bool uint_val(std::uint64_t& out) {
+    skip_ws();
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
+    char* after = nullptr;
+    out = std::strtoull(p_, &after, 10);
+    if (after == p_) return false;
+    p_ = after;
+    return true;
+  }
+
+  bool boolean(bool& out) {
+    if (lit("true")) {
+      out = true;
+      return true;
+    }
+    if (lit("false")) {
+      out = false;
+      return true;
+    }
+    return false;
+  }
+
+  bool config(searchspace::Config& out) {
+    if (!lit("[")) return false;
+    out.clear();
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      std::uint64_t v;
+      if (!uint_val(v) || v > 0xffffffffULL || out.size() >= 4096) return false;
+      out.push_back(static_cast<std::uint32_t>(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      if (*p_ != ',') return false;
+      ++p_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+/// Parse one entry line. Returns false when the line is not syntactically an
+/// entry (rejected). On success, `stale` flags entries that parse but carry
+/// impossible payloads — they must not be served.
+bool parse_cache_line(const std::string& line, CacheKey& key,
+                      gpusim::MeasureResult& r, bool& stale) {
+  LineScanner s(line);
+  std::uint64_t reason = 0, error = 0, attempts = 0;
+  if (!s.lit("{\"task_fp\":") || !s.quoted_hex(key.task_fp)) return false;
+  if (!s.lit(",\"hw_fp\":") || !s.quoted_hex(key.hw_fp)) return false;
+  if (!s.lit(",\"config\":") || !s.config(key.config)) return false;
+  if (!s.lit(",\"valid\":") || !s.boolean(r.valid)) return false;
+  if (!s.lit(",\"reason\":") || !s.uint_val(reason)) return false;
+  if (!s.lit(",\"error\":") || !s.uint_val(error)) return false;
+  if (!s.lit(",\"attempts\":") || !s.uint_val(attempts)) return false;
+  if (!s.lit(",\"latency_s\":") || !s.number(r.latency_s)) return false;
+  if (!s.lit(",\"gflops\":") || !s.number(r.gflops)) return false;
+  if (!s.lit(",\"cost_s\":") || !s.number(r.cost_s)) return false;
+  if (!s.lit("}") || !s.at_end()) return false;
+
+  r.reason = static_cast<gpusim::InvalidReason>(reason);
+  r.error = static_cast<gpusim::MeasureError>(error);
+  r.attempts = static_cast<int>(attempts);
+
+  // Semantic validation: the payload must be a result this codebase could
+  // have produced. Anything else is stale — parseable, but not servable.
+  stale = reason > static_cast<std::uint64_t>(gpusim::InvalidReason::kLaunchFailed) ||
+          error != 0 ||  // only settled results are ever written
+          attempts < 1 || attempts > 1000 || key.config.empty() ||
+          !std::isfinite(r.cost_s) || r.cost_s < 0.0 ||
+          !std::isfinite(r.latency_s) || !std::isfinite(r.gflops) ||
+          (r.valid && (r.latency_s <= 0.0 || r.gflops <= 0.0)) ||
+          (!r.valid && (r.latency_s != 0.0 || r.gflops != 0.0));
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t task_fingerprint(const searchspace::Task& task) {
+  std::uint64_t h = fnv1a(task.name());
+  h = hash_combine(h, static_cast<std::uint64_t>(task.kind()));
+  const auto& space = task.space();
+  h = hash_combine(h, space.num_knobs());
+  for (std::size_t k = 0; k < space.num_knobs(); ++k)
+    h = hash_combine(h, space.knob(k).num_options());
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(task.flops()));
+  return h;
+}
+
+std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw) {
+  std::uint64_t h = fnv1a(hw.name);
+  linalg::Vector f = hw.to_features();
+  h = hash_combine(h, f.size());
+  for (double v : f) h = hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  return h;
+}
+
+bool ResultCache::cacheable(const gpusim::MeasureResult& r) {
+  return r.error == gpusim::MeasureError::kNone;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(std::move(options)) {
+  GLIMPSE_CHECK(options_.capacity >= 1);
+  if (!options_.path.empty()) {
+    load_disk_tier();
+    appender_.open(options_.path, std::ios::app);
+    if (!appender_.good())
+      LOG_WARN << "result cache: cannot append to " << options_.path
+               << "; running memory-only";
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (appender_.is_open()) appender_.flush();
+}
+
+bool ResultCache::lookup(const CacheKey& key, gpusim::MeasureResult& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    bump("cache.miss");
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out = it->second->result;
+  ++stats_.hits;
+  bump("cache.hit");
+  return true;
+}
+
+void ResultCache::insert(const CacheKey& key, const gpusim::MeasureResult& r) {
+  if (!cacheable(r)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(key, r, /*persist=*/true);
+}
+
+void ResultCache::insert_locked(const CacheKey& key, const gpusim::MeasureResult& r,
+                                bool persist) {
+  if (index_.contains(key)) return;  // deterministic: first entry is the truth
+  lru_.push_front(Entry{key, r});
+  index_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  bump("cache.insert");
+  if (persist && appender_.is_open()) {
+    append_line(key, r);
+    appender_.flush();
+  }
+  while (index_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    bump("cache.evict");
+  }
+}
+
+void ResultCache::append_line(const CacheKey& key, const gpusim::MeasureResult& r) {
+  write_cache_line(appender_, key, r);
+}
+
+void ResultCache::load_disk_tier() {
+  std::ifstream is(options_.path);
+  if (!is.good()) return;  // no file yet: an empty cache, not an error
+  std::string line;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    CacheKey key;
+    gpusim::MeasureResult r;
+    bool stale = false;
+    if (!parse_cache_line(line, key, r, stale)) {
+      ++stats_.rejected_lines;
+      bump("cache.rejected_line");
+      continue;
+    }
+    if (stale) {
+      ++stats_.stale;
+      bump("cache.stale");
+      continue;
+    }
+    std::size_t before = index_.size();
+    insert_locked(key, r, /*persist=*/false);
+    if (index_.size() > before) {
+      ++stats_.loaded;
+      --stats_.inserts;  // loads are not new inserts
+    }
+  }
+}
+
+bool ResultCache::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.path.empty()) return false;
+  if (stats_.evictions > 0) {
+    // The disk tier may hold entries the memory tier evicted; rewriting from
+    // memory would silently drop them. Leave the append-only file as is.
+    return false;
+  }
+  const std::string tmp = options_.path + ".tmp";
+  if (appender_.is_open()) appender_.close();
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os.good()) {
+      LOG_WARN << "result cache: cannot open " << tmp << " for compaction";
+      appender_.open(options_.path, std::ios::app);
+      return false;
+    }
+    // Oldest first, so a reload replays insert order and recency survives.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+      write_cache_line(os, it->key, it->result);
+    os.flush();
+    if (!os.good()) {
+      LOG_WARN << "result cache: compaction write failed for " << tmp;
+      appender_.open(options_.path, std::ios::app);
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    LOG_WARN << "result cache: compaction rename to " << options_.path << " failed";
+    appender_.open(options_.path, std::ios::app);
+    return false;
+  }
+  appender_.open(options_.path, std::ios::app);
+  return true;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::unique_ptr<ResultCache> ResultCache::open_from_env() {
+  const char* env = std::getenv("GLIMPSE_RESULT_CACHE");
+  if (!env || !*env) return nullptr;
+  ResultCacheOptions opts;
+  if (std::string(env) != "mem") opts.path = env;
+  return std::make_unique<ResultCache>(std::move(opts));
+}
+
+}  // namespace glimpse::tuning

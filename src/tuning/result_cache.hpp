@@ -1,0 +1,148 @@
+// Cross-session measurement result cache.
+//
+// Measurements in this codebase are deterministic in (task, hardware,
+// config) — SimMeasurer seeds its noise from stable hashes of exactly that
+// triple — so a result measured once is a result known forever. The cache
+// exploits that: it is consulted by tuning::measure_with_retry before any
+// simulated-hardware measurement, keyed by
+//   (task fingerprint, hardware fingerprint, config),
+// where the fingerprints digest everything the measurement depends on (task
+// name, template kind, knob structure, FLOP count; hardware name plus the
+// full datasheet feature vector). If a task or GPU definition changes, its
+// fingerprint changes and old entries become unreachable rather than wrong.
+//
+// Two tiers:
+//  * an in-memory LRU map bounded by `capacity`, safe for concurrent
+//    lookup/insert from the scheduler's measurement threads;
+//  * an optional persistent on-disk tier: an append-only JSONL file (one
+//    entry per line, written through JsonWriter) loaded at open. Corrupted
+//    or stale lines are counted and skipped, never fatal — the cache is an
+//    accelerator, not a source of truth. compact() rewrites the file
+//    atomically (tmp + rename, the checkpoint idiom) to drop duplicates.
+//
+// Only settled results are cached: valid measurements and deterministic
+// model-invalid configs (error == kNone). Infrastructure faults (transient,
+// timeout, corrupt) are never cached — a flaky measurement must stay
+// retryable, not become a cached failure.
+//
+// Telemetry: cache.hit / cache.miss / cache.stale / cache.insert /
+// cache.evict counters (gated on metrics_enabled()). Lookups never touch an
+// Rng, so enabling the cache cannot perturb any random stream: a cache hit
+// returns the bit-identical result a fresh measurement would have produced
+// and charges zero simulated time.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "gpusim/measurer.hpp"
+#include "hwspec/gpu_spec.hpp"
+#include "searchspace/task.hpp"
+
+namespace glimpse::tuning {
+
+/// Digest of everything a measurement result depends on from the task side:
+/// name, template kind, knob structure (count and per-knob option counts),
+/// and nominal FLOPs. Stable across processes.
+std::uint64_t task_fingerprint(const searchspace::Task& task);
+
+/// Digest of the hardware side: GPU name plus the full datasheet feature
+/// vector (bit-exact), so edited specs invalidate old entries.
+std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw);
+
+struct CacheKey {
+  std::uint64_t task_fp = 0;
+  std::uint64_t hw_fp = 0;
+  searchspace::Config config;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    std::uint64_t h = hash_combine(k.task_fp, k.hw_fp);
+    for (auto v : k.config) h = hash_combine(h, v);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct ResultCacheOptions {
+  /// In-memory LRU capacity (entries). Must be >= 1.
+  std::size_t capacity = 1 << 16;
+  /// Persistent tier path; empty disables the disk tier.
+  std::string path;
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;     ///< disk lines with impossible payloads, dropped
+  std::uint64_t inserts = 0;   ///< new entries accepted (memory tier)
+  std::uint64_t evictions = 0; ///< LRU evictions since open
+  std::uint64_t loaded = 0;    ///< entries restored from the disk tier at open
+  std::uint64_t rejected_lines = 0;  ///< unparseable disk lines, dropped
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True (and fills `out`) when the key is cached. Refreshes LRU recency.
+  bool lookup(const CacheKey& key, gpusim::MeasureResult& out);
+
+  /// Insert a settled result. Uncacheable results (error != kNone) and
+  /// duplicate keys are ignored (measurements are deterministic, so the
+  /// first entry is already the truth). Appends to the disk tier when open.
+  void insert(const CacheKey& key, const gpusim::MeasureResult& r);
+
+  /// True when a result may enter the cache: the measurement settled
+  /// (error == kNone); valid and model-invalid results both qualify.
+  static bool cacheable(const gpusim::MeasureResult& r);
+
+  /// Atomically rewrite the disk tier from the in-memory entries (oldest
+  /// first, so recency survives a reload), dropping duplicate appends.
+  /// Skipped (returns false) when entries have been evicted since open —
+  /// compacting then would silently drop disk entries the memory tier no
+  /// longer holds — or when there is no disk tier.
+  bool compact();
+
+  std::size_t size() const;
+  ResultCacheStats stats() const;
+  const ResultCacheOptions& options() const { return options_; }
+
+  /// Build a cache from GLIMPSE_RESULT_CACHE: unset/empty -> nullptr
+  /// (caching off); "mem" -> memory-only; any other value -> persistent
+  /// cache at that path.
+  static std::unique_ptr<ResultCache> open_from_env();
+
+ private:
+  struct Entry {
+    CacheKey key;
+    gpusim::MeasureResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  void insert_locked(const CacheKey& key, const gpusim::MeasureResult& r,
+                     bool persist);
+  void load_disk_tier();
+  void append_line(const CacheKey& key, const gpusim::MeasureResult& r);
+
+  ResultCacheOptions options_;
+  mutable std::mutex mu_;
+  EntryList lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, EntryList::iterator, CacheKeyHash> index_;
+  std::ofstream appender_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace glimpse::tuning

@@ -1,0 +1,56 @@
+// Multi-task tuning scheduler: N tuning sessions sharing a bounded pool of
+// measurer slots, with cross-task deduplication of candidate configs.
+//
+// Each round the scheduler, in fixed job order, asks every live job's tuner
+// for its next batch and assigns each (task, hardware, config) key an
+// *owner* — the first job to propose it this round. Owners measure; every
+// later proposer of the same key ("follower") replays the owner's result at
+// zero simulated cost (a scheduler.shared_hits telemetry event). Owners'
+// measurements run concurrently, at most `slots` jobs in flight at a time,
+// through the deterministic thread pool.
+//
+// Determinism contract: proposal and ownership assignment are serial in job
+// order; measurement results are deterministic in (task, hardware, config);
+// each job's measurer/tuner state is touched only by that job; and backoff
+// jitter comes from stateless Rng::fork(seed, trial_id) substreams. Hence a
+// job's tuning trace is bit-identical at any thread count and any slot
+// count, and its *decisions* (configs, results, steps — everything but the
+// simulated clock) are identical with the result cache on or off. Sessions
+// resumed from a checkpoint continue bit-identically, per job, exactly as
+// in the single-task run_session — which is itself implemented as a
+// one-job schedule, so every session-level test exercises this code path.
+#pragma once
+
+#include <vector>
+
+#include "tuning/session.hpp"
+
+namespace glimpse::tuning {
+
+/// One tuning session under the scheduler. The caller owns tuner, task,
+/// hardware, and measurer; each job must have its own tuner and measurer
+/// (measurer accounting is per-session state). `options.result_cache` may
+/// point at a cache shared across jobs — it is thread-safe.
+struct ScheduledJob {
+  Tuner* tuner = nullptr;
+  const searchspace::Task* task = nullptr;
+  const hwspec::GpuSpec* hw = nullptr;
+  gpusim::Measurer* measurer = nullptr;
+  SessionOptions options;
+};
+
+struct SchedulerOptions {
+  /// Measurer slots: at most this many jobs measure concurrently. >= 1.
+  std::size_t slots = 4;
+};
+
+/// GLIMPSE_SCHED_SLOTS, else `fallback`.
+std::size_t scheduler_slots_from_env(std::size_t fallback = 4);
+
+/// Run every job to completion (budget, plateau, early stop, or exhausted
+/// space), interleaved round by round. Returns one trace per job, in job
+/// order.
+std::vector<Trace> run_scheduled(std::vector<ScheduledJob>& jobs,
+                                 const SchedulerOptions& options = {});
+
+}  // namespace glimpse::tuning

@@ -4,7 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/telemetry/telemetry.hpp"
-#include "tuning/checkpoint.hpp"
+#include "tuning/scheduler.hpp"
 
 namespace glimpse::tuning {
 
@@ -78,82 +78,35 @@ Trace run_session(Tuner& tuner, const searchspace::Task& task,
                   const SessionOptions& options) {
   GLIMPSE_CHECK(options.batch_size >= 1);
   GLIMPSE_SPAN("session.run");
-  SessionCheckpoint st;
-  st.task_name = task.name();
-  st.hw_name = hw.name;
-  if (!options.resume_from.empty()) {
-    load_checkpoint(options.resume_from, st, tuner, measurer);
-    GLIMPSE_CHECK(st.task_name == checkpoint_word(task.name()) &&
-                  st.hw_name == checkpoint_word(hw.name))
-        << "resume_from snapshot is for (" << st.task_name << ", " << st.hw_name
-        << "), session runs (" << task.name() << ", " << hw.name << ")";
-  } else {
-    st.session_start_s = measurer.elapsed_seconds();
+  // A session is a one-job schedule: the scheduler's plan/measure/assemble
+  // round degenerates to propose/measure/update with every config owned,
+  // reproducing the classic session loop bit for bit.
+  std::vector<ScheduledJob> jobs(1);
+  jobs[0].tuner = &tuner;
+  jobs[0].task = &task;
+  jobs[0].hw = &hw;
+  jobs[0].measurer = &measurer;
+  jobs[0].options = options;
+  SchedulerOptions sched;
+  sched.slots = 1;
+  std::vector<Trace> traces = run_scheduled(jobs, sched);
+  return std::move(traces.front());
+}
+
+bool trace_decisions_identical(const Trace& a, const Trace& b) {
+  if (a.trials.size() != b.trials.size()) return false;
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    const TrialRecord& x = a.trials[i];
+    const TrialRecord& y = b.trials[i];
+    if (!(x.config == y.config && x.step == y.step &&
+          x.result.valid == y.result.valid && x.result.reason == y.result.reason &&
+          x.result.error == y.result.error &&
+          x.result.attempts == y.result.attempts &&
+          x.result.latency_s == y.result.latency_s &&
+          x.result.gflops == y.result.gflops && x.result.cost_s == y.result.cost_s))
+      return false;
   }
-  Trace& trace = st.trace;
-  std::size_t journaled = trace.trials.size();  // already in the journal
-  std::size_t batches_since_checkpoint = 0;
-
-  while (st.step < options.max_trials) {
-    GLIMPSE_SPAN("session.batch");
-    double elapsed = measurer.elapsed_seconds() - st.session_start_s;
-    if (elapsed >= options.time_budget_s) break;
-
-    std::size_t want = std::min(options.batch_size, options.max_trials - st.step);
-    std::vector<Config> batch = tuner.propose(want);
-    if (batch.empty()) break;  // space exhausted
-
-    std::vector<MeasureResult> results;
-    results.reserve(batch.size());
-    bool reached_target = false;
-    for (const Config& c : batch) {
-      MeasureResult r = measure_with_retry(measurer, task, hw, c, options.retry,
-                                           options.seed, st.step);
-      results.push_back(r);
-      TrialRecord rec;
-      rec.config = c;
-      rec.result = r;
-      rec.step = st.step++;
-      rec.elapsed_s = measurer.elapsed_seconds() - st.session_start_s;
-      trace.trials.push_back(std::move(rec));
-      if (r.valid && r.gflops >= options.early_stop_gflops) reached_target = true;
-      if (r.valid && r.gflops > st.plateau_best * 1.01) {
-        st.plateau_best = r.gflops;
-        st.trials_since_improvement = 1;  // counts the improving trial itself
-      } else if (r.error == MeasureError::kNone) {
-        // Faulted trials carry no signal about the search: they must not
-        // advance the plateau clock, or a burst of flaky measurements would
-        // fake convergence and kill the session early.
-        ++st.trials_since_improvement;
-      }
-    }
-    tuner.update(batch, results);
-
-    if (!options.checkpoint_path.empty() &&
-        ++batches_since_checkpoint >= std::max<std::size_t>(1, options.checkpoint_every_batches)) {
-      GLIMPSE_SPAN("session.checkpoint");
-      append_journal(journal_path(options.checkpoint_path), trace, journaled);
-      journaled = trace.trials.size();
-      save_checkpoint(options.checkpoint_path, st, tuner, measurer);
-      batches_since_checkpoint = 0;
-      if (telemetry::metrics_enabled())
-        telemetry::MetricsRegistry::global().counter("session.checkpoints").add(1);
-    }
-    if (reached_target) break;
-    if (options.plateau_trials > 0 && st.plateau_best > 0.0 &&
-        st.trials_since_improvement >= options.plateau_trials)
-      break;
-  }
-  if (telemetry::metrics_enabled()) {
-    auto& reg = telemetry::MetricsRegistry::global();
-    reg.counter("session.sessions").add(1);
-    reg.counter("session.trials").add(trace.trials.size());
-    reg.counter("session.trials_invalid").add(trace.num_invalid());
-    reg.counter("session.trials_faulted").add(trace.num_faulted());
-    reg.gauge("session.last_best_gflops").set(trace.best_gflops());
-    reg.histogram("session.gpu_seconds").record(trace.total_cost_s());
-  }
-  return trace;
+  return true;
 }
 
 }  // namespace glimpse::tuning

@@ -20,6 +20,8 @@
 
 namespace glimpse::tuning {
 
+class ResultCache;
+
 struct TrialRecord {
   Config config;
   MeasureResult result;
@@ -88,10 +90,27 @@ struct SessionOptions {
   /// counters) before tuning. The resumed session's trace — prior trials
   /// plus the remainder — is bit-identical to an uninterrupted run.
   std::string resume_from;
+
+  /// Optional measurement result cache (tuning/result_cache.hpp), consulted
+  /// before every simulated-hardware measurement. Not owned; may be shared
+  /// across concurrent sessions (it is thread-safe). A hit charges zero
+  /// simulated time, so traces with the cache on and off agree on every
+  /// decision (configs, results, steps) but not on `elapsed_s` — compare
+  /// them with trace_decisions_identical, not operator==.
+  ResultCache* result_cache = nullptr;
 };
 
+/// Drive one tuner to completion. Implemented as a single-job schedule
+/// (tuning/scheduler.hpp) so the session loop and the multi-task scheduler
+/// are one code path.
 Trace run_session(Tuner& tuner, const searchspace::Task& task,
                   const hwspec::GpuSpec& hw, gpusim::Measurer& measurer,
                   const SessionOptions& options);
+
+/// True when two traces made the same decisions: same configs, results, and
+/// step indices trial for trial, ignoring `elapsed_s`. This is the identity
+/// that holds across cache on/off (a cache hit charges zero simulated time,
+/// so the clocks diverge while everything else stays bit-identical).
+bool trace_decisions_identical(const Trace& a, const Trace& b);
 
 }  // namespace glimpse::tuning

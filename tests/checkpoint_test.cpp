@@ -10,7 +10,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
+#include "baselines/chameleon.hpp"
+#include "baselines/dgp.hpp"
 #include "baselines/random_tuner.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
@@ -322,6 +325,92 @@ TEST(CheckpointTest, NonCheckpointableTunerFailsLoudly) {
   EXPECT_FALSE(opaque.checkpointable());
   EXPECT_THROW(save_checkpoint(tmp_path("ckpt_opaque.txt"), st, opaque, sim),
                std::runtime_error);
+}
+
+// ---------- resume never re-proposes a measured config ----------
+
+// For each tuner: run a reference session, then kill after `stop_after`
+// trials and resume with a completely fresh tuner. The resumed full trace
+// must (a) contain no duplicate configs — the restored visited set plus each
+// tuner's own schedule state must prevent re-measuring anything — and
+// (b) be bit-identical to the uninterrupted run.
+template <typename MakeTuner>
+void check_resume_no_reproposal(const std::string& name, const MakeTuner& make) {
+  const std::size_t kTrials = 40, kBatch = 8, kStopAfter = 2 * kBatch;
+  SessionOptions opts = base_options(kTrials, kBatch);
+
+  Trace ref;
+  {
+    auto tuner = make();
+    SimMeasurer sim;
+    ref = run_session(*tuner, small_conv_task(), titan_xp(), sim, opts);
+  }
+  ASSERT_EQ(ref.trials.size(), kTrials) << name;
+
+  std::string path = tmp_path("ckpt_noreprop_" + name + ".txt");
+  remove_artifacts(path);
+  {
+    auto tuner = make();
+    SimMeasurer sim;
+    SessionOptions first = opts;
+    first.max_trials = kStopAfter;
+    first.checkpoint_path = path;
+    run_session(*tuner, small_conv_task(), titan_xp(), sim, first);
+  }
+  auto tuner = make();
+  SimMeasurer sim;
+  SessionOptions second = opts;
+  second.resume_from = path;
+  Trace resumed = run_session(*tuner, small_conv_task(), titan_xp(), sim, second);
+
+  std::unordered_set<Config, searchspace::ConfigHash> seen;
+  for (const auto& t : resumed.trials)
+    EXPECT_TRUE(seen.insert(t.config).second)
+        << name << ": config re-proposed at step " << t.step;
+  expect_traces_identical(ref, resumed);
+  remove_artifacts(path);
+}
+
+TEST(CheckpointTest, RandomNeverReproposesAfterResume) {
+  check_resume_no_reproposal("random", [] {
+    return std::make_unique<RandomTuner>(small_conv_task(), titan_xp(), 41);
+  });
+}
+
+TEST(CheckpointTest, AutoTvmNeverReproposesAfterResume) {
+  check_resume_no_reproposal("autotvm", [] {
+    return std::make_unique<baselines::AutoTvmTuner>(small_conv_task(), titan_xp(), 42);
+  });
+}
+
+TEST(CheckpointTest, ChameleonNeverReproposesAfterResume) {
+  // Regression: the Adaptive Exploration schedule (sa_steps_ decay and the
+  // last-round best) was not checkpointed, so a resumed Chameleon restarted
+  // annealing at full budget and silently diverged from the reference run.
+  check_resume_no_reproposal("chameleon", [] {
+    return std::make_unique<baselines::ChameleonTuner>(small_conv_task(), titan_xp(),
+                                                       43);
+  });
+}
+
+TEST(CheckpointTest, DgpNeverReproposesAfterResume) {
+  static std::shared_ptr<const gp::DeepKernelGp> embedder = [] {
+    Rng rng(44);
+    return baselines::pretrain_dgp_embedder(
+        glimpse::testing::tiny_dataset(), rng,
+        {.embed_dim = 8, .hidden = 16, .pretrain_epochs = 15});
+  }();
+  check_resume_no_reproposal("dgp", [] {
+    return std::make_unique<baselines::DgpTuner>(small_conv_task(), titan_xp(), 44,
+                                                 embedder);
+  });
+}
+
+TEST(CheckpointTest, GlimpseNeverReproposesAfterResume) {
+  check_resume_no_reproposal("glimpse", [] {
+    return std::make_unique<GlimpseTuner>(small_conv_task(), titan_xp(), 45,
+                                          tiny_artifacts());
+  });
 }
 
 TEST(CheckpointTest, CheckpointWordEncodesWhitespace) {

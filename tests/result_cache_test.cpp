@@ -1,0 +1,352 @@
+// Measurement result cache tests (ctest -L robustness): fingerprinting,
+// LRU behaviour under random eviction orders, disk-tier round trips,
+// corrupted-line rejection, and the measure_with_retry integration — a hit
+// must charge zero simulated time and return the bit-identical result.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/faulty_measurer.hpp"
+#include "gpusim/measurer.hpp"
+#include "proptest_util.hpp"
+#include "test_util.hpp"
+#include "tuning/measure.hpp"
+#include "tuning/result_cache.hpp"
+
+namespace glimpse::tuning {
+namespace {
+
+using glimpse::testing::garble;
+using glimpse::testing::small_conv_task;
+using glimpse::testing::small_dense_task;
+using glimpse::testing::titan_xp;
+using gpusim::FaultInjector;
+using gpusim::FaultPlan;
+using gpusim::MeasureResult;
+using gpusim::SimMeasurer;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+MeasureResult valid_result(double gflops) {
+  MeasureResult r;
+  r.valid = true;
+  r.latency_s = 1e-3;
+  r.gflops = gflops;
+  r.cost_s = 2.0;
+  return r;
+}
+
+CacheKey key_for(std::uint32_t a, std::uint32_t b = 0) {
+  CacheKey k;
+  k.task_fp = 0x1111;
+  k.hw_fp = 0x2222;
+  k.config = {a, b};
+  return k;
+}
+
+bool results_equal(const MeasureResult& a, const MeasureResult& b) {
+  return a.valid == b.valid && a.reason == b.reason && a.error == b.error &&
+         a.attempts == b.attempts && a.latency_s == b.latency_s &&
+         a.gflops == b.gflops && a.cost_s == b.cost_s;
+}
+
+TEST(ResultCacheTest, FingerprintsAreStableAndDiscriminating) {
+  EXPECT_EQ(task_fingerprint(small_conv_task()), task_fingerprint(small_conv_task()));
+  EXPECT_NE(task_fingerprint(small_conv_task()), task_fingerprint(small_dense_task()));
+  EXPECT_EQ(hardware_fingerprint(titan_xp()), hardware_fingerprint(titan_xp()));
+  EXPECT_NE(hardware_fingerprint(titan_xp()),
+            hardware_fingerprint(glimpse::testing::rtx3090()));
+  // Editing any datasheet number must invalidate the fingerprint.
+  hwspec::GpuSpec edited = titan_xp();
+  edited.mem_bandwidth_gbs += 1.0;
+  EXPECT_NE(hardware_fingerprint(titan_xp()), hardware_fingerprint(edited));
+}
+
+TEST(ResultCacheTest, InsertLookupRoundTrip) {
+  ResultCache cache;
+  MeasureResult in = valid_result(900.0);
+  EXPECT_FALSE(cache.lookup(key_for(1), in));
+  cache.insert(key_for(1), in);
+  MeasureResult out;
+  ASSERT_TRUE(cache.lookup(key_for(1), out));
+  EXPECT_TRUE(results_equal(in, out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(ResultCacheTest, FaultedResultsAreNeverCached) {
+  ResultCache cache;
+  MeasureResult faulted = valid_result(100.0);
+  faulted.valid = false;
+  faulted.gflops = 0.0;
+  faulted.latency_s = 0.0;
+  faulted.error = gpusim::MeasureError::kTransient;
+  EXPECT_FALSE(ResultCache::cacheable(faulted));
+  cache.insert(key_for(2), faulted);
+  MeasureResult out;
+  EXPECT_FALSE(cache.lookup(key_for(2), out));
+
+  // Model-invalid results ARE cacheable: the rejection is deterministic.
+  MeasureResult invalid;
+  invalid.valid = false;
+  invalid.reason = gpusim::InvalidReason::kTooManyThreads;
+  EXPECT_TRUE(ResultCache::cacheable(invalid));
+  cache.insert(key_for(3), invalid);
+  EXPECT_TRUE(cache.lookup(key_for(3), out));
+  EXPECT_TRUE(results_equal(invalid, out));
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsedUnderRandomAccess) {
+  // Property: after any interleaving of inserts and lookups, the cache holds
+  // exactly the `capacity` most recently touched keys.
+  CHECK_PROP(401, 50, [&](Rng& rng) {
+    std::size_t capacity = 2 + rng.index(6);
+    ResultCacheOptions opts;
+    opts.capacity = capacity;
+    ResultCache cache(opts);
+    std::vector<std::uint32_t> recency;  // most recent last
+    auto touch = [&](std::uint32_t id) {
+      for (auto it = recency.begin(); it != recency.end(); ++it)
+        if (*it == id) {
+          recency.erase(it);
+          break;
+        }
+      recency.push_back(id);
+      if (recency.size() > capacity) recency.erase(recency.begin());
+    };
+    int steps = 30 + static_cast<int>(rng.index(40));
+    for (int s = 0; s < steps; ++s) {
+      std::uint32_t id = static_cast<std::uint32_t>(rng.index(12));
+      MeasureResult out;
+      if (rng.chance(0.5)) {
+        if (cache.lookup(key_for(id), out)) touch(id);
+      } else {
+        bool had = cache.lookup(key_for(id), out);
+        if (!had) cache.insert(key_for(id), valid_result(100.0 + id));
+        touch(id);
+      }
+      if (cache.size() > capacity) return false;
+    }
+    // Every key the model says is resident must be served.
+    for (std::uint32_t id : recency) {
+      MeasureResult out;
+      if (!cache.lookup(key_for(id), out)) return false;
+      if (out.gflops != 100.0 + id) return false;
+    }
+    return true;
+  });
+}
+
+TEST(ResultCacheTest, DiskTierRoundTrips) {
+  std::string path = tmp_path("cache_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCacheOptions opts;
+    opts.path = path;
+    ResultCache cache(opts);
+    for (std::uint32_t i = 0; i < 16; ++i)
+      cache.insert(key_for(i), valid_result(50.0 + i));
+  }
+  ResultCacheOptions opts;
+  opts.path = path;
+  ResultCache reloaded(opts);
+  EXPECT_EQ(reloaded.stats().loaded, 16u);
+  EXPECT_EQ(reloaded.stats().rejected_lines, 0u);
+  EXPECT_EQ(reloaded.stats().stale, 0u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    MeasureResult out;
+    ASSERT_TRUE(reloaded.lookup(key_for(i), out)) << "entry " << i;
+    EXPECT_EQ(out.gflops, 50.0 + i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, CorruptedLinesAreRejectedWithoutAborting) {
+  std::string path = tmp_path("cache_corrupt.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCacheOptions opts;
+    opts.path = path;
+    ResultCache cache(opts);
+    for (std::uint32_t i = 0; i < 8; ++i)
+      cache.insert(key_for(i), valid_result(50.0 + i));
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 8u);
+
+  CHECK_PROP(402, 60, [&](Rng& rng) {
+    // Garble a random subset of lines; the rest must still load.
+    std::string bad = tmp_path("cache_corrupt_bad.jsonl");
+    std::size_t damaged = 0;
+    {
+      std::ofstream os(bad, std::ios::trunc);
+      for (const std::string& line : lines) {
+        if (rng.chance(0.4)) {
+          os << garble(line, rng) << '\n';
+          ++damaged;
+        } else {
+          os << line << '\n';
+        }
+      }
+    }
+    ResultCacheOptions opts;
+    opts.path = bad;
+    ResultCache cache(opts);  // must not throw or abort
+    ResultCacheStats st = cache.stats();
+    // Every undamaged line loads; damaged lines are rejected or stale (or,
+    // for the rare garble that still parses as a well-formed entry, loaded
+    // under whatever key it now spells). Nothing is fatal.
+    if (st.loaded < lines.size() - damaged) return false;
+    std::remove(bad.c_str());
+    return true;
+  });
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, StaleEntriesAreDroppedNotServed) {
+  std::string path = tmp_path("cache_stale.jsonl");
+  std::remove(path.c_str());
+  {
+    // A line that parses but claims a valid result with negative latency:
+    // parseable, impossible, therefore stale.
+    std::ofstream os(path, std::ios::trunc);
+    os << "{\"task_fp\":\"0000000000001111\",\"hw_fp\":\"0000000000002222\","
+          "\"config\":[1,0],\"valid\":true,\"reason\":0,\"error\":0,"
+          "\"attempts\":1,\"latency_s\":-1.0,\"gflops\":900.0,\"cost_s\":2.0}\n";
+  }
+  ResultCacheOptions opts;
+  opts.path = path;
+  ResultCache cache(opts);
+  EXPECT_EQ(cache.stats().stale, 1u);
+  EXPECT_EQ(cache.stats().loaded, 0u);
+  MeasureResult out;
+  EXPECT_FALSE(cache.lookup(key_for(1), out));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, CompactionRewritesAtomicallyAndPreservesEntries) {
+  std::string path = tmp_path("cache_compact.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCacheOptions opts;
+    opts.path = path;
+    ResultCache cache(opts);
+    for (std::uint32_t i = 0; i < 10; ++i)
+      cache.insert(key_for(i), valid_result(50.0 + i));
+    EXPECT_TRUE(cache.compact());
+    // Appends after compaction must still land in the file.
+    cache.insert(key_for(99), valid_result(999.0));
+  }
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  ResultCacheOptions opts;
+  opts.path = path;
+  ResultCache reloaded(opts);
+  EXPECT_EQ(reloaded.stats().loaded, 11u);
+  MeasureResult out;
+  EXPECT_TRUE(reloaded.lookup(key_for(99), out));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, CompactionRefusedAfterEvictions) {
+  std::string path = tmp_path("cache_compact_evict.jsonl");
+  std::remove(path.c_str());
+  ResultCacheOptions opts;
+  opts.path = path;
+  opts.capacity = 4;
+  ResultCache cache(opts);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    cache.insert(key_for(i), valid_result(50.0 + i));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Rewriting from a memory tier that evicted entries would drop disk rows.
+  EXPECT_FALSE(cache.compact());
+  ResultCacheOptions ropts;
+  ropts.path = path;
+  ResultCache reloaded(ropts);
+  EXPECT_EQ(reloaded.stats().loaded, 10u);  // the disk tier kept everything
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, OpenFromEnvVariants) {
+  ::unsetenv("GLIMPSE_RESULT_CACHE");
+  EXPECT_EQ(ResultCache::open_from_env(), nullptr);
+  ::setenv("GLIMPSE_RESULT_CACHE", "mem", 1);
+  auto mem = ResultCache::open_from_env();
+  ASSERT_NE(mem, nullptr);
+  EXPECT_TRUE(mem->options().path.empty());
+  std::string path = tmp_path("cache_env.jsonl");
+  ::setenv("GLIMPSE_RESULT_CACHE", path.c_str(), 1);
+  auto disk = ResultCache::open_from_env();
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->options().path, path);
+  ::unsetenv("GLIMPSE_RESULT_CACHE");
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, MeasureWithRetryHitChargesZeroSimulatedTime) {
+  const auto& task = small_conv_task();
+  const auto& hw = titan_xp();
+  Rng crng(7);
+  Config config = task.space().random_config(crng);
+  RetryPolicy policy;
+  ResultCache cache;
+
+  SimMeasurer sim;
+  MeasureResult first =
+      measure_with_retry(sim, task, hw, config, policy, 99, 0, &cache);
+  std::size_t measurements = sim.num_measurements();
+  double elapsed = sim.elapsed_seconds();
+  EXPECT_GT(measurements, 0u);
+  EXPECT_GT(elapsed, 0.0);
+
+  // Second call: a hit. Bit-identical result, measurer untouched.
+  MeasureResult second =
+      measure_with_retry(sim, task, hw, config, policy, 99, 1, &cache);
+  EXPECT_TRUE(results_equal(first, second));
+  EXPECT_EQ(sim.num_measurements(), measurements);
+  EXPECT_EQ(sim.elapsed_seconds(), elapsed);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCacheTest, FaultedThenCachedTrialDoesNotInflateBackoff) {
+  const auto& task = small_conv_task();
+  const auto& hw = titan_xp();
+  Rng crng(8);
+  Config config = task.space().random_config(crng);
+  RetryPolicy policy;
+  ResultCache cache;
+
+  // First trial: one scheduled transient fault, so the retry loop charges
+  // one backoff wait and then recovers and caches the settled result.
+  SimMeasurer sim;
+  FaultPlan plan;
+  plan.scheduled_transients = {0};
+  FaultInjector flaky(sim, plan);
+  MeasureResult first =
+      measure_with_retry(flaky, task, hw, config, policy, 99, 0, &cache);
+  ASSERT_EQ(first.error, gpusim::MeasureError::kNone);
+  EXPECT_GT(first.attempts, 1);
+  double elapsed_after_fault = sim.elapsed_seconds();
+
+  // Second trial of the same config: served from the cache. No measurement,
+  // no backoff, no simulated time — the earlier fault's backoff state is
+  // confined to its own trial and cannot leak forward.
+  MeasureResult second =
+      measure_with_retry(flaky, task, hw, config, policy, 99, 1, &cache);
+  EXPECT_TRUE(results_equal(first, second));
+  EXPECT_EQ(sim.elapsed_seconds(), elapsed_after_fault);
+}
+
+}  // namespace
+}  // namespace glimpse::tuning

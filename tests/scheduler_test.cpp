@@ -1,0 +1,296 @@
+// Multi-task scheduler tests (ctest -L robustness): the determinism matrix
+// (thread count × slot count × result cache on/off × resume), config sharing
+// across identical jobs, and cross-session cache persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/random_tuner.hpp"
+#include "common/parallel.hpp"
+#include "gpusim/measurer.hpp"
+#include "proptest_util.hpp"
+#include "test_util.hpp"
+#include "tuning/checkpoint.hpp"
+#include "tuning/result_cache.hpp"
+#include "tuning/scheduler.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse::tuning {
+namespace {
+
+using baselines::AutoTvmTuner;
+using baselines::RandomTuner;
+using glimpse::testing::rtx3090;
+using glimpse::testing::small_conv_task;
+using glimpse::testing::small_dense_task;
+using glimpse::testing::titan_xp;
+using gpusim::SimMeasurer;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct PoolGuard {
+  ~PoolGuard() { set_num_threads(0); }
+};
+
+SessionOptions small_options(std::size_t max_trials = 24, std::size_t batch = 8) {
+  SessionOptions o;
+  o.max_trials = max_trials;
+  o.batch_size = batch;
+  return o;
+}
+
+/// The matrix workload: two distinct tasks plus a duplicate of the first (so
+/// cross-job config sharing actually fires), mixing a model-based tuner in
+/// with random search.
+struct JobSpec {
+  const searchspace::Task* task;
+  const hwspec::GpuSpec* hw;
+  std::uint64_t seed;
+  bool autotvm;
+};
+
+std::vector<JobSpec> matrix_specs() {
+  return {
+      {&small_conv_task(), &titan_xp(), 51, false},
+      {&small_dense_task(), &rtx3090(), 52, true},
+      {&small_conv_task(), &titan_xp(), 51, false},  // duplicate of job 0
+  };
+}
+
+std::vector<Trace> run_matrix(const std::vector<JobSpec>& specs, std::size_t slots,
+                              ResultCache* cache) {
+  std::vector<std::unique_ptr<Tuner>> tuners;
+  std::vector<std::unique_ptr<SimMeasurer>> sims;
+  std::vector<ScheduledJob> jobs;
+  for (const JobSpec& s : specs) {
+    if (s.autotvm)
+      tuners.push_back(std::make_unique<AutoTvmTuner>(*s.task, *s.hw, s.seed));
+    else
+      tuners.push_back(std::make_unique<RandomTuner>(*s.task, *s.hw, s.seed));
+    sims.push_back(std::make_unique<SimMeasurer>());
+    ScheduledJob j;
+    j.tuner = tuners.back().get();
+    j.task = s.task;
+    j.hw = s.hw;
+    j.measurer = sims.back().get();
+    j.options = small_options();
+    j.options.result_cache = cache;
+    jobs.push_back(j);
+  }
+  SchedulerOptions so;
+  so.slots = slots;
+  return run_scheduled(jobs, so);
+}
+
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i)
+    EXPECT_TRUE(a.trials[i] == b.trials[i]) << "trial " << i << " diverged";
+}
+
+TEST(SchedulerTest, SingleJobScheduleMatchesRunSession) {
+  SessionOptions opts = small_options(32);
+  Trace ref;
+  {
+    RandomTuner tuner(small_conv_task(), titan_xp(), 61);
+    SimMeasurer sim;
+    ref = run_session(tuner, small_conv_task(), titan_xp(), sim, opts);
+  }
+  RandomTuner tuner(small_conv_task(), titan_xp(), 61);
+  SimMeasurer sim;
+  std::vector<ScheduledJob> jobs(1);
+  jobs[0].tuner = &tuner;
+  jobs[0].task = &small_conv_task();
+  jobs[0].hw = &titan_xp();
+  jobs[0].measurer = &sim;
+  jobs[0].options = opts;
+  SchedulerOptions so;
+  so.slots = 3;  // more slots than jobs must be harmless
+  std::vector<Trace> traces = run_scheduled(jobs, so);
+  ASSERT_EQ(traces.size(), 1u);
+  expect_traces_identical(ref, traces[0]);
+}
+
+TEST(SchedulerTest, TracesAreBitIdenticalAcrossThreadsAndSlots) {
+  PoolGuard guard;
+  std::vector<JobSpec> specs = matrix_specs();
+
+  set_num_threads(1);
+  std::vector<Trace> ref = run_matrix(specs, /*slots=*/1, nullptr);
+  ASSERT_EQ(ref.size(), specs.size());
+  for (const Trace& t : ref) ASSERT_FALSE(t.trials.empty());
+
+  for (int threads : {1, 4}) {
+    for (std::size_t slots : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      set_num_threads(threads);
+      std::vector<Trace> got = run_matrix(specs, slots, nullptr);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t j = 0; j < ref.size(); ++j) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " slots=" + std::to_string(slots) + " job=" + std::to_string(j));
+        expect_traces_identical(ref[j], got[j]);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, CacheOnPreservesDecisionsAndStaysDeterministic) {
+  PoolGuard guard;
+  std::vector<JobSpec> specs = matrix_specs();
+
+  set_num_threads(1);
+  std::vector<Trace> ref = run_matrix(specs, 1, nullptr);
+
+  // A fresh shared cache per run: warm state would legitimately change the
+  // simulated clock between runs.
+  std::vector<Trace> cached_ref;
+  {
+    ResultCache cache;
+    cached_ref = run_matrix(specs, 1, &cache);
+    EXPECT_GT(cache.stats().inserts, 0u);
+  }
+  ASSERT_EQ(cached_ref.size(), ref.size());
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    SCOPED_TRACE("job=" + std::to_string(j));
+    // Cache on/off agree on every decision; only the charged clock differs.
+    EXPECT_TRUE(trace_decisions_identical(ref[j], cached_ref[j]));
+  }
+
+  // At a fixed cache setting, the full trace (clock included) is identical
+  // at any thread count and slot count.
+  for (int threads : {1, 4}) {
+    for (std::size_t slots : {std::size_t{1}, std::size_t{2}}) {
+      set_num_threads(threads);
+      ResultCache cache;
+      std::vector<Trace> got = run_matrix(specs, slots, &cache);
+      for (std::size_t j = 0; j < ref.size(); ++j) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " slots=" + std::to_string(slots) + " job=" + std::to_string(j));
+        expect_traces_identical(cached_ref[j], got[j]);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, DuplicateJobsShareMeasurementsWithinARound) {
+  // Two bit-identical jobs: the second always proposes what the first just
+  // proposed, so it owns nothing and its measurer is never touched.
+  RandomTuner t0(small_conv_task(), titan_xp(), 71);
+  RandomTuner t1(small_conv_task(), titan_xp(), 71);
+  SimMeasurer m0, m1;
+  std::vector<ScheduledJob> jobs(2);
+  jobs[0] = {&t0, &small_conv_task(), &titan_xp(), &m0, small_options()};
+  jobs[1] = {&t1, &small_conv_task(), &titan_xp(), &m1, small_options()};
+  SchedulerOptions so;
+  so.slots = 2;
+  std::vector<Trace> traces = run_scheduled(jobs, so);
+
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_GT(m0.num_measurements(), 0u);
+  EXPECT_EQ(m1.num_measurements(), 0u);  // pure follower
+  EXPECT_EQ(m1.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(trace_decisions_identical(traces[0], traces[1]));
+}
+
+TEST(SchedulerTest, PerJobResumeInsideAScheduleIsBitIdentical) {
+  // Reference: both jobs uninterrupted. Tasks are distinct so no sharing
+  // perturbs the clock and full bit-identity must hold.
+  SessionOptions opts = small_options(32);
+  auto make_jobs = [&](RandomTuner& a, RandomTuner& b, SimMeasurer& ma,
+                       SimMeasurer& mb) {
+    std::vector<ScheduledJob> jobs(2);
+    jobs[0] = {&a, &small_conv_task(), &titan_xp(), &ma, opts};
+    jobs[1] = {&b, &small_dense_task(), &titan_xp(), &mb, opts};
+    return jobs;
+  };
+
+  std::vector<Trace> ref;
+  {
+    RandomTuner a(small_conv_task(), titan_xp(), 81);
+    RandomTuner b(small_dense_task(), titan_xp(), 82);
+    SimMeasurer ma, mb;
+    auto jobs = make_jobs(a, b, ma, mb);
+    ref = run_scheduled(jobs);
+  }
+
+  std::string path = tmp_path("sched_resume_a.txt");
+  std::remove(path.c_str());
+  std::remove(journal_path(path).c_str());
+  {
+    // "Kill" job 0 after two batches; job 1 runs to completion.
+    RandomTuner a(small_conv_task(), titan_xp(), 81);
+    RandomTuner b(small_dense_task(), titan_xp(), 82);
+    SimMeasurer ma, mb;
+    auto jobs = make_jobs(a, b, ma, mb);
+    jobs[0].options.max_trials = 16;
+    jobs[0].options.checkpoint_path = path;
+    run_scheduled(jobs);
+  }
+  // Resume job 0 from its snapshot, next to a fresh run of job 1.
+  RandomTuner a(small_conv_task(), titan_xp(), 81);
+  RandomTuner b(small_dense_task(), titan_xp(), 82);
+  SimMeasurer ma, mb;
+  auto jobs = make_jobs(a, b, ma, mb);
+  jobs[0].options.resume_from = path;
+  std::vector<Trace> got = run_scheduled(jobs);
+
+  expect_traces_identical(ref[0], got[0]);
+  expect_traces_identical(ref[1], got[1]);
+  std::remove(path.c_str());
+  std::remove(journal_path(path).c_str());
+}
+
+TEST(SchedulerTest, PersistentCacheEliminatesRepeatMeasurements) {
+  std::string path = tmp_path("sched_cache_persist.jsonl");
+  std::remove(path.c_str());
+  SessionOptions opts = small_options(24);
+
+  Trace first;
+  std::size_t first_measurements = 0;
+  {
+    ResultCacheOptions copts;
+    copts.path = path;
+    ResultCache cache(copts);
+    RandomTuner tuner(small_conv_task(), titan_xp(), 91);
+    SimMeasurer sim;
+    opts.result_cache = &cache;
+    first = run_session(tuner, small_conv_task(), titan_xp(), sim, opts);
+    first_measurements = sim.num_measurements();
+  }
+  EXPECT_GT(first_measurements, 0u);
+
+  // A new process: reopen the cache from disk, rerun the identical session.
+  ResultCacheOptions copts;
+  copts.path = path;
+  ResultCache cache(copts);
+  EXPECT_EQ(cache.stats().loaded, first_measurements);
+  RandomTuner tuner(small_conv_task(), titan_xp(), 91);
+  SimMeasurer sim;
+  opts.result_cache = &cache;
+  Trace second = run_session(tuner, small_conv_task(), titan_xp(), sim, opts);
+
+  EXPECT_EQ(sim.num_measurements(), 0u);  // everything served from the cache
+  EXPECT_EQ(sim.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(trace_decisions_identical(first, second));
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerTest, SlotsFromEnvParsesStrictly) {
+  ::setenv("GLIMPSE_SCHED_SLOTS", "3", 1);
+  EXPECT_EQ(scheduler_slots_from_env(7), 3u);
+  ::setenv("GLIMPSE_SCHED_SLOTS", "0", 1);
+  EXPECT_EQ(scheduler_slots_from_env(7), 7u);
+  ::setenv("GLIMPSE_SCHED_SLOTS", "nope", 1);
+  EXPECT_EQ(scheduler_slots_from_env(7), 7u);
+  ::unsetenv("GLIMPSE_SCHED_SLOTS");
+  EXPECT_EQ(scheduler_slots_from_env(7), 7u);
+}
+
+}  // namespace
+}  // namespace glimpse::tuning

@@ -20,6 +20,11 @@ Checks three file shapes, selected by content sniffing (or forced with
                   crash-safety layer: one trial object per line with
                   "step", "config", "valid", "error", "attempts", ...;
                   steps must be consecutive from 0.
+  * cache      -- BENCH_cache.json from bench/micro_cache.cpp:
+                  {"max_trials", "batch_size", "repeats", "sweeps": [
+                    {"name", "tuner", "measurements_no_cache",
+                     "measurements_cache", "reduction",
+                     "traces_identical", ...}, ...]}
 
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
@@ -103,6 +108,35 @@ def check_faults(doc: object, name: str) -> int:
         _require(p["gpu_seconds"] >= 0, f"{where}: negative gpu_seconds")
         _require(p["wall_ms"] >= 0, f"{where}: negative wall_ms")
     return len(doc["fault_paths"])
+
+
+def check_cache(doc: object, name: str) -> int:
+    _require_keys(doc, {"max_trials": int, "batch_size": int, "repeats": int,
+                        "sweeps": list}, name)
+    _require(doc["repeats"] >= 1, f"{name}: repeats < 1")
+    _require(len(doc["sweeps"]) > 0, f"{name}: empty sweeps list")
+    for i, s in enumerate(doc["sweeps"]):
+        where = f"{name}: sweeps[{i}]"
+        _require_keys(s, {"name": str, "tuner": str, "repeats": int,
+                          "trials_total": int, "measurements_no_cache": int,
+                          "measurements_cache": int, "reduction": NUMBER,
+                          "cache_hits": int, "wall_ms": NUMBER}, where)
+        _require(isinstance(s.get("traces_identical"), bool),
+                 f"{where}: key 'traces_identical' must be a boolean")
+        _require(s["measurements_no_cache"] >= 0,
+                 f"{where}: negative measurements_no_cache")
+        _require(s["measurements_cache"] >= 0,
+                 f"{where}: negative measurements_cache")
+        _require(s["measurements_cache"] <= s["measurements_no_cache"],
+                 f"{where}: the cache arm measured more than the baseline")
+        _require(s["reduction"] >= 0, f"{where}: negative reduction")
+        _require(s["wall_ms"] >= 0, f"{where}: negative wall_ms")
+        if s["measurements_cache"] > 0:
+            ratio = s["measurements_no_cache"] / s["measurements_cache"]
+            _require(abs(s["reduction"] - ratio) <= 0.05 * max(1.0, ratio),
+                     f"{where}: reduction {s['reduction']} inconsistent with "
+                     f"measurement counts (expected ~{ratio:.2f})")
+    return len(doc["sweeps"])
 
 
 def check_journal_lines(lines: list[str], name: str) -> int:
@@ -214,6 +248,8 @@ def sniff_kind(text: str) -> str:
         return "trace"
     if isinstance(doc, dict) and "fault_paths" in doc:
         return "faults"
+    if isinstance(doc, dict) and "sweeps" in doc:
+        return "cache"
     return "bench"
 
 
@@ -235,6 +271,9 @@ def check_file(path: Path, kind: str | None) -> str:
     if kind == "journal":
         n = check_journal_lines(text.splitlines(), str(path))
         return f"session journal, {n} trial(s)"
+    if kind == "cache":
+        n = check_cache(json.loads(text), str(path))
+        return f"cache json, {n} sweep(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -278,6 +317,18 @@ VALID_JOURNAL = "\n".join([
                 "error": "transient", "attempts": 3, "gflops": 0.0,
                 "latency_s": 0.0, "cost_s": 0.3, "elapsed_s": 2.4}),
 ])
+
+VALID_CACHE = {
+    "max_trials": 64,
+    "batch_size": 8,
+    "repeats": 6,
+    "sweeps": [
+        {"name": "repeat_random", "tuner": "Random", "repeats": 6,
+         "trials_total": 384, "measurements_no_cache": 384,
+         "measurements_cache": 64, "reduction": 6.0, "cache_hits": 320,
+         "traces_identical": True, "wall_ms": 1.5},
+    ],
+}
 
 VALID_METRICS = "\n".join([
     json.dumps({"name": "session.trials", "type": "counter", "value": 64}),
@@ -332,6 +383,18 @@ def selftest() -> int:
          False),
         ("journal unknown error kind", "journal",
          VALID_JOURNAL.replace('"transient"', '"gremlins"'), False),
+        ("valid cache", None, json.dumps(VALID_CACHE), True),
+        ("cache reduction inconsistent", "cache",
+         json.dumps(dict(VALID_CACHE, sweeps=[
+             dict(VALID_CACHE["sweeps"][0], reduction=2.0)])), False),
+        ("cache arm measured more than baseline", "cache",
+         json.dumps(dict(VALID_CACHE, sweeps=[
+             dict(VALID_CACHE["sweeps"][0], measurements_cache=500)])),
+         False),
+        ("cache missing traces_identical", "cache",
+         json.dumps(dict(VALID_CACHE, sweeps=[
+             {k: v for k, v in VALID_CACHE["sweeps"][0].items()
+              if k != "traces_identical"}])), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -361,7 +424,7 @@ def main(argv: list[str]) -> int:
                         help="files to validate")
     parser.add_argument("--kind",
                         choices=["bench", "trace", "metrics", "faults",
-                                 "journal"],
+                                 "journal", "cache"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
