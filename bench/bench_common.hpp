@@ -67,6 +67,14 @@ Method chameleon_method(const Pretrained& p);
 Method dgp_method(const Pretrained& p);
 Method glimpse_method(const Pretrained& p, core::GlimpseOptions options = {});
 
+/// Process-wide measurement result cache from GLIMPSE_RESULT_CACHE (see
+/// tuning/result_cache.hpp): nullptr when unset, memory-only for "mem",
+/// else persistent at the given path. When enabled, run_one attaches it to
+/// every session and run_cells switches to the multi-task scheduler so
+/// cells share measurements (and a persistent path carries them across
+/// bench invocations). Fault-injected runs (GLIMPSE_FAULT_*) never use it.
+tuning::ResultCache* env_result_cache();
+
 /// Run one session with a per-(method, task, gpu) deterministic seed.
 tuning::Trace run_one(const Method& method, const searchspace::Task& task,
                       const hwspec::GpuSpec& hw, const tuning::SessionOptions& options,

@@ -1,0 +1,320 @@
+// Tuning-service bench: the glimpsed daemon stack exercised end to end.
+//
+// Three scenarios, each against a fresh in-process SessionManager behind a
+// real Unix-socket Server (so every job crosses the wire protocol both
+// ways, like production clients):
+//
+//   * single_stream      -- one client streams distinct jobs and waits for
+//                           each result; baseline daemon throughput.
+//   * fleet_shared_cache -- several clients concurrently submit overlapping
+//                           specs against a shared result cache; duplicate
+//                           work must be deduplicated (cache hits and/or
+//                           in-round sharing) and every duplicate must
+//                           settle with identical best results.
+//   * saturation_burst   -- a long-running job pins the worker, then a
+//                           burst overruns the bounded queue; admission
+//                           control must reject the overflow with a
+//                           retry-after hint, never block or drop silently.
+//
+// Results go to stdout and BENCH_service.json (validated by
+// tools/check_bench_json.py --kind service).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/session_manager.hpp"
+#include "tuning/scheduler.hpp"
+
+namespace {
+
+using namespace glimpse;
+using service::Client;
+using service::JobSpec;
+using service::Response;
+using service::ResponseType;
+
+constexpr std::uint64_t kMaxTrials = 48;
+constexpr std::uint64_t kBatch = 8;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+JobSpec job_spec(std::uint64_t seed, std::uint64_t max_trials = kMaxTrials) {
+  JobSpec spec;
+  spec.tuner = "random";
+  spec.model = "resnet18";
+  spec.task_index = 1;
+  spec.gpu = "Titan Xp";
+  spec.seed = seed;
+  spec.max_trials = max_trials;
+  spec.batch_size = kBatch;
+  return spec;
+}
+
+struct Scenario {
+  std::string name;
+  std::size_t clients = 0;
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t trials_total = 0;
+  std::uint64_t cache_hits = 0;
+  bool results_identical = true;
+  double wall_ms = 0.0;
+};
+
+/// One daemon per scenario: manager + server on a fresh Unix socket.
+struct Daemon {
+  explicit Daemon(service::SessionManagerOptions mopts, int index)
+      : sock("/tmp/glimpse_micro_service_" + std::to_string(::getpid()) + "_" +
+             std::to_string(index) + ".sock"),
+        manager(std::move(mopts)),
+        server(manager, service::ServerOptions{sock, -1}) {
+    server.start();
+  }
+  ~Daemon() { server.stop(); }
+
+  std::string sock;
+  service::SessionManager manager;
+  service::Server server;
+};
+
+void fill_totals(Scenario& s, Daemon& d) {
+  Client c = Client::connect_unix(d.sock);
+  Response stats = c.stats();
+  s.completed = stats.stats.completed;
+  s.cancelled = stats.stats.cancelled;
+  s.cache_hits = stats.stats.cache_hits;
+}
+
+Scenario run_single_stream(int index) {
+  Scenario s;
+  s.name = "single_stream";
+  s.clients = 1;
+  service::SessionManagerOptions mopts;
+  mopts.slots = tuning::scheduler_slots_from_env(4);
+  Daemon d(mopts, index);
+  double t0 = now_ms();
+
+  Client client = Client::connect_unix(d.sock);
+  constexpr std::size_t kJobs = 8;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    ++s.submitted;
+    Response accepted = client.submit("stream", 0, job_spec(1000 + j));
+    if (accepted.type != ResponseType::kAccepted) {
+      ++s.rejected;
+      continue;
+    }
+    ++s.accepted;
+    Response done = client.result(accepted.job_id, /*wait=*/true);
+    s.results_identical = s.results_identical &&
+                          done.type == ResponseType::kResult &&
+                          done.summary.state == "done";
+    s.trials_total += done.summary.trials;
+  }
+
+  s.wall_ms = now_ms() - t0;
+  fill_totals(s, d);
+  return s;
+}
+
+Scenario run_fleet_shared_cache(int index) {
+  Scenario s;
+  s.name = "fleet_shared_cache";
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kJobsPerClient = 4;
+  constexpr std::size_t kDistinctSeeds = 2;  // heavy overlap across clients
+  s.clients = kClients;
+  service::SessionManagerOptions mopts;
+  mopts.slots = tuning::scheduler_slots_from_env(4);
+  mopts.cache = "mem";
+  Daemon d(mopts, index);
+  double t0 = now_ms();
+
+  // Warm the cache with one run per distinct spec first: the fleet's
+  // duplicates then hit the cache regardless of round interleaving (fully
+  // concurrent duplicates would otherwise be absorbed by the scheduler's
+  // in-round sharing, which is invisible to the cache counters).
+  std::size_t warm_accepted = 0;
+  {
+    Client warmer = Client::connect_unix(d.sock);
+    for (std::size_t seed = 0; seed < kDistinctSeeds; ++seed) {
+      Response r = warmer.submit("warmup", 0, job_spec(2000 + seed));
+      if (r.type != ResponseType::kAccepted) continue;
+      ++warm_accepted;
+      warmer.result(r.job_id, true);
+    }
+  }
+
+  std::mutex mu;
+  std::vector<service::JobSummary> done;
+  std::size_t accepted = 0, rejected = 0;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client = Client::connect_unix(d.sock);
+      std::vector<std::uint64_t> ids;
+      for (std::size_t j = 0; j < kJobsPerClient; ++j) {
+        Response r = client.submit("fleet" + std::to_string(c), 0,
+                                   job_spec(2000 + j % kDistinctSeeds));
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.type == ResponseType::kAccepted) {
+          ++accepted;
+          ids.push_back(r.job_id);
+        } else {
+          ++rejected;
+        }
+      }
+      for (std::uint64_t id : ids) {
+        Response r = client.result(id, /*wait=*/true);
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.type == ResponseType::kResult) done.push_back(r.summary);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  s.submitted = kDistinctSeeds + kClients * kJobsPerClient;
+  s.accepted = warm_accepted + accepted;
+  s.rejected = kDistinctSeeds - warm_accepted + rejected;
+  // Every duplicate of a spec must settle with the identical best result no
+  // matter which client ran first or how rounds interleaved: with only
+  // kDistinctSeeds distinct specs there can be at most that many distinct
+  // best-GFLOPS values (bit-compared) across all settled jobs.
+  std::vector<double> distinct;
+  for (const auto& summary : done) {
+    s.results_identical = s.results_identical && summary.state == "done";
+    s.trials_total += summary.trials;
+    bool seen = false;
+    for (double v : distinct) seen = seen || v == summary.best_gflops;
+    if (!seen) distinct.push_back(summary.best_gflops);
+  }
+  s.results_identical = s.results_identical && done.size() == accepted &&
+                        distinct.size() <= kDistinctSeeds;
+
+  s.wall_ms = now_ms() - t0;
+  fill_totals(s, d);
+  return s;
+}
+
+Scenario run_saturation_burst(int index) {
+  Scenario s;
+  s.name = "saturation_burst";
+  s.clients = 1;
+  service::SessionManagerOptions mopts;
+  mopts.slots = 1;
+  mopts.queue.max_depth = 4;
+  Daemon d(mopts, index);
+  double t0 = now_ms();
+
+  Client client = Client::connect_unix(d.sock);
+  // Pin the worker inside one long scheduler round.
+  JobSpec hog = job_spec(1, /*max_trials=*/4096);
+  hog.batch_size = 2048;
+  ++s.submitted;
+  Response hog_resp = client.submit("hog", 0, hog);
+  bool hog_running = hog_resp.type == ResponseType::kAccepted;
+  if (hog_running) ++s.accepted;
+  while (hog_running) {
+    Response st = client.stats();
+    if (st.stats.running >= 1 && st.stats.queue_depth == 0) break;
+    std::this_thread::yield();
+  }
+
+  for (std::size_t j = 0; j < 8; ++j) {
+    ++s.submitted;
+    Response r = client.submit("burst", 0, job_spec(3000 + j, /*max_trials=*/8));
+    if (r.type == ResponseType::kAccepted)
+      ++s.accepted;
+    else
+      ++s.rejected;
+  }
+  if (hog_running) client.cancel(hog_resp.job_id);
+  client.drain();
+
+  s.wall_ms = now_ms() - t0;
+  fill_totals(s, d);
+  return s;
+}
+
+void print_scenario(const Scenario& s) {
+  std::printf(
+      "%-20s clients %zu  submitted %2zu  accepted %2zu  rejected %2zu"
+      "  completed %2zu  cancelled %zu  trials %4zu  hits %4llu"
+      "  identical %s  wall %8.1f ms\n",
+      s.name.c_str(), s.clients, s.submitted, s.accepted, s.rejected,
+      s.completed, s.cancelled, s.trials_total,
+      static_cast<unsigned long long>(s.cache_hits),
+      s.results_identical ? "yes" : "NO", s.wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_service: glimpsed daemon end to end ===\n\n");
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(run_single_stream(0));
+  print_scenario(scenarios.back());
+  scenarios.push_back(run_fleet_shared_cache(1));
+  print_scenario(scenarios.back());
+  scenarios.push_back(run_saturation_burst(2));
+  print_scenario(scenarios.back());
+
+  bool ok = true;
+  for (const Scenario& s : scenarios) {
+    ok = ok && s.results_identical && s.accepted + s.rejected == s.submitted &&
+         s.completed + s.cancelled == s.accepted;
+  }
+  // The burst must actually overrun the queue, and the fleet must actually
+  // share work across clients.
+  ok = ok && scenarios[2].rejected > 0 && scenarios[1].cache_hits > 0;
+  std::printf("\nacceptance (admission exact, results identical, dedup "
+              "visible): %s\n",
+              ok ? "PASS" : "FAIL");
+
+  const char* out_path = "BENCH_service.json";
+  if (std::ofstream f{out_path}) {
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.kv("slots", static_cast<std::uint64_t>(tuning::scheduler_slots_from_env(4)));
+    jw.kv("max_trials", kMaxTrials);
+    jw.kv("batch_size", kBatch);
+    jw.key("scenarios");
+    jw.begin_array();
+    for (const Scenario& s : scenarios) {
+      jw.begin_object();
+      jw.kv("name", s.name);
+      jw.kv("clients", static_cast<std::uint64_t>(s.clients));
+      jw.kv("submitted", static_cast<std::uint64_t>(s.submitted));
+      jw.kv("accepted", static_cast<std::uint64_t>(s.accepted));
+      jw.kv("rejected", static_cast<std::uint64_t>(s.rejected));
+      jw.kv("completed", static_cast<std::uint64_t>(s.completed));
+      jw.kv("cancelled", static_cast<std::uint64_t>(s.cancelled));
+      jw.kv("trials_total", static_cast<std::uint64_t>(s.trials_total));
+      jw.kv("cache_hits", s.cache_hits);
+      jw.kv("results_identical", s.results_identical);
+      jw.kv_fixed("wall_ms", s.wall_ms, 3);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    jw.done();
+    std::printf("wrote %s\n", out_path);
+  }
+  return ok ? 0 : 1;
+}

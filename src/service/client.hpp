@@ -1,0 +1,49 @@
+// Blocking client for the glimpsed wire protocol. One connection, one
+// request in flight at a time (the protocol is strictly request/response).
+// Used by tools/glimpse_client, the service tests, and the fleet example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace glimpse::service {
+
+class Client {
+ public:
+  /// Both connectors throw std::runtime_error on failure.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request, read one response. Throws on transport failure or
+  /// an unparseable response; protocol-level errors come back as a normal
+  /// Response of type kError / kRejected.
+  Response call(const Request& req);
+
+  // Convenience wrappers around call().
+  Response ping();
+  Response submit(const std::string& client_name, std::int64_t priority,
+                  const JobSpec& job);
+  Response status(std::uint64_t job_id);
+  Response result(std::uint64_t job_id, bool wait);
+  Response cancel(std::uint64_t job_id);
+  Response stats();
+  Response drain();
+  Response shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last response line
+};
+
+}  // namespace glimpse::service

@@ -1,0 +1,92 @@
+#include "service/job_queue.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace glimpse::service {
+
+JobQueue::JobQueue(JobQueueOptions options) : options_(options) {
+  GLIMPSE_CHECK(options_.max_depth >= 1);
+}
+
+Admission JobQueue::push(QueuedJob job, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!force) {
+    if (depth_ >= options_.max_depth)
+      return {false, "saturated", options_.retry_after_s};
+    if (options_.max_per_client > 0 &&
+        client_depth_[job.client] >= options_.max_per_client)
+      return {false, "client_saturated", options_.retry_after_s};
+  }
+  Level& level = levels_[-job.priority];
+  auto it = level.per_client.try_emplace(job.client).first;
+  if (it->second.empty()) level.rotation.push_back(job.client);
+  ++client_depth_[job.client];
+  it->second.push_back(std::move(job));
+  ++depth_;
+  return {true, "", 0.0};
+}
+
+bool JobQueue::pop(QueuedJob& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto lit = levels_.begin(); lit != levels_.end();) {
+    Level& level = lit->second;
+    if (level.rotation.empty()) {
+      lit = levels_.erase(lit);
+      continue;
+    }
+    std::string client = std::move(level.rotation.front());
+    level.rotation.pop_front();
+    auto cit = level.per_client.find(client);
+    // erase() may leave a rotation entry for an emptied client; skip it.
+    if (cit == level.per_client.end() || cit->second.empty()) {
+      if (cit != level.per_client.end()) level.per_client.erase(cit);
+      continue;
+    }
+    out = std::move(cit->second.front());
+    cit->second.pop_front();
+    if (cit->second.empty()) {
+      level.per_client.erase(cit);
+    } else {
+      level.rotation.push_back(client);  // fairness: back of the line
+    }
+    --depth_;
+    auto dit = client_depth_.find(out.client);
+    if (dit != client_depth_.end() && --dit->second == 0) client_depth_.erase(dit);
+    return true;
+  }
+  return false;
+}
+
+bool JobQueue::erase(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [neg_prio, level] : levels_) {
+    for (auto cit = level.per_client.begin(); cit != level.per_client.end(); ++cit) {
+      auto& fifo = cit->second;
+      auto it = std::find_if(fifo.begin(), fifo.end(),
+                             [id](const QueuedJob& j) { return j.id == id; });
+      if (it == fifo.end()) continue;
+      const std::string client = cit->first;
+      fifo.erase(it);
+      --depth_;
+      auto dit = client_depth_.find(client);
+      if (dit != client_depth_.end() && --dit->second == 0)
+        client_depth_.erase(dit);
+      if (fifo.empty()) {
+        auto rit = std::find(level.rotation.begin(), level.rotation.end(), client);
+        if (rit != level.rotation.end()) level.rotation.erase(rit);
+        level.per_client.erase(cit);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+}  // namespace glimpse::service

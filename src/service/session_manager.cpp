@@ -1,0 +1,535 @@
+#include "service/session_manager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/chameleon.hpp"
+#include "baselines/random_tuner.hpp"
+#include "common/logging.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "gpusim/measurer.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "tuning/result_cache.hpp"
+#include "tuning/scheduler.hpp"
+
+namespace glimpse::service {
+
+namespace fs = std::filesystem;
+
+struct SessionManager::JobRecord {
+  std::uint64_t id = 0;
+  std::string client;
+  std::int64_t priority = 0;
+  JobSpec spec;
+
+  std::string state = "queued";  ///< queued | running | done | cancelled | failed
+  bool cancel_requested = false;
+  bool settled() const {
+    return state == "done" || state == "cancelled" || state == "failed";
+  }
+
+  // Scheduler runtime. Owned here; the scheduler's ScheduledJob borrows raw
+  // pointers, so these stay alive until the manager dies (the scheduler
+  // never touches a finished job again, but we don't lean on that).
+  bool admitted = false;
+  std::size_t sched_index = 0;
+  std::unique_ptr<tuning::Tuner> tuner;
+  std::unique_ptr<gpusim::SimMeasurer> measurer;
+  const searchspace::Task* task = nullptr;
+  const hwspec::GpuSpec* hw = nullptr;
+  tuning::SessionOptions sess;
+
+  JobSummary summary;
+  std::size_t scan_pos = 0;  ///< trace trials already folded into summary
+};
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(std::move(options)), queue_(options_.queue) {
+  GLIMPSE_CHECK(options_.slots >= 1);
+  if (!options_.cache.empty()) {
+    tuning::ResultCacheOptions copts;
+    if (options_.cache != "mem") copts.path = options_.cache;
+    cache_ = std::make_unique<tuning::ResultCache>(copts);
+  }
+  scheduler_ = std::make_unique<tuning::Scheduler>(
+      tuning::SchedulerOptions{options_.slots});
+  recover_spool();
+  worker_ = std::thread(&SessionManager::worker_loop, this);
+}
+
+SessionManager::~SessionManager() { stop(); }
+
+void SessionManager::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  settled_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::uint64_t SessionManager::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resumed_;
+}
+
+bool SessionManager::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::string SessionManager::spool_file(std::uint64_t id, const char* suffix) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "job-%08llu",
+                static_cast<unsigned long long>(id));
+  return options_.spool_dir + "/" + name + suffix;
+}
+
+namespace {
+
+bool known_tuner(const std::string& name) {
+  return name == "random" || name == "autotvm" || name == "chameleon";
+}
+
+searchspace::Model model_by_name(const std::string& name) {
+  if (name == "alexnet") return searchspace::alexnet();
+  if (name == "resnet18") return searchspace::resnet18();
+  if (name == "vgg16") return searchspace::vgg16();
+  throw std::invalid_argument("unknown model '" + name + "'");
+}
+
+/// Read one whole line from a small spool file. False when unreadable.
+bool read_line(const std::string& path, std::string& out) {
+  std::ifstream is(path);
+  if (!is.good()) return false;
+  return static_cast<bool>(std::getline(is, out));
+}
+
+/// Atomic single-line file write (tmp + rename): readers and crash
+/// recovery never see a torn spool entry.
+void write_line_atomic(const std::string& path, const std::string& line) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os.good()) throw std::runtime_error("cannot write " + tmp);
+    os << line << '\n';
+    os.flush();
+    if (!os.good()) throw std::runtime_error("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("rename failed: " + path);
+}
+
+}  // namespace
+
+const searchspace::TaskSet& SessionManager::task_set(const std::string& model) {
+  std::lock_guard<std::mutex> lock(task_sets_mu_);
+  auto it = task_sets_.find(model);
+  if (it == task_sets_.end()) {
+    it = task_sets_
+             .emplace(model, std::make_unique<searchspace::TaskSet>(
+                                 model_by_name(model)))
+             .first;
+  }
+  return *it->second;
+}
+
+void SessionManager::build_runtime(JobRecord& rec) {
+  const searchspace::TaskSet& ts = task_set(rec.spec.model);
+  if (rec.spec.task_index >= ts.num_tasks())
+    throw std::invalid_argument("task index out of range");
+  rec.task = &ts.task(rec.spec.task_index);
+  rec.hw = hwspec::find_gpu(rec.spec.gpu);
+  if (rec.hw == nullptr)
+    throw std::invalid_argument("unknown gpu '" + rec.spec.gpu + "'");
+
+  if (rec.spec.tuner == "random") {
+    rec.tuner = std::make_unique<baselines::RandomTuner>(*rec.task, *rec.hw,
+                                                         rec.spec.seed);
+  } else if (rec.spec.tuner == "autotvm") {
+    rec.tuner = std::make_unique<baselines::AutoTvmTuner>(*rec.task, *rec.hw,
+                                                          rec.spec.seed);
+  } else if (rec.spec.tuner == "chameleon") {
+    rec.tuner = std::make_unique<baselines::ChameleonTuner>(*rec.task, *rec.hw,
+                                                            rec.spec.seed);
+  } else {
+    throw std::invalid_argument("unknown tuner '" + rec.spec.tuner + "'");
+  }
+  rec.measurer = std::make_unique<gpusim::SimMeasurer>();
+
+  tuning::SessionOptions sess;
+  sess.max_trials = rec.spec.max_trials;
+  sess.batch_size = rec.spec.batch_size;
+  sess.plateau_trials = rec.spec.plateau_trials;
+  if (rec.spec.time_budget_s > 0.0) sess.time_budget_s = rec.spec.time_budget_s;
+  sess.seed = rec.spec.seed;
+  sess.result_cache = cache_.get();
+  if (!options_.spool_dir.empty()) {
+    sess.checkpoint_path = spool_file(rec.id, ".ckpt");
+    sess.checkpoint_every_batches = options_.checkpoint_every_batches;
+    // Recovery sets resume_from before the record reaches the scheduler;
+    // keep whatever it decided.
+    sess.resume_from = rec.sess.resume_from;
+  }
+  rec.sess = std::move(sess);
+}
+
+Response SessionManager::submit(const std::string& client, std::int64_t priority,
+                                const JobSpec& spec) {
+  // Validate the spec outside the lock: all checks are read-only lookups.
+  if (!known_tuner(spec.tuner)) {
+    if (spec.tuner == "glimpse" || spec.tuner == "dgp")
+      return error_response("tuner '" + spec.tuner +
+                            "' needs pretrained artifacts the daemon does not "
+                            "hold; use random, autotvm, or chameleon");
+    return error_response("unknown tuner '" + spec.tuner + "'");
+  }
+  if (hwspec::find_gpu(spec.gpu) == nullptr)
+    return error_response("unknown gpu '" + spec.gpu + "'");
+  std::size_t num_tasks = 0;
+  try {
+    num_tasks = task_set(spec.model).num_tasks();
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+  if (spec.task_index >= num_tasks)
+    return error_response("task index out of range (model has " +
+                          std::to_string(num_tasks) + " tasks)");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Response r;
+  if (draining_ || stop_) {
+    ++rejected_;
+    r.type = ResponseType::kRejected;
+    r.reason = "draining";
+    r.retry_after_s = options_.queue.retry_after_s;
+    return r;
+  }
+  const std::uint64_t id = next_id_;
+  Admission adm = queue_.push(QueuedJob{id, client, priority, spec});
+  if (!adm.accepted) {
+    ++rejected_;
+    r.type = ResponseType::kRejected;
+    r.reason = adm.reason;
+    r.retry_after_s = adm.retry_after_s;
+    return r;
+  }
+  ++next_id_;
+  auto rec = std::make_unique<JobRecord>();
+  rec->id = id;
+  rec->client = client;
+  rec->priority = priority;
+  rec->spec = spec;
+  rec->summary.job_id = id;
+  rec->summary.client = client;
+  rec->summary.state = "queued";
+  if (!options_.spool_dir.empty()) {
+    try {
+      persist_spec(*rec);
+    } catch (const std::exception& e) {
+      queue_.erase(id);
+      ++rejected_;
+      return error_response(std::string("spool write failed: ") + e.what());
+    }
+  }
+  records_.emplace(id, std::move(rec));
+  ++submitted_;
+  worker_cv_.notify_all();
+  r.type = ResponseType::kAccepted;
+  r.job_id = id;
+  return r;
+}
+
+Response SessionManager::status(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(job_id);
+  if (it == records_.end()) return error_response("unknown job_id");
+  Response r;
+  r.type = ResponseType::kStatus;
+  r.summary = it->second->summary;
+  return r;
+}
+
+Response SessionManager::result(std::uint64_t job_id, bool wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = records_.find(job_id);
+  if (it == records_.end()) return error_response("unknown job_id");
+  JobRecord* rec = it->second.get();
+  if (!rec->settled() && wait) {
+    settled_cv_.wait(lock, [&] { return stop_ || rec->settled(); });
+    if (!rec->settled()) return error_response("daemon stopping");
+  }
+  Response r;
+  r.type = rec->settled() ? ResponseType::kResult : ResponseType::kStatus;
+  r.summary = rec->summary;
+  return r;
+}
+
+Response SessionManager::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(job_id);
+  if (it == records_.end()) return error_response("unknown job_id");
+  JobRecord& rec = *it->second;
+  if (rec.state == "queued") {
+    queue_.erase(job_id);
+    finalize_locked(rec, "cancelled", "");
+  } else if (rec.state == "running") {
+    rec.cancel_requested = true;
+    worker_cv_.notify_all();
+  }
+  Response r;
+  r.type = ResponseType::kOk;
+  return r;
+}
+
+Response SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Response r;
+  r.type = ResponseType::kStats;
+  ServiceStats& s = r.stats;
+  s.queue_depth = queue_.depth();
+  for (const auto& [id, rec] : records_)
+    if (rec->state == "running") ++s.running;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.cancelled = cancelled_;
+  s.failed = failed_;
+  s.rejected = rejected_;
+  s.resumed = resumed_;
+  s.slots = options_.slots;
+  s.cache_enabled = cache_ != nullptr;
+  if (cache_) {
+    tuning::ResultCacheStats cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_inserts = cs.inserts;
+  }
+  // Cross-job in-round dedup is counted by the scheduler's telemetry
+  // counter; it stays 0 unless metrics collection is enabled.
+  if (telemetry::metrics_enabled()) {
+    s.shared_hits = static_cast<std::uint64_t>(
+        telemetry::MetricsRegistry::global().counter("scheduler.shared_hits").value());
+  }
+  s.draining = draining_;
+  return r;
+}
+
+Response SessionManager::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  worker_cv_.notify_all();
+  settled_cv_.wait(lock, [&] {
+    if (stop_) return true;
+    for (const auto& [id, rec] : records_)
+      if (!rec->settled()) return false;
+    return queue_.empty();
+  });
+  Response r;
+  r.type = ResponseType::kOk;
+  return r;
+}
+
+void SessionManager::persist_spec(const JobRecord& rec) {
+  write_line_atomic(spool_file(rec.id, ".spec.json"),
+                    encode_spool_record({rec.id, rec.client, rec.priority,
+                                         rec.spec}));
+}
+
+void SessionManager::persist_result(const JobRecord& rec) {
+  if (options_.spool_dir.empty()) return;
+  try {
+    write_line_atomic(spool_file(rec.id, ".result.json"),
+                      encode_job_summary(rec.summary));
+  } catch (const std::exception& e) {
+    LOG_WARN << "spool result write failed for job " << rec.id << ": "
+             << e.what();
+  }
+}
+
+void SessionManager::finalize_locked(JobRecord& rec, std::string state,
+                                     std::string error) {
+  rec.state = state;
+  rec.summary.state = state;
+  rec.summary.error = std::move(error);
+  if (state == "done") ++completed_;
+  else if (state == "cancelled") ++cancelled_;
+  else ++failed_;
+  persist_result(rec);
+  settled_cv_.notify_all();
+}
+
+void SessionManager::recover_spool() {
+  if (options_.spool_dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(options_.spool_dir, ec);
+  if (ec) throw std::runtime_error("cannot create spool dir " + options_.spool_dir);
+
+  std::vector<std::pair<std::uint64_t, SpoolRecord>> found;
+  for (const auto& entry : fs::directory_iterator(options_.spool_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 14 || name.rfind("job-", 0) != 0) continue;
+    if (name.size() < 10 || name.substr(name.size() - 10) != ".spec.json") continue;
+    std::string line;
+    SpoolRecord sr;
+    std::string err;
+    if (!read_line(entry.path().string(), line) ||
+        !parse_spool_record(line, sr, err)) {
+      LOG_WARN << "skipping unreadable spool spec " << name << ": " << err;
+      continue;
+    }
+    found.emplace_back(sr.id, std::move(sr));
+  }
+  // Directory order is unspecified; sort so recovered admission order (and
+  // hence the queue) is deterministic.
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (auto& [id, sr] : found) {
+    next_id_ = std::max(next_id_, id + 1);
+    auto rec = std::make_unique<JobRecord>();
+    rec->id = id;
+    rec->client = sr.client;
+    rec->priority = sr.priority;
+    rec->spec = sr.job;
+    rec->summary.job_id = id;
+    rec->summary.client = sr.client;
+
+    std::string line;
+    if (read_line(spool_file(id, ".result.json"), line)) {
+      JobSummary done;
+      std::string err;
+      if (parse_job_summary_line(line, done, err)) {
+        // Settled before the previous daemon died: keep it queryable.
+        rec->summary = std::move(done);
+        rec->state = rec->summary.state;
+        ++submitted_;
+        if (rec->state == "done") ++completed_;
+        else if (rec->state == "cancelled") ++cancelled_;
+        else ++failed_;
+        records_.emplace(id, std::move(rec));
+        continue;
+      }
+      LOG_WARN << "unreadable spool result for job " << id << ": " << err
+               << "; re-running";
+    }
+
+    // Accepted but not settled: re-admit, resuming from the checkpoint
+    // when one survives. `force` skips admission bounds — this job was
+    // already accepted once and must not be re-rejected.
+    const std::string ckpt = spool_file(id, ".ckpt");
+    const bool have_ckpt = fs::exists(ckpt, ec);
+    if (have_ckpt) rec->sess.resume_from = ckpt;
+    rec->summary.state = "queued";
+    queue_.push(QueuedJob{id, rec->client, rec->priority, rec->spec},
+                /*force=*/true);
+    ++submitted_;
+    ++resumed_;
+    LOG_INFO << "recovered spooled job " << id
+             << (have_ckpt ? " (resuming from checkpoint)" : " (restarting)");
+    records_.emplace(id, std::move(rec));
+  }
+}
+
+void SessionManager::admit_queued_locked() {
+  QueuedJob qj;
+  while (queue_.pop(qj)) {
+    auto it = records_.find(qj.id);
+    if (it == records_.end()) continue;  // cancelled between push and pop
+    JobRecord& rec = *it->second;
+    if (rec.settled()) continue;
+    try {
+      build_runtime(rec);
+      try {
+        rec.sched_index = scheduler_->add_job({rec.tuner.get(), rec.task,
+                                               rec.hw, rec.measurer.get(),
+                                               rec.sess});
+      } catch (const std::exception& e) {
+        if (rec.sess.resume_from.empty()) throw;
+        // Corrupt checkpoint: rebuild fresh state and rerun from scratch —
+        // determinism makes the rerun bit-identical to a resumed one.
+        LOG_WARN << "job " << rec.id << ": checkpoint resume failed ("
+                 << e.what() << "); restarting from scratch";
+        rec.sess.resume_from.clear();
+        build_runtime(rec);
+        rec.sched_index = scheduler_->add_job({rec.tuner.get(), rec.task,
+                                               rec.hw, rec.measurer.get(),
+                                               rec.sess});
+      }
+    } catch (const std::exception& e) {
+      finalize_locked(rec, "failed", e.what());
+      continue;
+    }
+    rec.admitted = true;
+    rec.state = "running";
+    rec.summary.state = "running";
+    if (rec.cancel_requested) scheduler_->cancel(rec.sched_index);
+  }
+}
+
+void SessionManager::refresh_locked() {
+  for (auto& [id, recp] : records_) {
+    JobRecord& rec = *recp;
+    if (rec.state != "running" || !rec.admitted) continue;
+    const tuning::Trace& tr = scheduler_->trace(rec.sched_index);
+    for (; rec.scan_pos < tr.trials.size(); ++rec.scan_pos) {
+      const tuning::TrialRecord& t = tr.trials[rec.scan_pos];
+      if (t.result.error != gpusim::MeasureError::kNone) ++rec.summary.faulted;
+      if (t.result.valid && t.result.gflops > rec.summary.best_gflops) {
+        rec.summary.best_gflops = t.result.gflops;
+        rec.summary.best_config = t.config;
+      }
+    }
+    rec.summary.trials = tr.trials.size();
+    rec.summary.elapsed_s = rec.measurer->elapsed_seconds();
+    if (scheduler_->job_done(rec.sched_index)) {
+      finalize_locked(rec,
+                      scheduler_->job_cancelled(rec.sched_index) ? "cancelled"
+                                                                 : "done",
+                      "");
+    }
+  }
+}
+
+void SessionManager::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    admit_queued_locked();
+    for (auto& [id, rec] : records_)
+      if (rec->state == "running" && rec->admitted && rec->cancel_requested)
+        scheduler_->cancel(rec->sched_index);
+    if (scheduler_->idle() && queue_.empty()) {
+      worker_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    lock.unlock();
+    bool threw = false;
+    std::string what;
+    try {
+      // The round runs outside the lock: measurements fan out across the
+      // thread pool and can take a while; status()/submit() must not stall.
+      scheduler_->step_round();
+    } catch (const std::exception& e) {
+      threw = true;
+      what = e.what();
+    }
+    lock.lock();
+    if (threw) {
+      LOG_ERROR << "scheduler round failed: " << what;
+      for (auto& [id, rec] : records_)
+        if (rec->state == "running")
+          finalize_locked(*rec, "failed", "scheduler round failed: " + what);
+      continue;
+    }
+    refresh_locked();
+  }
+}
+
+}  // namespace glimpse::service

@@ -1,0 +1,153 @@
+// SessionManager: the glimpsed daemon's brain. Owns the job registry, the
+// admission-controlled JobQueue, one scheduler thread driving the shared
+// tuning/scheduler slot pool, the cross-job ResultCache, and the crash-safe
+// spool.
+//
+// Threading model: connection threads call submit/status/result/cancel/
+// stats/drain concurrently; all registry state lives behind one mutex. The
+// scheduler itself (tuning/scheduler.hpp, NOT thread-safe) is touched only
+// by the worker thread, which admits queued jobs between rounds, runs each
+// round outside the lock, then refreshes every running job's JobSummary
+// under the lock — so status() never races the scheduler.
+//
+// Crash safety: with a spool directory configured, every accepted job is
+// persisted as `job-<id>.spec.json` before the client sees "accepted", the
+// running session checkpoints to `job-<id>.ckpt` after every batch, and the
+// settled summary lands in `job-<id>.result.json`. A restarted daemon
+// re-admits every spec without a result — resuming from the checkpoint when
+// one exists — so an accepted job survives SIGKILL and completes with the
+// bit-identical trace an uninterrupted run would have produced (the
+// determinism contract of tuning/checkpoint.hpp).
+//
+// Tuner registry: "random", "autotvm", "chameleon" — the checkpointable
+// strategies that need no offline pretraining. "glimpse" and "dgp" require
+// pretrained artifacts the daemon does not hold; submitting them is
+// rejected at the door, not failed mid-run.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+
+namespace glimpse::searchspace {
+class TaskSet;
+}
+namespace glimpse::tuning {
+class ResultCache;
+class Scheduler;
+}
+
+namespace glimpse::service {
+
+struct SessionManagerOptions {
+  /// Concurrent measurer slots in the shared scheduler pool. >= 1.
+  std::size_t slots = 4;
+  JobQueueOptions queue;
+  /// Crash-safe spool directory (specs, checkpoints, results). Empty
+  /// disables persistence: jobs die with the daemon.
+  std::string spool_dir;
+  /// Shared result cache: "" off, "mem" memory-only, else a disk path
+  /// (same encoding as GLIMPSE_RESULT_CACHE).
+  std::string cache;
+  /// Session checkpoint cadence, in batches (spooled daemons only).
+  std::size_t checkpoint_every_batches = 1;
+};
+
+/// All client-facing methods speak protocol Responses so the server layer
+/// only frames and encodes.
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Validate + admit one job. kAccepted with the job id, or kRejected
+  /// ("saturated" / "client_saturated" / "draining", with a retry hint),
+  /// or kError for specs naming unknown tuners/models/GPUs/tasks.
+  Response submit(const std::string& client, std::int64_t priority,
+                  const JobSpec& spec);
+
+  /// kStatus with the job's current summary; kError for unknown ids.
+  Response status(std::uint64_t job_id) const;
+
+  /// kResult with the final summary once the job settled. Unsettled:
+  /// blocks until settled when `wait`, else returns kStatus (poll again).
+  Response result(std::uint64_t job_id, bool wait);
+
+  /// Cancel a queued or running job (kOk; idempotent on settled jobs).
+  Response cancel(std::uint64_t job_id);
+
+  Response stats() const;
+
+  /// Stop admitting new jobs and block until every accepted job settles.
+  Response drain();
+  bool draining() const;
+
+  /// Stop the worker promptly (running jobs stay checkpointed in the spool
+  /// for the next daemon). Idempotent; the destructor calls it.
+  void stop();
+
+  /// Jobs re-admitted from the spool by this process at startup.
+  std::uint64_t recovered() const;
+
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct JobRecord;
+
+  void recover_spool();
+  void worker_loop();
+  /// Pop every queued job into the scheduler. Caller holds mu_.
+  void admit_queued_locked();
+  /// Sync running summaries from the scheduler; finalize settled jobs.
+  /// Caller holds mu_.
+  void refresh_locked();
+  void finalize_locked(JobRecord& rec, std::string state, std::string error);
+  void persist_spec(const JobRecord& rec);
+  void persist_result(const JobRecord& rec);
+  std::string spool_file(std::uint64_t id, const char* suffix) const;
+  const searchspace::TaskSet& task_set(const std::string& model);
+  /// Builds tuner + measurer + session options into `rec`; throws on bad
+  /// specs (validated at submit, so only resume-time surprises remain).
+  void build_runtime(JobRecord& rec);
+
+  SessionManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable worker_cv_;   ///< wake the scheduler thread
+  std::condition_variable settled_cv_;  ///< wake result(wait=true) callers
+  bool stop_ = false;
+  bool draining_ = false;
+
+  JobQueue queue_;
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> records_;
+  std::uint64_t next_id_ = 1;
+
+  // Counters (guarded by mu_).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t resumed_ = 0;
+
+  // Worker-thread-only state (see threading model above).
+  std::unique_ptr<tuning::Scheduler> scheduler_;
+
+  std::unique_ptr<tuning::ResultCache> cache_;
+  std::map<std::string, std::unique_ptr<searchspace::TaskSet>> task_sets_;
+  std::mutex task_sets_mu_;
+
+  std::thread worker_;
+};
+
+}  // namespace glimpse::service

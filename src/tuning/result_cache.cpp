@@ -305,19 +305,37 @@ void ResultCache::load_disk_tier() {
 bool ResultCache::compact() {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.path.empty()) return false;
-  if (stats_.evictions > 0) {
-    // The disk tier may hold entries the memory tier evicted; rewriting from
-    // memory would silently drop them. Leave the append-only file as is.
-    return false;
-  }
   const std::string tmp = options_.path + ".tmp";
   if (appender_.is_open()) appender_.close();
+  std::uint64_t merged = 0;
   {
     std::ofstream os(tmp, std::ios::trunc);
     if (!os.good()) {
       LOG_WARN << "result cache: cannot open " << tmp << " for compaction";
       appender_.open(options_.path, std::ios::app);
       return false;
+    }
+    // Merge pass: the disk tier may hold entries the memory tier evicted
+    // (or never loaded after a capacity shrink). They are older than
+    // everything in memory, so they go first; a reload that overflows
+    // capacity then evicts them again, preserving recency order. Duplicate,
+    // corrupt, and stale lines are dropped here — this is where an
+    // append-only file from a long fleet run actually shrinks.
+    {
+      std::ifstream is(options_.path);
+      std::string line;
+      std::unordered_map<CacheKey, bool, CacheKeyHash> emitted;
+      while (is.good() && std::getline(is, line)) {
+        if (line.empty()) continue;
+        CacheKey key;
+        gpusim::MeasureResult r;
+        bool stale = false;
+        if (!parse_cache_line(line, key, r, stale) || stale) continue;
+        if (index_.contains(key)) continue;  // memory tier wins (same value)
+        if (!emitted.try_emplace(key, true).second) continue;
+        write_cache_line(os, key, r);
+        ++merged;
+      }
     }
     // Oldest first, so a reload replays insert order and recency survives.
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
@@ -335,6 +353,13 @@ bool ResultCache::compact() {
     return false;
   }
   appender_.open(options_.path, std::ios::app);
+  ++stats_.compactions;
+  stats_.compact_merged += merged;
+  if (telemetry::metrics_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("cache.compactions").add(1);
+    if (merged > 0) reg.counter("cache.compact_merged").add(merged);
+  }
   return true;
 }
 

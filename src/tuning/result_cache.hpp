@@ -18,7 +18,9 @@
 //    entry per line, written through JsonWriter) loaded at open. Corrupted
 //    or stale lines are counted and skipped, never fatal — the cache is an
 //    accelerator, not a source of truth. compact() rewrites the file
-//    atomically (tmp + rename, the checkpoint idiom) to drop duplicates.
+//    atomically (tmp + rename, the checkpoint idiom) to drop duplicates,
+//    merging in any disk entries the memory tier has LRU-evicted so
+//    long-running fleets can compact without losing history.
 //
 // Only settled results are cached: valid measurements and deterministic
 // model-invalid configs (error == kNone). Infrastructure faults (transient,
@@ -87,6 +89,10 @@ struct ResultCacheStats {
   std::uint64_t evictions = 0; ///< LRU evictions since open
   std::uint64_t loaded = 0;    ///< entries restored from the disk tier at open
   std::uint64_t rejected_lines = 0;  ///< unparseable disk lines, dropped
+  std::uint64_t compactions = 0;     ///< successful compact() calls
+  /// Disk-tier entries preserved by compact() that the memory tier had
+  /// evicted (the disk/memory merge path).
+  std::uint64_t compact_merged = 0;
 };
 
 class ResultCache {
@@ -109,11 +115,13 @@ class ResultCache {
   /// (error == kNone); valid and model-invalid results both qualify.
   static bool cacheable(const gpusim::MeasureResult& r);
 
-  /// Atomically rewrite the disk tier from the in-memory entries (oldest
-  /// first, so recency survives a reload), dropping duplicate appends.
-  /// Skipped (returns false) when entries have been evicted since open —
-  /// compacting then would silently drop disk entries the memory tier no
-  /// longer holds — or when there is no disk tier.
+  /// Atomically rewrite the disk tier, dropping duplicate appends and
+  /// corrupt/stale lines. Disk entries the memory tier no longer holds
+  /// (LRU-evicted, or loaded before capacity shrank) are preserved: they
+  /// are re-read from the old file and written first (oldest), followed by
+  /// the in-memory entries oldest-first, so recency survives a reload.
+  /// Returns false (and changes nothing) when there is no disk tier or the
+  /// rewrite fails.
   bool compact();
 
   std::size_t size() const;

@@ -19,8 +19,21 @@
 // resumed from a checkpoint continue bit-identically, per job, exactly as
 // in the single-task run_session — which is itself implemented as a
 // one-job schedule, so every session-level test exercises this code path.
+//
+// Two entry points share one implementation:
+//  * run_scheduled() — batch mode: run a fixed job set to completion;
+//  * class Scheduler — incremental mode for long-running hosts (the
+//    glimpsed daemon): add_job() admits jobs at any round boundary,
+//    step_round() advances every live job by one batch, cancel() retires a
+//    job at its next plan phase. A job admitted mid-stream produces the
+//    same trace it would have produced in a fresh batch run (its decisions
+//    depend only on its own tuner/measurer/seed state), so daemon-side
+//    traces stay comparable to offline run_scheduled traces.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "tuning/session.hpp"
@@ -47,9 +60,59 @@ struct SchedulerOptions {
 /// GLIMPSE_SCHED_SLOTS, else `fallback`.
 std::size_t scheduler_slots_from_env(std::size_t fallback = 4);
 
+/// Incremental multi-task scheduler. NOT thread-safe: all methods must be
+/// called from one thread (the daemon serializes access on its scheduler
+/// thread). Jobs are identified by the index add_job returns; indices are
+/// stable for the scheduler's lifetime.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+  ~Scheduler();  // out-of-line: JobState is private to scheduler.cpp
+
+  /// Admit a job (only between rounds). Restores `options.resume_from`
+  /// checkpoints immediately; throws on a malformed snapshot or a
+  /// task/hardware mismatch. Returns the job's index.
+  std::size_t add_job(ScheduledJob job);
+
+  /// Run one round (plan / measure / assemble) over every live job — each
+  /// live job advances by up to one batch. Returns true when any job
+  /// proposed a batch (i.e. there may be more work); false when every job
+  /// is done.
+  bool step_round();
+
+  /// Request cancellation: the job is retired at its next plan phase (the
+  /// current round, if one is in flight elsewhere, is unaffected — but see
+  /// the thread-safety note above). Harmless on a finished job.
+  void cancel(std::size_t job);
+
+  std::size_t num_jobs() const { return states_.size(); }
+  bool job_done(std::size_t job) const;
+  bool job_cancelled(std::size_t job) const;
+  /// Trials completed so far (valid while running and after completion).
+  std::size_t steps_completed(std::size_t job) const;
+  /// The job's trace so far (complete once job_done()).
+  const Trace& trace(std::size_t job) const;
+  Trace take_trace(std::size_t job);
+
+  /// True when no live (admitted, unfinished) jobs remain.
+  bool idle() const { return live_ == 0; }
+
+ private:
+  struct JobState;
+
+  void finish(std::size_t j);
+
+  SchedulerOptions options_;
+  // deque: stable element addresses across add_job while rounds hold
+  // pointers into earlier elements.
+  std::deque<ScheduledJob> jobs_;
+  std::deque<std::unique_ptr<JobState>> states_;
+  std::size_t live_ = 0;
+};
+
 /// Run every job to completion (budget, plateau, early stop, or exhausted
 /// space), interleaved round by round. Returns one trace per job, in job
-/// order.
+/// order. Implemented as: admit all jobs into a Scheduler, step until idle.
 std::vector<Trace> run_scheduled(std::vector<ScheduledJob>& jobs,
                                  const SchedulerOptions& options = {});
 

@@ -1,0 +1,911 @@
+// Service subsystem tests (ctest -L service): protocol round-trip and
+// garbled-input properties, job-queue ordering/admission, SessionManager
+// end-to-end behavior (multi-client determinism, saturation, drain,
+// restart-resume), the socket server, and a kill -9 of the real glimpsed
+// binary mid-job followed by a restart that must complete every accepted
+// job bit-identically.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/chameleon.hpp"
+#include "baselines/random_tuner.hpp"
+#include "gpusim/measurer.hpp"
+#include "hwspec/database.hpp"
+#include "proptest_util.hpp"
+#include "searchspace/models.hpp"
+#include "service/client.hpp"
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/session_manager.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse {
+namespace {
+
+using service::Admission;
+using service::Client;
+using service::JobQueue;
+using service::JobQueueOptions;
+using service::JobSpec;
+using service::JobSummary;
+using service::QueuedJob;
+using service::Request;
+using service::RequestType;
+using service::Response;
+using service::ResponseType;
+using service::Server;
+using service::ServerOptions;
+using service::ServiceStats;
+using service::SessionManager;
+using service::SessionManagerOptions;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Unix socket paths must fit sockaddr_un; TempDir can be long, /tmp is not.
+std::string short_sock_path(const std::string& tag) {
+  return "/tmp/glimpse_svc_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+JobSpec small_job(std::uint64_t seed, std::uint64_t max_trials = 48) {
+  JobSpec spec;
+  spec.tuner = "random";
+  spec.model = "resnet18";
+  spec.task_index = 1;
+  spec.gpu = "Titan Xp";
+  spec.seed = seed;
+  spec.max_trials = max_trials;
+  spec.batch_size = 8;
+  return spec;
+}
+
+/// The reference run: the same job driven directly through run_session,
+/// no daemon, no cache, no checkpointing. Daemon results must match this
+/// bit-identically (decisions; elapsed differs only via cache hits).
+tuning::Trace direct_trace(const JobSpec& spec) {
+  static std::map<std::string, std::unique_ptr<searchspace::TaskSet>> task_sets;
+  auto it = task_sets.find(spec.model);
+  if (it == task_sets.end()) {
+    searchspace::Model model = spec.model == "alexnet"    ? searchspace::alexnet()
+                               : spec.model == "resnet18" ? searchspace::resnet18()
+                                                          : searchspace::vgg16();
+    it = task_sets
+             .emplace(spec.model,
+                      std::make_unique<searchspace::TaskSet>(std::move(model)))
+             .first;
+  }
+  const searchspace::Task& task = it->second->task(spec.task_index);
+  const hwspec::GpuSpec* hw = hwspec::find_gpu(spec.gpu);
+  EXPECT_NE(hw, nullptr);
+
+  std::unique_ptr<tuning::Tuner> tuner;
+  if (spec.tuner == "random")
+    tuner = std::make_unique<baselines::RandomTuner>(task, *hw, spec.seed);
+  else if (spec.tuner == "autotvm")
+    tuner = std::make_unique<baselines::AutoTvmTuner>(task, *hw, spec.seed);
+  else
+    tuner = std::make_unique<baselines::ChameleonTuner>(task, *hw, spec.seed);
+
+  gpusim::SimMeasurer measurer;
+  tuning::SessionOptions opts;
+  opts.max_trials = spec.max_trials;
+  opts.batch_size = spec.batch_size;
+  opts.plateau_trials = spec.plateau_trials;
+  if (spec.time_budget_s > 0.0) opts.time_budget_s = spec.time_budget_s;
+  opts.seed = spec.seed;
+  return tuning::run_session(*tuner, task, *hw, measurer, opts);
+}
+
+void expect_summary_matches_trace(const JobSummary& summary,
+                                  const tuning::Trace& trace) {
+  EXPECT_EQ(summary.state, "done");
+  EXPECT_EQ(summary.trials, trace.trials.size());
+  EXPECT_EQ(summary.faulted, trace.num_faulted());
+  EXPECT_EQ(summary.best_gflops, trace.best_gflops());  // bit-identical
+  tuning::Config best;
+  double best_gflops = 0.0;
+  for (const auto& t : trace.trials)
+    if (t.result.valid && t.result.gflops > best_gflops) {
+      best_gflops = t.result.gflops;
+      best = t.config;
+    }
+  EXPECT_EQ(summary.best_config, best);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: round trips and hostile input.
+// ---------------------------------------------------------------------------
+
+std::uint64_t any_u64(Rng& rng) {
+  auto v = static_cast<std::uint64_t>(
+      rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+  if (rng.chance(0.2)) v |= 0x8000000000000000ULL;  // exercise the kUint path
+  return v;
+}
+
+double nonneg_finite(Rng& rng) {
+  double v = std::abs(testing::finite_double(rng));
+  return std::isfinite(v) ? v : 1.0;
+}
+
+std::string nonempty_string(Rng& rng, std::size_t max_len) {
+  std::string s = testing::any_string(rng, max_len);
+  if (s.empty()) s = "x";
+  return s;
+}
+
+JobSpec any_job_spec(Rng& rng) {
+  JobSpec spec;
+  spec.tuner = nonempty_string(rng, 16);
+  spec.model = nonempty_string(rng, 16);
+  spec.task_index = static_cast<std::uint64_t>(rng.uniform_int(0, 10000));
+  spec.gpu = nonempty_string(rng, 32);
+  spec.seed = any_u64(rng);
+  spec.max_trials = static_cast<std::uint64_t>(rng.uniform_int(1, 1000000));
+  spec.batch_size = static_cast<std::uint64_t>(rng.uniform_int(1, 4096));
+  spec.plateau_trials = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
+  spec.time_budget_s = nonneg_finite(rng);
+  return spec;
+}
+
+Request any_request(Rng& rng) {
+  Request r;
+  r.type = static_cast<RequestType>(rng.uniform_int(0, 7));
+  switch (r.type) {
+    case RequestType::kSubmit:
+      r.client = nonempty_string(rng, 32);
+      r.priority = rng.uniform_int(-100, 100);
+      r.job = any_job_spec(rng);
+      break;
+    case RequestType::kStatus:
+    case RequestType::kCancel:
+      r.job_id = any_u64(rng);
+      break;
+    case RequestType::kResult:
+      r.job_id = any_u64(rng);
+      r.wait = rng.chance(0.5);
+      break;
+    default:
+      break;
+  }
+  return r;
+}
+
+JobSummary any_summary(Rng& rng) {
+  static const char* kStates[] = {"queued", "running", "done", "cancelled",
+                                  "failed"};
+  JobSummary s;
+  s.job_id = any_u64(rng);
+  s.client = testing::any_string(rng, 32);
+  s.state = kStates[rng.index(5)];
+  s.trials = any_u64(rng);
+  s.faulted = any_u64(rng);
+  s.best_gflops = nonneg_finite(rng);
+  for (std::size_t i = rng.index(12); i > 0; --i)
+    s.best_config.push_back(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffLL)));
+  s.elapsed_s = nonneg_finite(rng);
+  s.error = testing::any_string(rng, 64);
+  return s;
+}
+
+Response any_response(Rng& rng) {
+  Response r;
+  r.type = static_cast<ResponseType>(rng.uniform_int(0, 7));
+  switch (r.type) {
+    case ResponseType::kAccepted:
+      r.job_id = any_u64(rng);
+      break;
+    case ResponseType::kRejected:
+      r.reason = nonempty_string(rng, 64);
+      r.retry_after_s = nonneg_finite(rng);
+      break;
+    case ResponseType::kStatus:
+    case ResponseType::kResult:
+      r.summary = any_summary(rng);
+      break;
+    case ResponseType::kStats: {
+      ServiceStats& s = r.stats;
+      s.queue_depth = any_u64(rng);
+      s.running = any_u64(rng);
+      s.submitted = any_u64(rng);
+      s.completed = any_u64(rng);
+      s.cancelled = any_u64(rng);
+      s.failed = any_u64(rng);
+      s.rejected = any_u64(rng);
+      s.resumed = any_u64(rng);
+      s.slots = any_u64(rng);
+      s.cache_enabled = rng.chance(0.5);
+      s.cache_hits = any_u64(rng);
+      s.cache_inserts = any_u64(rng);
+      s.shared_hits = any_u64(rng);
+      s.draining = rng.chance(0.5);
+      break;
+    }
+    case ResponseType::kError:
+      r.reason = testing::any_string(rng, 64);
+      break;
+    default:
+      break;
+  }
+  return r;
+}
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  CHECK_PROP(0x5eb1ce01, 300, [](Rng& rng) {
+    Request r = any_request(rng);
+    std::string line = service::encode_request(r);
+    Request back;
+    std::string err;
+    if (!service::parse_request(line, back, err)) {
+      ADD_FAILURE() << "parse failed: " << err << "\n  line: " << line;
+      return false;
+    }
+    return back == r;
+  });
+}
+
+TEST(ServiceProtocol, ResponseRoundTrip) {
+  CHECK_PROP(0x5eb1ce02, 300, [](Rng& rng) {
+    Response r = any_response(rng);
+    std::string line = service::encode_response(r);
+    Response back;
+    std::string err;
+    if (!service::parse_response(line, back, err)) {
+      ADD_FAILURE() << "parse failed: " << err << "\n  line: " << line;
+      return false;
+    }
+    return back == r;
+  });
+}
+
+TEST(ServiceProtocol, SpoolRecordRoundTrip) {
+  CHECK_PROP(0x5eb1ce03, 200, [](Rng& rng) {
+    service::SpoolRecord rec;
+    rec.id = any_u64(rng);
+    rec.client = nonempty_string(rng, 32);
+    rec.priority = rng.uniform_int(-100, 100);
+    rec.job = any_job_spec(rng);
+    service::SpoolRecord back;
+    std::string err;
+    if (!service::parse_spool_record(service::encode_spool_record(rec), back, err))
+      return false;
+    return back == rec;
+  });
+}
+
+TEST(ServiceProtocol, JobSummaryLineRoundTrip) {
+  CHECK_PROP(0x5eb1ce04, 200, [](Rng& rng) {
+    JobSummary s = any_summary(rng);
+    JobSummary back;
+    std::string err;
+    if (!service::parse_job_summary_line(service::encode_job_summary(s), back, err))
+      return false;
+    return back == s;
+  });
+}
+
+// A garbled line must yield a clean parse error (with a message) or — when
+// the damage cancels out — a valid parse. Never UB, never a silent
+// half-filled message. (ASan/UBSan builds of this suite are the teeth.)
+TEST(ServiceProtocol, GarbledRequestNeverMisbehaves) {
+  CHECK_PROP(0x5eb1ce05, 500, [](Rng& rng) {
+    std::string line = service::encode_request(any_request(rng));
+    std::string damaged = testing::garble(line, rng);
+    Request out;
+    std::string err;
+    bool ok = service::parse_request(damaged, out, err);
+    return ok || !err.empty();
+  });
+}
+
+TEST(ServiceProtocol, GarbledResponseNeverMisbehaves) {
+  CHECK_PROP(0x5eb1ce06, 500, [](Rng& rng) {
+    std::string line = service::encode_response(any_response(rng));
+    std::string damaged = testing::garble(line, rng);
+    Response out;
+    std::string err;
+    bool ok = service::parse_response(damaged, out, err);
+    return ok || !err.empty();
+  });
+}
+
+TEST(ServiceProtocol, StrictParserRejects) {
+  Request r;
+  std::string err;
+  // Unknown key.
+  EXPECT_FALSE(service::parse_request(R"({"v":1,"type":"ping","zap":1})", r, err));
+  // Duplicate key.
+  EXPECT_FALSE(service::parse_request(R"({"v":1,"v":1,"type":"ping"})", r, err));
+  // Wrong version.
+  EXPECT_FALSE(service::parse_request(R"({"v":2,"type":"ping"})", r, err));
+  // Missing version.
+  EXPECT_FALSE(service::parse_request(R"({"type":"ping"})", r, err));
+  // Unknown type.
+  EXPECT_FALSE(service::parse_request(R"({"v":1,"type":"zap"})", r, err));
+  // Trailing bytes.
+  EXPECT_FALSE(service::parse_request(R"({"v":1,"type":"ping"} x)", r, err));
+  // Not an object.
+  EXPECT_FALSE(service::parse_request(R"([1,2,3])", r, err));
+  // Leading zero (not JSON).
+  EXPECT_FALSE(service::parse_request(R"({"v":01,"type":"ping"})", r, err));
+  // Raw control character in a string.
+  EXPECT_FALSE(service::parse_request("{\"v\":1,\"type\":\"ping\x01\"}", r, err));
+  // Lone surrogate escape.
+  EXPECT_FALSE(
+      service::parse_request(R"({"v":1,"type":"status","job_id":"\ud800"})", r, err));
+  // Priority out of range.
+  EXPECT_FALSE(service::parse_request(
+      R"({"v":1,"type":"submit","client":"c","priority":101,"job":{"tuner":"random","model":"resnet18","task":1,"gpu":"Titan Xp","seed":1,"max_trials":8,"batch_size":8,"plateau":0,"time_budget_s":0}})",
+      r, err));
+  // batch_size of zero.
+  EXPECT_FALSE(service::parse_request(
+      R"({"v":1,"type":"submit","client":"c","priority":0,"job":{"tuner":"random","model":"resnet18","task":1,"gpu":"Titan Xp","seed":1,"max_trials":8,"batch_size":0,"plateau":0,"time_budget_s":0}})",
+      r, err));
+  // Oversized line.
+  std::string big = R"({"v":1,"type":"ping",)";
+  big += std::string(service::kMaxLineBytes, ' ');
+  big += "}";
+  EXPECT_FALSE(service::parse_request(big, r, err));
+  EXPECT_EQ(err, "line too long");
+  // Nesting bomb.
+  std::string deep(64, '[');
+  EXPECT_FALSE(service::parse_request(deep, r, err));
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue: ordering, fairness, admission.
+// ---------------------------------------------------------------------------
+
+QueuedJob qj(std::uint64_t id, const std::string& client, std::int64_t prio) {
+  return {id, client, prio, JobSpec{}};
+}
+
+TEST(ServiceJobQueue, PriorityThenClientRoundRobin) {
+  JobQueue q;
+  ASSERT_TRUE(q.push(qj(1, "a", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(2, "a", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(3, "a", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(4, "b", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(5, "b", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(6, "c", 5)).accepted);  // higher priority jumps ahead
+  std::vector<std::uint64_t> order;
+  QueuedJob out;
+  while (q.pop(out)) order.push_back(out.id);
+  // c first (priority 5), then a/b alternate (round-robin), a's backlog last.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{6, 1, 4, 2, 5, 3}));
+}
+
+TEST(ServiceJobQueue, AdmissionBounds) {
+  JobQueueOptions opts;
+  opts.max_depth = 2;
+  opts.retry_after_s = 3.5;
+  JobQueue q(opts);
+  EXPECT_TRUE(q.push(qj(1, "a", 0)).accepted);
+  EXPECT_TRUE(q.push(qj(2, "b", 0)).accepted);
+  Admission rejected = q.push(qj(3, "c", 0));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, "saturated");
+  EXPECT_EQ(rejected.retry_after_s, 3.5);
+  // Forced pushes (spool recovery) bypass the bound.
+  EXPECT_TRUE(q.push(qj(4, "d", 0), /*force=*/true).accepted);
+  EXPECT_EQ(q.depth(), 3u);
+}
+
+TEST(ServiceJobQueue, PerClientBound) {
+  JobQueueOptions opts;
+  opts.max_per_client = 1;
+  JobQueue q(opts);
+  EXPECT_TRUE(q.push(qj(1, "a", 0)).accepted);
+  Admission rejected = q.push(qj(2, "a", 0));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, "client_saturated");
+  EXPECT_TRUE(q.push(qj(3, "b", 0)).accepted);
+  // Popping a's job frees its slot.
+  QueuedJob out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_TRUE(q.push(qj(4, "a", 0)).accepted);
+}
+
+TEST(ServiceJobQueue, EraseCancelsQueuedJob) {
+  JobQueue q;
+  ASSERT_TRUE(q.push(qj(1, "a", 0)).accepted);
+  ASSERT_TRUE(q.push(qj(2, "a", 0)).accepted);
+  EXPECT_TRUE(q.erase(1));
+  EXPECT_FALSE(q.erase(1));  // already gone
+  QueuedJob out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.id, 2u);
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager end to end (no sockets).
+// ---------------------------------------------------------------------------
+
+TEST(ServiceManager, JobMatchesDirectRunBitIdentically) {
+  SessionManagerOptions opts;
+  opts.slots = 2;
+  SessionManager manager(opts);
+  JobSpec spec = small_job(/*seed=*/41);
+  Response accepted = manager.submit("alice", 0, spec);
+  ASSERT_EQ(accepted.type, ResponseType::kAccepted);
+  Response result = manager.result(accepted.job_id, /*wait=*/true);
+  ASSERT_EQ(result.type, ResponseType::kResult);
+  expect_summary_matches_trace(result.summary, direct_trace(spec));
+}
+
+TEST(ServiceManager, RejectsBadSpecsAtTheDoor) {
+  SessionManager manager{SessionManagerOptions{}};
+  EXPECT_EQ(manager.submit("a", 0, [] {
+              JobSpec s = small_job(1);
+              s.tuner = "glimpse";  // needs pretrained artifacts
+              return s;
+            }()).type,
+            ResponseType::kError);
+  EXPECT_EQ(manager.submit("a", 0, [] {
+              JobSpec s = small_job(1);
+              s.model = "resnet999";
+              return s;
+            }()).type,
+            ResponseType::kError);
+  EXPECT_EQ(manager.submit("a", 0, [] {
+              JobSpec s = small_job(1);
+              s.gpu = "Voodoo 2";
+              return s;
+            }()).type,
+            ResponseType::kError);
+  EXPECT_EQ(manager.submit("a", 0, [] {
+              JobSpec s = small_job(1);
+              s.task_index = 9999;  // resnet18 has 17 tasks
+              return s;
+            }()).type,
+            ResponseType::kError);
+  EXPECT_EQ(manager.status(123).type, ResponseType::kError);
+  EXPECT_EQ(manager.cancel(123).type, ResponseType::kError);
+}
+
+// N clients submit overlapping work concurrently. Every job's result must
+// be bit-identical to its direct single-session run no matter the
+// interleaving, and the shared cache must show cross-client hits.
+TEST(ServiceManager, ConcurrentMultiClientSubmitIsDeterministic) {
+  SessionManagerOptions opts;
+  opts.slots = 3;
+  opts.cache = "mem";
+  SessionManager manager(opts);
+
+  // 4 clients x 3 jobs; seeds overlap across clients so identical sessions
+  // exist (the cache/dedup targets) alongside distinct ones.
+  const int kClients = 4, kJobsPerClient = 3;
+  std::vector<std::vector<std::uint64_t>> ids(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobSpec spec = small_job(/*seed=*/100 + j);  // same seeds per client
+        Response r = manager.submit("client" + std::to_string(c), 0, spec);
+        if (r.type != ResponseType::kAccepted) {
+          ++failures;
+          return;
+        }
+        ids[c].push_back(r.job_id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  for (int j = 0; j < kJobsPerClient; ++j) {
+    tuning::Trace reference = direct_trace(small_job(100 + j));
+    for (int c = 0; c < kClients; ++c) {
+      Response result = manager.result(ids[c][j], /*wait=*/true);
+      ASSERT_EQ(result.type, ResponseType::kResult);
+      expect_summary_matches_trace(result.summary, reference);
+    }
+  }
+
+  Response stats = manager.stats();
+  ASSERT_EQ(stats.type, ResponseType::kStats);
+  EXPECT_EQ(stats.stats.submitted, 12u);
+  EXPECT_EQ(stats.stats.completed, 12u);
+  EXPECT_TRUE(stats.stats.cache_enabled);
+  // 3 distinct sessions, 4 clients each, 576 trials total. How duplicate
+  // measurements split between cache hits and the scheduler's in-round
+  // sharing depends on interleaving (lockstep copies share, staggered
+  // copies hit), but the real work is interleaving-independent: exactly
+  // one insert per distinct (task, hw, config), everything else deduped.
+  EXPECT_EQ(stats.stats.cache_inserts, 3u * 48u);
+  EXPECT_LE(stats.stats.cache_hits, 9u * 48u);
+}
+
+// Saturate admission: pin the worker inside a long scheduler round, then
+// burst more submissions than the queue accepts.
+TEST(ServiceManager, SaturationRejectsWithRetryAfter) {
+  SessionManagerOptions opts;
+  opts.slots = 1;
+  opts.queue.max_depth = 2;
+  opts.queue.retry_after_s = 1.5;
+  SessionManager manager(opts);
+
+  // One round of this job is 2048 measurements — plenty of wall-clock to
+  // land the burst while the worker is busy inside step_round().
+  JobSpec big = small_job(/*seed=*/7, /*max_trials=*/4096);
+  big.batch_size = 2048;
+  Response first = manager.submit("hog", 0, big);
+  ASSERT_EQ(first.type, ResponseType::kAccepted);
+  while (true) {  // wait until the worker admitted it (queue drained)
+    Response s = manager.stats();
+    if (s.stats.running >= 1 && s.stats.queue_depth == 0) break;
+    std::this_thread::yield();
+  }
+
+  int accepted = 0, rejected = 0;
+  double retry_after = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    Response r = manager.submit("burst", 0, small_job(10 + i, /*max_trials=*/8));
+    if (r.type == ResponseType::kAccepted) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(r.type, ResponseType::kRejected);
+      EXPECT_EQ(r.reason, "saturated");
+      retry_after = r.retry_after_s;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(retry_after, 1.5);
+
+  // The hog is no longer needed; cancel it and drain the rest.
+  EXPECT_EQ(manager.cancel(first.job_id).type, ResponseType::kOk);
+  EXPECT_EQ(manager.drain().type, ResponseType::kOk);
+  Response stats = manager.stats();
+  EXPECT_EQ(stats.stats.rejected, 3u);
+  EXPECT_EQ(stats.stats.completed, 2u);
+  EXPECT_EQ(stats.stats.cancelled, 1u);
+}
+
+TEST(ServiceManager, DrainCompletesAcceptedAndRejectsNew) {
+  SessionManagerOptions opts;
+  opts.slots = 2;
+  SessionManager manager(opts);
+  Response a = manager.submit("a", 0, small_job(1));
+  Response b = manager.submit("b", 0, small_job(2));
+  ASSERT_EQ(a.type, ResponseType::kAccepted);
+  ASSERT_EQ(b.type, ResponseType::kAccepted);
+  EXPECT_EQ(manager.drain().type, ResponseType::kOk);
+  // Everything accepted before the drain has settled.
+  EXPECT_EQ(manager.status(a.job_id).summary.state, "done");
+  EXPECT_EQ(manager.status(b.job_id).summary.state, "done");
+  // New work is refused.
+  Response after = manager.submit("c", 0, small_job(3));
+  ASSERT_EQ(after.type, ResponseType::kRejected);
+  EXPECT_EQ(after.reason, "draining");
+  EXPECT_TRUE(manager.stats().stats.draining);
+}
+
+TEST(ServiceManager, CancelQueuedJobNeverRuns) {
+  SessionManagerOptions opts;
+  opts.slots = 1;
+  SessionManager manager(opts);
+  JobSpec big = small_job(/*seed=*/3, /*max_trials=*/4096);
+  big.batch_size = 2048;
+  Response hog = manager.submit("a", 0, big);
+  ASSERT_EQ(hog.type, ResponseType::kAccepted);
+  while (manager.stats().stats.running < 1) std::this_thread::yield();
+  Response queued = manager.submit("b", 0, small_job(4));
+  ASSERT_EQ(queued.type, ResponseType::kAccepted);
+  EXPECT_EQ(manager.cancel(queued.job_id).type, ResponseType::kOk);
+  Response result = manager.result(queued.job_id, /*wait=*/true);
+  ASSERT_EQ(result.type, ResponseType::kResult);
+  EXPECT_EQ(result.summary.state, "cancelled");
+  EXPECT_EQ(result.summary.trials, 0u);
+  manager.cancel(hog.job_id);
+}
+
+// Stop the daemon mid-job (graceful this time; the SIGKILL variant runs
+// against the real binary below), restart on the same spool, and the job
+// must resume from its checkpoint and finish bit-identically.
+TEST(ServiceManager, RestartOnSpoolResumesAndCompletes) {
+  const std::string spool = tmp_path("svc_restart_spool");
+  std::filesystem::remove_all(spool);
+  // autotvm refits its surrogate every batch: rounds are milliseconds, not
+  // microseconds, so stop() reliably lands while the job is still running.
+  JobSpec spec = small_job(/*seed=*/77, /*max_trials=*/96);
+  spec.tuner = "autotvm";
+  spec.batch_size = 4;  // many batches -> several checkpoints
+  std::uint64_t job_id = 0;
+  {
+    SessionManagerOptions opts;
+    opts.slots = 2;
+    opts.spool_dir = spool;
+    SessionManager manager(opts);
+    Response r = manager.submit("alice", 0, spec);
+    ASSERT_EQ(r.type, ResponseType::kAccepted);
+    job_id = r.job_id;
+    // Let it make some progress, then stop the daemon under it.
+    while (manager.status(job_id).summary.trials < 8) std::this_thread::yield();
+    manager.stop();
+    Response mid = manager.status(job_id);
+    EXPECT_EQ(mid.summary.state, "running");  // genuinely interrupted
+    EXPECT_LT(mid.summary.trials, spec.max_trials);
+  }
+  {
+    SessionManagerOptions opts;
+    opts.slots = 2;
+    opts.spool_dir = spool;
+    SessionManager manager(opts);
+    EXPECT_EQ(manager.recovered(), 1u);
+    Response result = manager.result(job_id, /*wait=*/true);
+    ASSERT_EQ(result.type, ResponseType::kResult);
+    expect_summary_matches_trace(result.summary, direct_trace(spec));
+    EXPECT_EQ(manager.stats().stats.resumed, 1u);
+  }
+  // A third daemon on the same spool serves the settled result without
+  // re-running anything.
+  {
+    SessionManagerOptions opts;
+    opts.spool_dir = spool;
+    SessionManager manager(opts);
+    EXPECT_EQ(manager.recovered(), 0u);
+    Response r = manager.result(job_id, /*wait=*/false);
+    ASSERT_EQ(r.type, ResponseType::kResult);
+    EXPECT_EQ(r.summary.state, "done");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket server + client.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceServer, TcpEndToEnd) {
+  SessionManagerOptions mopts;
+  mopts.slots = 2;
+  mopts.cache = "mem";
+  SessionManager manager(mopts);
+  ServerOptions sopts;
+  sopts.tcp_port = 0;  // ephemeral
+  Server server(manager, sopts);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_EQ(client.ping().type, ResponseType::kPong);
+
+  JobSpec spec = small_job(/*seed=*/5);
+  Response accepted = client.submit("alice", 0, spec);
+  ASSERT_EQ(accepted.type, ResponseType::kAccepted);
+  Response result = client.result(accepted.job_id, /*wait=*/true);
+  ASSERT_EQ(result.type, ResponseType::kResult);
+  expect_summary_matches_trace(result.summary, direct_trace(spec));
+
+  Response stats = client.stats();
+  ASSERT_EQ(stats.type, ResponseType::kStats);
+  EXPECT_EQ(stats.stats.completed, 1u);
+  server.stop();
+}
+
+TEST(ServiceServer, UnixSocketAndTwoClients) {
+  const std::string sock = short_sock_path("uds");
+  SessionManagerOptions mopts;
+  mopts.slots = 2;
+  mopts.cache = "mem";
+  SessionManager manager(mopts);
+  Server server(manager, ServerOptions{sock, -1});
+  server.start();
+
+  Client c1 = Client::connect_unix(sock);
+  Client c2 = Client::connect_unix(sock);
+  JobSpec spec = small_job(/*seed=*/6);
+  Response r1 = c1.submit("one", 0, spec);
+  ASSERT_EQ(r1.type, ResponseType::kAccepted);
+  Response done1 = c1.result(r1.job_id, true);
+  // Second client re-submits the identical spec after the first settled:
+  // every measurement must now come from the shared cache.
+  Response r2 = c2.submit("two", 0, spec);
+  ASSERT_EQ(r2.type, ResponseType::kAccepted);
+  Response done2 = c2.result(r2.job_id, true);
+  // Same spec from different clients: identical results, via the cache.
+  EXPECT_EQ(done1.summary.best_gflops, done2.summary.best_gflops);
+  EXPECT_EQ(done1.summary.best_config, done2.summary.best_config);
+  Response stats = c1.stats();
+  EXPECT_GE(stats.stats.cache_hits, spec.max_trials);
+  server.stop();
+}
+
+// Raw-socket client: garbage must get an error line (connection stays up);
+// an overlong line must close the connection.
+TEST(ServiceServer, GarbageLinesGetErrorsNotCrashes) {
+  const std::string sock = short_sock_path("garbage");
+  SessionManager manager{SessionManagerOptions{}};
+  Server server(manager, ServerOptions{sock, -1});
+  server.start();
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  auto send_line = [&](const std::string& s) {
+    std::string payload = s + "\n";
+    ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+              static_cast<ssize_t>(payload.size()));
+  };
+  auto read_line = [&]() {
+    std::string line;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1) {
+      if (c == '\n') break;
+      line += c;
+    }
+    return line;
+  };
+
+  send_line("this is not json");
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(service::parse_response(read_line(), resp, err)) << err;
+  EXPECT_EQ(resp.type, ResponseType::kError);
+
+  // The conversation survives garbage: a valid request still works.
+  send_line(R"({"v":1,"type":"ping"})");
+  ASSERT_TRUE(service::parse_response(read_line(), resp, err)) << err;
+  EXPECT_EQ(resp.type, ResponseType::kPong);
+
+  // An overlong line gets an error and the connection is closed.
+  std::string huge(service::kMaxLineBytes + 100, 'x');
+  send_line(huge);
+  ASSERT_TRUE(service::parse_response(read_line(), resp, err)) << err;
+  EXPECT_EQ(resp.type, ResponseType::kError);
+  char c;
+  EXPECT_EQ(::recv(fd, &c, 1, 0), 0);  // EOF: server hung up
+  ::close(fd);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The real thing: kill -9 the glimpsed binary mid-job; a restarted daemon
+// must resume and complete every accepted job bit-identically.
+// ---------------------------------------------------------------------------
+
+class DaemonProcess {
+ public:
+  DaemonProcess(const std::string& sock, const std::string& spool) {
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      ::execl(GLIMPSED_BIN, GLIMPSED_BIN, "--unix", sock.c_str(), "--spool",
+              spool.c_str(), "--slots", "2", "--cache", "mem",
+              static_cast<char*>(nullptr));
+      std::_Exit(127);  // exec failed
+    }
+    ::close(out_pipe[1]);
+    out_fd_ = out_pipe[0];
+  }
+
+  ~DaemonProcess() {
+    if (out_fd_ >= 0) ::close(out_fd_);
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  bool started() const { return pid_ > 0 && out_fd_ >= 0; }
+
+  /// Block until the daemon prints its ready line; returns it ("" on EOF).
+  std::string wait_ready() {
+    std::string line;
+    char c;
+    while (::read(out_fd_, &c, 1) == 1) {
+      if (c == '\n') return line;
+      line += c;
+    }
+    return "";
+  }
+
+  void kill_hard() {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  int wait_exit() {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+};
+
+TEST(ServiceDaemon, SigkillMidJobThenRestartCompletesEverything) {
+  const std::string sock = short_sock_path("kill");
+  const std::string spool = tmp_path("svc_kill_spool");
+  std::filesystem::remove_all(spool);
+
+  // autotvm refits its surrogate every batch, which makes the job slow
+  // enough (hundreds of ms) to reliably SIGKILL mid-run.
+  JobSpec slow = small_job(/*seed=*/11, /*max_trials=*/160);
+  slow.tuner = "autotvm";
+  JobSpec quick = small_job(/*seed=*/12, /*max_trials=*/32);
+
+  std::uint64_t slow_id = 0, quick_id = 0;
+  {
+    DaemonProcess daemon(sock, spool);
+    ASSERT_TRUE(daemon.started());
+    ASSERT_NE(daemon.wait_ready(), "");
+    Client client = Client::connect_unix(sock);
+    Response r1 = client.submit("alice", 0, slow);
+    Response r2 = client.submit("bob", 0, quick);
+    ASSERT_EQ(r1.type, ResponseType::kAccepted);
+    ASSERT_EQ(r2.type, ResponseType::kAccepted);
+    slow_id = r1.job_id;
+    quick_id = r2.job_id;
+    // Wait for visible progress on the slow job, then pull the plug.
+    while (true) {
+      Response s = client.status(slow_id);
+      ASSERT_EQ(s.type, ResponseType::kStatus);
+      if (s.summary.trials >= 8) break;
+      std::this_thread::yield();
+    }
+    daemon.kill_hard();
+  }
+  {
+    DaemonProcess daemon(sock, spool);
+    ASSERT_TRUE(daemon.started());
+    std::string ready = daemon.wait_ready();
+    ASSERT_NE(ready, "");
+    EXPECT_NE(ready.find("resumed="), std::string::npos);
+    EXPECT_EQ(ready.find("resumed=0"), std::string::npos);
+
+    Client client = Client::connect_unix(sock);
+    Response done_slow = client.result(slow_id, /*wait=*/true);
+    Response done_quick = client.result(quick_id, /*wait=*/true);
+    ASSERT_EQ(done_slow.type, ResponseType::kResult);
+    ASSERT_EQ(done_quick.type, ResponseType::kResult);
+    expect_summary_matches_trace(done_slow.summary, direct_trace(slow));
+    expect_summary_matches_trace(done_quick.summary, direct_trace(quick));
+
+    EXPECT_EQ(client.shutdown().type, ResponseType::kOk);
+    int status = daemon.wait_exit();
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+}
+
+}  // namespace
+}  // namespace glimpse

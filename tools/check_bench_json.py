@@ -25,6 +25,13 @@ Checks three file shapes, selected by content sniffing (or forced with
                     {"name", "tuner", "measurements_no_cache",
                      "measurements_cache", "reduction",
                      "traces_identical", ...}, ...]}
+  * service    -- BENCH_service.json from bench/micro_service.cpp:
+                  {"slots", "max_trials", "batch_size", "scenarios": [
+                    {"name", "clients", "submitted", "accepted",
+                     "rejected", "completed", "cancelled",
+                     "results_identical", ...}, ...]};
+                  admission must account exactly (accepted + rejected ==
+                  submitted, completed + cancelled <= accepted)
 
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
@@ -139,6 +146,30 @@ def check_cache(doc: object, name: str) -> int:
     return len(doc["sweeps"])
 
 
+def check_service(doc: object, name: str) -> int:
+    _require_keys(doc, {"slots": int, "max_trials": int, "batch_size": int,
+                        "scenarios": list}, name)
+    _require(doc["slots"] >= 1, f"{name}: slots < 1")
+    _require(len(doc["scenarios"]) > 0, f"{name}: empty scenarios list")
+    for i, s in enumerate(doc["scenarios"]):
+        where = f"{name}: scenarios[{i}]"
+        _require_keys(s, {"name": str, "clients": int, "submitted": int,
+                          "accepted": int, "rejected": int, "completed": int,
+                          "cancelled": int, "trials_total": int,
+                          "cache_hits": int, "wall_ms": NUMBER}, where)
+        _require(isinstance(s.get("results_identical"), bool),
+                 f"{where}: key 'results_identical' must be a boolean")
+        _require(s["clients"] >= 1, f"{where}: clients < 1")
+        _require(s["accepted"] + s["rejected"] == s["submitted"],
+                 f"{where}: accepted + rejected != submitted "
+                 f"(admission must account for every request)")
+        _require(s["completed"] + s["cancelled"] <= s["accepted"],
+                 f"{where}: more settled jobs than accepted")
+        _require(s["cache_hits"] >= 0, f"{where}: negative cache_hits")
+        _require(s["wall_ms"] >= 0, f"{where}: negative wall_ms")
+    return len(doc["scenarios"])
+
+
 def check_journal_lines(lines: list[str], name: str) -> int:
     errors = {"none", "transient", "timeout", "corrupt"}
     n = 0
@@ -250,6 +281,8 @@ def sniff_kind(text: str) -> str:
         return "faults"
     if isinstance(doc, dict) and "sweeps" in doc:
         return "cache"
+    if isinstance(doc, dict) and "scenarios" in doc:
+        return "service"
     return "bench"
 
 
@@ -274,6 +307,9 @@ def check_file(path: Path, kind: str | None) -> str:
     if kind == "cache":
         n = check_cache(json.loads(text), str(path))
         return f"cache json, {n} sweep(s)"
+    if kind == "service":
+        n = check_service(json.loads(text), str(path))
+        return f"service json, {n} scenario(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -327,6 +363,22 @@ VALID_CACHE = {
          "trials_total": 384, "measurements_no_cache": 384,
          "measurements_cache": 64, "reduction": 6.0, "cache_hits": 320,
          "traces_identical": True, "wall_ms": 1.5},
+    ],
+}
+
+VALID_SERVICE = {
+    "slots": 4,
+    "max_trials": 48,
+    "batch_size": 8,
+    "scenarios": [
+        {"name": "fleet_shared_cache", "clients": 4, "submitted": 18,
+         "accepted": 18, "rejected": 0, "completed": 18, "cancelled": 0,
+         "trials_total": 768, "cache_hits": 192, "results_identical": True,
+         "wall_ms": 2.7},
+        {"name": "saturation_burst", "clients": 1, "submitted": 9,
+         "accepted": 5, "rejected": 4, "completed": 4, "cancelled": 1,
+         "trials_total": 0, "cache_hits": 0, "results_identical": True,
+         "wall_ms": 6.2},
     ],
 }
 
@@ -395,6 +447,17 @@ def selftest() -> int:
          json.dumps(dict(VALID_CACHE, sweeps=[
              {k: v for k, v in VALID_CACHE["sweeps"][0].items()
               if k != "traces_identical"}])), False),
+        ("valid service", None, json.dumps(VALID_SERVICE), True),
+        ("service admission does not account", "service",
+         json.dumps(dict(VALID_SERVICE, scenarios=[
+             dict(VALID_SERVICE["scenarios"][1], rejected=3)])), False),
+        ("service settled more than accepted", "service",
+         json.dumps(dict(VALID_SERVICE, scenarios=[
+             dict(VALID_SERVICE["scenarios"][0], completed=99)])), False),
+        ("service missing results_identical", "service",
+         json.dumps(dict(VALID_SERVICE, scenarios=[
+             {k: v for k, v in VALID_SERVICE["scenarios"][0].items()
+              if k != "results_identical"}])), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -424,7 +487,7 @@ def main(argv: list[str]) -> int:
                         help="files to validate")
     parser.add_argument("--kind",
                         choices=["bench", "trace", "metrics", "faults",
-                                 "journal", "cache"],
+                                 "journal", "cache", "service"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")

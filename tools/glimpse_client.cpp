@@ -1,0 +1,156 @@
+// glimpse_client: command-line client for the glimpsed daemon.
+//
+//   glimpse_client --unix /tmp/glimpsed.sock ping
+//   glimpse_client --tcp 7979 submit --client alice --model resnet18 \
+//       --task 1 --tuner random --seed 7 --max-trials 64 --wait
+//   glimpse_client --unix glimpsed.sock status 3
+//   glimpse_client --unix glimpsed.sock result 3 --wait
+//   glimpse_client --unix glimpsed.sock stats
+//   glimpse_client --unix glimpsed.sock drain
+//   glimpse_client --unix glimpsed.sock shutdown
+//
+// Every response is printed to stdout as its single protocol JSON line, so
+// the output is both readable and scriptable (pipe through python -m
+// json.tool for pretty-printing). Exit status: 0 on ok/accepted/settled-done
+// responses, 1 on error/rejected/failed, 2 on usage errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/client.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "glimpse_client: " << error << "\n";
+  std::cerr <<
+      "usage: glimpse_client (--unix PATH | --tcp [HOST:]PORT) COMMAND\n"
+      "commands:\n"
+      "  ping\n"
+      "  submit --client NAME [--priority P] [--tuner T] [--model M]\n"
+      "         [--task I] [--gpu NAME] [--seed S] [--max-trials N]\n"
+      "         [--batch N] [--plateau N] [--time-budget S] [--wait]\n"
+      "  status JOB_ID\n"
+      "  result JOB_ID [--wait]\n"
+      "  cancel JOB_ID\n"
+      "  stats | drain | shutdown\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_id(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    usage("bad job id '" + s + "'");
+  }
+}
+
+int exit_code(const glimpse::service::Response& r) {
+  using glimpse::service::ResponseType;
+  if (r.type == ResponseType::kError || r.type == ResponseType::kRejected)
+    return 1;
+  if ((r.type == ResponseType::kResult || r.type == ResponseType::kStatus) &&
+      r.summary.state == "failed")
+    return 1;
+  return 0;
+}
+
+int print_and_exit_code(const glimpse::service::Response& r) {
+  std::cout << glimpse::service::encode_response(r) << std::endl;
+  return exit_code(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glimpse::service;
+
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  int i = 1;
+  auto next = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= argc) usage(flag + " needs a value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--unix") {
+      unix_path = next(arg);
+    } else if (arg == "--tcp") {
+      std::string v = next(arg);
+      std::size_t colon = v.rfind(':');
+      if (colon != std::string::npos) {
+        tcp_host = v.substr(0, colon);
+        v = v.substr(colon + 1);
+      }
+      tcp_port = std::atoi(v.c_str());
+      if (tcp_port <= 0) usage("bad --tcp port");
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      break;  // first non-flag token is the command
+    }
+  }
+  if (i >= argc) usage("missing command");
+  if (unix_path.empty() && tcp_port < 0) usage("need --unix or --tcp");
+  const std::string command = argv[i++];
+
+  try {
+    Client client = unix_path.empty() ? Client::connect_tcp(tcp_host, tcp_port)
+                                      : Client::connect_unix(unix_path);
+
+    if (command == "ping") return print_and_exit_code(client.ping());
+    if (command == "stats") return print_and_exit_code(client.stats());
+    if (command == "drain") return print_and_exit_code(client.drain());
+    if (command == "shutdown") return print_and_exit_code(client.shutdown());
+
+    if (command == "status" || command == "result" || command == "cancel") {
+      if (i >= argc) usage(command + " needs a JOB_ID");
+      std::uint64_t id = parse_id(argv[i++]);
+      bool wait = false;
+      for (; i < argc; ++i) {
+        if (std::string(argv[i]) == "--wait" && command == "result") wait = true;
+        else usage(std::string("unexpected argument ") + argv[i]);
+      }
+      if (command == "status") return print_and_exit_code(client.status(id));
+      if (command == "cancel") return print_and_exit_code(client.cancel(id));
+      return print_and_exit_code(client.result(id, wait));
+    }
+
+    if (command == "submit") {
+      std::string name = "cli";
+      std::int64_t priority = 0;
+      JobSpec spec;
+      bool wait = false;
+      for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--client") name = next(arg);
+        else if (arg == "--priority") priority = std::atoll(next(arg).c_str());
+        else if (arg == "--tuner") spec.tuner = next(arg);
+        else if (arg == "--model") spec.model = next(arg);
+        else if (arg == "--task") spec.task_index = parse_id(next(arg));
+        else if (arg == "--gpu") spec.gpu = next(arg);
+        else if (arg == "--seed") spec.seed = parse_id(next(arg));
+        else if (arg == "--max-trials") spec.max_trials = parse_id(next(arg));
+        else if (arg == "--batch") spec.batch_size = parse_id(next(arg));
+        else if (arg == "--plateau") spec.plateau_trials = parse_id(next(arg));
+        else if (arg == "--time-budget") spec.time_budget_s = std::atof(next(arg).c_str());
+        else if (arg == "--wait") wait = true;
+        else usage("unknown submit flag " + arg);
+      }
+      Response r = client.submit(name, priority, spec);
+      std::cout << encode_response(r) << std::endl;
+      if (r.type != ResponseType::kAccepted || !wait) return exit_code(r);
+      return print_and_exit_code(client.result(r.job_id, /*wait=*/true));
+    }
+
+    usage("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "glimpse_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,142 @@
+// glimpsed: the long-running tuning daemon.
+//
+// Accepts tuning jobs over the line-delimited JSON protocol
+// (src/service/protocol.hpp) on a Unix-domain socket and/or a loopback TCP
+// port, runs them on the shared multi-task scheduler slot pool, and spools
+// every accepted job to disk so a crashed daemon resumes — and completes —
+// all in-flight work on restart.
+//
+//   glimpsed --unix /tmp/glimpsed.sock --spool /var/tmp/glimpse-spool
+//   glimpsed --tcp 7979 --slots 8 --cache mem
+//
+// Flags:
+//   --unix PATH        listen on a Unix-domain socket (default when neither
+//                      listener is given: ./glimpsed.sock)
+//   --tcp PORT         listen on 127.0.0.1:PORT (0 = ephemeral; the chosen
+//                      port is printed on the ready line)
+//   --spool DIR        crash-safe spool directory (specs, checkpoints,
+//                      results); omit to run without persistence
+//   --slots N          concurrent measurer slots (default:
+//                      GLIMPSE_SCHED_SLOTS, else 4)
+//   --cache MODE       result cache: "off", "mem", or a file path
+//                      (default: GLIMPSE_RESULT_CACHE, else off)
+//   --max-queue N      admission bound on queued jobs (default 64)
+//   --max-per-client N per-client admission bound (default 0 = none)
+//
+// On successful startup one ready line is printed to stdout:
+//   glimpsed ready unix=<path|-> tcp=<port|-> spool=<dir|-> resumed=<n>
+// Tests and wrappers block on that line before connecting. SIGINT/SIGTERM
+// and the protocol `shutdown` request both stop the daemon gracefully
+// (running jobs stay checkpointed in the spool).
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "service/server.hpp"
+#include "service/session_manager.hpp"
+#include "tuning/scheduler.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  char b = 's';
+  ssize_t ignored = ::write(g_signal_pipe[1], &b, 1);
+  (void)ignored;
+}
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::cerr << "glimpsed: " << error << "\n";
+  std::cerr << "usage: " << argv0
+            << " [--unix PATH] [--tcp PORT] [--spool DIR] [--slots N]"
+               " [--cache off|mem|PATH] [--max-queue N] [--max-per-client N]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glimpse;
+
+  service::SessionManagerOptions mopts;
+  mopts.slots = tuning::scheduler_slots_from_env(4);
+  if (const char* env = std::getenv("GLIMPSE_RESULT_CACHE"))
+    mopts.cache = env;
+  service::ServerOptions sopts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      sopts.unix_path = next();
+    } else if (arg == "--tcp") {
+      sopts.tcp_port = std::atoi(next().c_str());
+    } else if (arg == "--spool") {
+      mopts.spool_dir = next();
+    } else if (arg == "--slots") {
+      mopts.slots = static_cast<std::size_t>(std::atoi(next().c_str()));
+      if (mopts.slots < 1) usage(argv[0], "--slots must be >= 1");
+    } else if (arg == "--cache") {
+      const std::string v = next();
+      mopts.cache = (v == "off") ? "" : v;
+    } else if (arg == "--max-queue") {
+      int v = std::atoi(next().c_str());
+      if (v < 1) usage(argv[0], "--max-queue must be >= 1");
+      mopts.queue.max_depth = static_cast<std::size_t>(v);
+    } else if (arg == "--max-per-client") {
+      int v = std::atoi(next().c_str());
+      if (v < 0) usage(argv[0], "--max-per-client must be >= 0");
+      mopts.queue.max_per_client = static_cast<std::size_t>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], "unknown flag " + arg);
+    }
+  }
+  if (sopts.unix_path.empty() && sopts.tcp_port < 0)
+    sopts.unix_path = "glimpsed.sock";
+
+  try {
+    service::SessionManager manager(mopts);
+    service::Server server(manager, sopts);
+    server.start();
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "glimpsed: pipe failed\n";
+      return 1;
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::thread signal_thread([&server] {
+      char b;
+      if (::read(g_signal_pipe[0], &b, 1) > 0) server.stop();
+    });
+
+    std::cout << "glimpsed ready unix="
+              << (sopts.unix_path.empty() ? "-" : sopts.unix_path)
+              << " tcp=" << server.tcp_port() << " spool="
+              << (mopts.spool_dir.empty() ? "-" : mopts.spool_dir)
+              << " resumed=" << manager.recovered() << std::endl;
+
+    server.wait_shutdown();
+    server.stop();
+    // Unblock the signal thread if no signal ever arrived.
+    char b = 'q';
+    ssize_t ignored = ::write(g_signal_pipe[1], &b, 1);
+    (void)ignored;
+    signal_thread.join();
+  } catch (const std::exception& e) {
+    std::cerr << "glimpsed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
