@@ -241,14 +241,26 @@ void Server::connection_loop(int fd) {
   }
   // Close under the lock: stop() shutdown()s fds it finds in connections_,
   // and the fd number must not be recycled while that can still happen.
-  std::lock_guard<std::mutex> lock(mu_);
-  ::close(fd);
-  auto it = connections_.find(fd);
-  if (it != connections_.end()) {
-    finished_.push_back(std::move(it->second));
-    connections_.erase(it);
+  // Also take over any previously finished threads — swapped out before
+  // this thread parks its own handle, so it never tries to join itself —
+  // and reap them after unlocking. Every handle in finished_ belongs to a
+  // thread already past this critical section, so those joins return
+  // promptly and finished_ stays bounded on a long-running daemon instead
+  // of accumulating one joinable thread per connection ever served.
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ::close(fd);
+    reap.swap(finished_);
+    auto it = connections_.find(fd);
+    if (it != connections_.end()) {
+      finished_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    shutdown_cv_.notify_all();  // stop() waits for connections_ to empty
   }
-  shutdown_cv_.notify_all();  // stop() waits for connections_ to empty
+  for (std::thread& t : reap)
+    if (t.joinable()) t.join();
 }
 
 }  // namespace glimpse::service

@@ -81,7 +81,7 @@ class Server {
   bool shutdown_requested_ = false;
   bool stopping_ = false;
   std::map<int, std::thread> connections_;  ///< by fd
-  std::vector<std::thread> finished_;       ///< joined in stop()
+  std::vector<std::thread> finished_;  ///< reaped by later connections + stop()
 
   std::thread acceptor_;
 };

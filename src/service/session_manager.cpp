@@ -17,6 +17,7 @@
 #include "gpusim/measurer.hpp"
 #include "hwspec/database.hpp"
 #include "searchspace/models.hpp"
+#include "tuning/checkpoint.hpp"
 #include "tuning/result_cache.hpp"
 #include "tuning/scheduler.hpp"
 
@@ -343,15 +344,17 @@ void SessionManager::persist_spec(const JobRecord& rec) {
                                          rec.spec}));
 }
 
-void SessionManager::persist_result(const JobRecord& rec) {
-  if (options_.spool_dir.empty()) return;
+bool SessionManager::persist_result(const JobRecord& rec) {
+  if (options_.spool_dir.empty()) return true;
   try {
     write_line_atomic(spool_file(rec.id, ".result.json"),
                       encode_job_summary(rec.summary));
   } catch (const std::exception& e) {
     LOG_WARN << "spool result write failed for job " << rec.id << ": "
              << e.what();
+    return false;
   }
+  return true;
 }
 
 void SessionManager::finalize_locked(JobRecord& rec, std::string state,
@@ -362,7 +365,15 @@ void SessionManager::finalize_locked(JobRecord& rec, std::string state,
   if (state == "done") ++completed_;
   else if (state == "cancelled") ++cancelled_;
   else ++failed_;
-  persist_result(rec);
+  if (persist_result(rec) && !options_.spool_dir.empty()) {
+    // The checkpoint (and its journal) is dead weight once the settled
+    // summary is durable; keep it only when the result write failed, so a
+    // restart can still recover the job from its last checkpoint.
+    std::error_code ec;
+    const std::string ckpt = spool_file(rec.id, ".ckpt");
+    fs::remove(ckpt, ec);
+    fs::remove(tuning::journal_path(ckpt), ec);
+  }
   settled_cv_.notify_all();
 }
 
@@ -372,53 +383,82 @@ void SessionManager::recover_spool() {
   fs::create_directories(options_.spool_dir, ec);
   if (ec) throw std::runtime_error("cannot create spool dir " + options_.spool_dir);
 
-  std::vector<std::pair<std::uint64_t, SpoolRecord>> found;
+  struct Found {
+    std::uint64_t id = 0;
+    SpoolRecord sr;
+    bool settled = false;
+    JobSummary done;
+  };
+  std::vector<Found> found;
   for (const auto& entry : fs::directory_iterator(options_.spool_dir)) {
     const std::string name = entry.path().filename().string();
     if (name.size() < 14 || name.rfind("job-", 0) != 0) continue;
     if (name.size() < 10 || name.substr(name.size() - 10) != ".spec.json") continue;
     std::string line;
-    SpoolRecord sr;
+    Found f;
     std::string err;
     if (!read_line(entry.path().string(), line) ||
-        !parse_spool_record(line, sr, err)) {
+        !parse_spool_record(line, f.sr, err)) {
       LOG_WARN << "skipping unreadable spool spec " << name << ": " << err;
       continue;
     }
-    found.emplace_back(sr.id, std::move(sr));
+    f.id = f.sr.id;
+    found.push_back(std::move(f));
   }
   // Directory order is unspecified; sort so recovered admission order (and
   // hence the queue) is deterministic.
   std::sort(found.begin(), found.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const Found& a, const Found& b) { return a.id < b.id; });
 
-  for (auto& [id, sr] : found) {
+  // Classify first: retention below needs the total settled count.
+  std::size_t settled = 0;
+  for (Found& f : found) {
+    std::string line, err;
+    if (!read_line(spool_file(f.id, ".result.json"), line)) continue;
+    if (parse_job_summary_line(line, f.done, err)) {
+      f.settled = true;
+      ++settled;
+    } else {
+      LOG_WARN << "unreadable spool result for job " << f.id << ": " << err
+               << "; re-running";
+    }
+  }
+  // Garbage-collect the oldest settled entries past the retention cap —
+  // without this, every restart reloads every job the daemon ever ran, and
+  // both the spool directory and startup time grow without bound.
+  std::size_t drop =
+      (options_.spool_retain > 0 && settled > options_.spool_retain)
+          ? settled - options_.spool_retain
+          : 0;
+
+  for (Found& f : found) {
+    const std::uint64_t id = f.id;
     next_id_ = std::max(next_id_, id + 1);
+    if (f.settled && drop > 0) {
+      --drop;
+      for (const char* suffix : {".spec.json", ".ckpt", ".result.json"})
+        fs::remove(spool_file(id, suffix), ec);
+      fs::remove(tuning::journal_path(spool_file(id, ".ckpt")), ec);
+      continue;
+    }
     auto rec = std::make_unique<JobRecord>();
     rec->id = id;
-    rec->client = sr.client;
-    rec->priority = sr.priority;
-    rec->spec = sr.job;
+    rec->client = f.sr.client;
+    rec->priority = f.sr.priority;
+    rec->spec = f.sr.job;
     rec->summary.job_id = id;
-    rec->summary.client = sr.client;
+    rec->summary.client = f.sr.client;
 
-    std::string line;
-    if (read_line(spool_file(id, ".result.json"), line)) {
-      JobSummary done;
-      std::string err;
-      if (parse_job_summary_line(line, done, err)) {
-        // Settled before the previous daemon died: keep it queryable.
-        rec->summary = std::move(done);
-        rec->state = rec->summary.state;
-        ++submitted_;
-        if (rec->state == "done") ++completed_;
-        else if (rec->state == "cancelled") ++cancelled_;
-        else ++failed_;
-        records_.emplace(id, std::move(rec));
-        continue;
-      }
-      LOG_WARN << "unreadable spool result for job " << id << ": " << err
-               << "; re-running";
+    if (f.settled) {
+      // Settled before the previous daemon died: keep it queryable.
+      rec->summary = std::move(f.done);
+      rec->state = rec->summary.state;
+      ++submitted_;
+      if (rec->state == "done") ++completed_;
+      else if (rec->state == "cancelled") ++cancelled_;
+      else ++failed_;
+      records_.emplace(id, std::move(rec));
+      continue;
     }
 
     // Accepted but not settled: re-admit, resuming from the checkpoint
@@ -526,6 +566,13 @@ void SessionManager::worker_loop() {
       for (auto& [id, rec] : records_)
         if (rec->state == "running")
           finalize_locked(*rec, "failed", "scheduler round failed: " + what);
+      // The failed jobs are still live inside the scheduler (finish() never
+      // ran for them), so idle() would stay false and this loop would spin
+      // re-running the failing round forever on a persistent error (e.g. a
+      // full disk during checkpointing). Replace the scheduler outright:
+      // queued jobs are re-admitted into the fresh one next iteration.
+      scheduler_ = std::make_unique<tuning::Scheduler>(
+          tuning::SchedulerOptions{options_.slots});
       continue;
     }
     refresh_locked();

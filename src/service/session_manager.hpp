@@ -58,6 +58,12 @@ struct SessionManagerOptions {
   std::string cache;
   /// Session checkpoint cadence, in batches (spooled daemons only).
   std::size_t checkpoint_every_batches = 1;
+  /// Settled jobs kept in the spool across restarts. recover_spool()
+  /// garbage-collects all but the newest `spool_retain` settled entries
+  /// (their spec/result files are deleted and they are not reloaded), so
+  /// the spool directory, the in-memory registry, and startup time stay
+  /// bounded across long restart sequences. 0 means keep everything.
+  std::size_t spool_retain = 256;
 };
 
 /// All client-facing methods speak protocol Responses so the server layer
@@ -113,7 +119,9 @@ class SessionManager {
   void refresh_locked();
   void finalize_locked(JobRecord& rec, std::string state, std::string error);
   void persist_spec(const JobRecord& rec);
-  void persist_result(const JobRecord& rec);
+  /// Spool the settled summary. False when the write failed (the job's
+  /// checkpoint must then survive so a restart can still recover it).
+  bool persist_result(const JobRecord& rec);
   std::string spool_file(std::uint64_t id, const char* suffix) const;
   const searchspace::TaskSet& task_set(const std::string& model);
   /// Builds tuner + measurer + session options into `rec`; throws on bad

@@ -77,25 +77,29 @@ std::size_t Scheduler::add_job(ScheduledJob job) {
   GLIMPSE_CHECK(job.tuner && job.task && job.hw && job.measurer)
       << "Scheduler::add_job: job " << j << " is incomplete";
   GLIMPSE_CHECK(job.options.batch_size >= 1);
-  jobs_.push_back(std::move(job));
-  states_.push_back(std::make_unique<JobState>());
-  ScheduledJob& jb = jobs_.back();
-  JobState& s = *states_.back();
-  s.task_fp = task_fingerprint(*jb.task);
-  s.hw_fp = hardware_fingerprint(*jb.hw);
-  s.st.task_name = jb.task->name();
-  s.st.hw_name = jb.hw->name;
-  if (!jb.options.resume_from.empty()) {
-    load_checkpoint(jb.options.resume_from, s.st, *jb.tuner, *jb.measurer);
-    GLIMPSE_CHECK(s.st.task_name == checkpoint_word(jb.task->name()) &&
-                  s.st.hw_name == checkpoint_word(jb.hw->name))
+  // Build the whole job state before touching jobs_/states_/live_: the
+  // checkpoint restore below throws on a corrupt snapshot or task/hardware
+  // mismatch, and a half-admitted entry would still be planned by the next
+  // round — with borrowed pointers the caller believes were never admitted.
+  auto state = std::make_unique<JobState>();
+  JobState& s = *state;
+  s.task_fp = task_fingerprint(*job.task);
+  s.hw_fp = hardware_fingerprint(*job.hw);
+  s.st.task_name = job.task->name();
+  s.st.hw_name = job.hw->name;
+  if (!job.options.resume_from.empty()) {
+    load_checkpoint(job.options.resume_from, s.st, *job.tuner, *job.measurer);
+    GLIMPSE_CHECK(s.st.task_name == checkpoint_word(job.task->name()) &&
+                  s.st.hw_name == checkpoint_word(job.hw->name))
         << "resume_from snapshot is for (" << s.st.task_name << ", "
-        << s.st.hw_name << "), job " << j << " runs (" << jb.task->name()
-        << ", " << jb.hw->name << ")";
+        << s.st.hw_name << "), job " << j << " runs (" << job.task->name()
+        << ", " << job.hw->name << ")";
   } else {
-    s.st.session_start_s = jb.measurer->elapsed_seconds();
+    s.st.session_start_s = job.measurer->elapsed_seconds();
   }
   s.journaled = s.st.trace.trials.size();
+  jobs_.push_back(std::move(job));
+  states_.push_back(std::move(state));
   ++live_;
   if (telemetry::metrics_enabled())
     telemetry::MetricsRegistry::global().counter("scheduler.jobs").add(1);

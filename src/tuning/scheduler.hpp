@@ -71,7 +71,8 @@ class Scheduler {
 
   /// Admit a job (only between rounds). Restores `options.resume_from`
   /// checkpoints immediately; throws on a malformed snapshot or a
-  /// task/hardware mismatch. Returns the job's index.
+  /// task/hardware mismatch, leaving the scheduler unchanged (the job is
+  /// not admitted). Returns the job's index.
   std::size_t add_job(ScheduledJob job);
 
   /// Run one round (plan / measure / assemble) over every live job — each

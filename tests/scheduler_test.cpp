@@ -246,6 +246,50 @@ TEST(SchedulerTest, PerJobResumeInsideAScheduleIsBitIdentical) {
   std::remove(journal_path(path).c_str());
 }
 
+// A corrupt resume_from snapshot must fail admission without side effects:
+// no zombie entry the next round would plan (with pointers the caller
+// believes were never admitted), no phantom live_ count.
+TEST(SchedulerTest, FailedResumeAdmissionLeavesSchedulerUnchanged) {
+  const std::string path = tmp_path("sched_corrupt.ckpt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint\n", f);
+    std::fclose(f);
+  }
+  RandomTuner bad_tuner(small_conv_task(), titan_xp(), 7);
+  SimMeasurer bad_sim;
+  ScheduledJob bad;
+  bad.tuner = &bad_tuner;
+  bad.task = &small_conv_task();
+  bad.hw = &titan_xp();
+  bad.measurer = &bad_sim;
+  bad.options = small_options(16);
+  bad.options.resume_from = path;
+
+  Scheduler sched;
+  EXPECT_THROW(sched.add_job(bad), std::exception);
+  EXPECT_EQ(sched.num_jobs(), 0u);
+  EXPECT_TRUE(sched.idle());
+  EXPECT_FALSE(sched.step_round());
+
+  // The scheduler is still usable: a fresh job admitted after the failure
+  // runs to completion as if nothing happened.
+  RandomTuner tuner(small_conv_task(), titan_xp(), 7);
+  SimMeasurer sim;
+  ScheduledJob good = bad;
+  good.tuner = &tuner;
+  good.measurer = &sim;
+  good.options.resume_from.clear();
+  const std::size_t j = sched.add_job(good);
+  EXPECT_EQ(j, 0u);
+  while (sched.step_round()) {
+  }
+  EXPECT_TRUE(sched.job_done(j));
+  EXPECT_EQ(sched.trace(j).trials.size(), 16u);
+  std::remove(path.c_str());
+}
+
 TEST(SchedulerTest, PersistentCacheEliminatesRepeatMeasurements) {
   std::string path = tmp_path("sched_cache_persist.jsonl");
   std::remove(path.c_str());

@@ -678,6 +678,87 @@ TEST(ServiceManager, RestartOnSpoolResumesAndCompletes) {
   }
 }
 
+// A persistently failing scheduler round (here: the job's checkpoint path
+// is blocked by a directory, so save_checkpoint's rename fails every time)
+// must fail the affected jobs once and leave the daemon healthy — not spin
+// re-running the failing round forever, and not poison later jobs.
+TEST(ServiceManager, SchedulerRoundFailureFailsJobsWithoutSpinning) {
+  const std::string spool = tmp_path("svc_round_fail_spool");
+  std::filesystem::remove_all(spool);
+  std::filesystem::create_directories(spool);
+  // Job ids start at 1; a directory squatting on job 1's checkpoint path
+  // makes every checkpoint attempt throw.
+  std::filesystem::create_directories(spool + "/job-00000001.ckpt");
+
+  SessionManagerOptions opts;
+  opts.slots = 2;
+  opts.spool_dir = spool;
+  SessionManager manager(opts);
+
+  Response r1 = manager.submit("alice", 0, small_job(/*seed=*/11));
+  ASSERT_EQ(r1.type, ResponseType::kAccepted);
+  ASSERT_EQ(r1.job_id, 1u);
+  Response failed = manager.result(r1.job_id, /*wait=*/true);
+  ASSERT_EQ(failed.type, ResponseType::kResult);
+  EXPECT_EQ(failed.summary.state, "failed");
+  EXPECT_NE(failed.summary.error.find("scheduler round failed"),
+            std::string::npos);
+
+  // The worker rebuilt its scheduler: a fresh job (unblocked checkpoint
+  // path) admitted after the failure completes normally.
+  Response r2 = manager.submit("alice", 0, small_job(/*seed=*/12));
+  ASSERT_EQ(r2.type, ResponseType::kAccepted);
+  Response done = manager.result(r2.job_id, /*wait=*/true);
+  ASSERT_EQ(done.type, ResponseType::kResult);
+  EXPECT_EQ(done.summary.state, "done");
+  expect_summary_matches_trace(done.summary, direct_trace(small_job(12)));
+}
+
+// Settled jobs past the retention cap are garbage-collected at startup:
+// their spool files disappear and they are no longer queryable, while the
+// newest settled jobs survive restarts intact.
+TEST(ServiceManager, SpoolRetentionGarbageCollectsSettledJobs) {
+  const std::string spool = tmp_path("svc_retention_spool");
+  std::filesystem::remove_all(spool);
+  std::vector<std::uint64_t> ids;
+  {
+    SessionManagerOptions opts;
+    opts.slots = 2;
+    opts.spool_dir = spool;
+    SessionManager manager(opts);
+    for (std::uint64_t seed : {21, 22, 23}) {
+      Response r =
+          manager.submit("alice", 0, small_job(seed, /*max_trials=*/16));
+      ASSERT_EQ(r.type, ResponseType::kAccepted);
+      ids.push_back(r.job_id);
+    }
+    manager.drain();
+  }
+  {
+    SessionManagerOptions opts;
+    opts.spool_dir = spool;
+    opts.spool_retain = 1;
+    SessionManager manager(opts);
+    EXPECT_EQ(manager.recovered(), 0u);
+    EXPECT_EQ(manager.status(ids[0]).type, ResponseType::kError);
+    EXPECT_EQ(manager.status(ids[1]).type, ResponseType::kError);
+    Response kept = manager.result(ids[2], /*wait=*/false);
+    ASSERT_EQ(kept.type, ResponseType::kResult);
+    EXPECT_EQ(kept.summary.state, "done");
+    EXPECT_EQ(manager.stats().stats.completed, 1u);
+  }
+  // On disk only the retained job's spec + result remain (its checkpoint
+  // was already removed when it settled).
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(spool)) {
+    EXPECT_NE(entry.path().filename().string().find("job-00000003"),
+              std::string::npos)
+        << "stale spool file: " << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Socket server + client.
 // ---------------------------------------------------------------------------

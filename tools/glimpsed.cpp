@@ -16,6 +16,9 @@
 //                      port is printed on the ready line)
 //   --spool DIR        crash-safe spool directory (specs, checkpoints,
 //                      results); omit to run without persistence
+//   --spool-retain N   settled jobs kept in the spool across restarts;
+//                      older settled entries are garbage-collected at
+//                      startup (default 256, 0 = keep everything)
 //   --slots N          concurrent measurer slots (default:
 //                      GLIMPSE_SCHED_SLOTS, else 4)
 //   --cache MODE       result cache: "off", "mem", or a file path
@@ -54,8 +57,9 @@ void on_signal(int) {
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
   if (!error.empty()) std::cerr << "glimpsed: " << error << "\n";
   std::cerr << "usage: " << argv0
-            << " [--unix PATH] [--tcp PORT] [--spool DIR] [--slots N]"
-               " [--cache off|mem|PATH] [--max-queue N] [--max-per-client N]\n";
+            << " [--unix PATH] [--tcp PORT] [--spool DIR] [--spool-retain N]"
+               " [--slots N] [--cache off|mem|PATH] [--max-queue N]"
+               " [--max-per-client N]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -82,6 +86,10 @@ int main(int argc, char** argv) {
       sopts.tcp_port = std::atoi(next().c_str());
     } else if (arg == "--spool") {
       mopts.spool_dir = next();
+    } else if (arg == "--spool-retain") {
+      int v = std::atoi(next().c_str());
+      if (v < 0) usage(argv[0], "--spool-retain must be >= 0");
+      mopts.spool_retain = static_cast<std::size_t>(v);
     } else if (arg == "--slots") {
       mopts.slots = static_cast<std::size_t>(std::atoi(next().c_str()));
       if (mopts.slots < 1) usage(argv[0], "--slots must be >= 1");
