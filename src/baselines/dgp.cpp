@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "searchspace/features.hpp"
 
 namespace glimpse::baselines {
@@ -40,6 +41,22 @@ double DgpTuner::ucb(const tuning::Config& c) const {
   return p.mean + options_.ucb_kappa * std::sqrt(p.variance);
 }
 
+std::vector<double> DgpTuner::ucb_batch(const std::vector<tuning::Config>& cs) const {
+  GLIMPSE_CHECK(gp_.has_value());
+  // Featurize the batch, embed it with one batched MLP forward, query the GP
+  // once. Every stage is row-wise bit-identical to the per-config ucb(), so
+  // the annealer's trajectories do not depend on which path scored them.
+  std::vector<linalg::Vector> rows(cs.size());
+  parallel_for(0, cs.size(), 8,
+               [&](std::size_t i) { rows[i] = transfer_features(task_, cs[i]); });
+  auto preds = gp_->predict_batch(
+      embedder_->embed_batch(linalg::Matrix::from_rows(rows)));
+  std::vector<double> out(cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    out[i] = preds[i].mean + options_.ucb_kappa * std::sqrt(preds[i].variance);
+  return out;
+}
+
 void DgpTuner::refit_gp() {
   // Keep every measurement, including invalid ones at score 0, so the GP
   // learns to steer away from invalid regions.
@@ -50,18 +67,16 @@ void DgpTuner::refit_gp() {
     valid_rows.erase(valid_rows.begin(),
                      valid_rows.end() - static_cast<std::ptrdiff_t>(options_.max_gp_points));
   }
-  linalg::Matrix x(valid_rows.size(), embedder_->embed(transfer_features(
-                                                           task_, measured_configs_[0]))
-                                          .size());
+  std::vector<linalg::Vector> feats(valid_rows.size());
   linalg::Vector y(valid_rows.size());
   for (std::size_t i = 0; i < valid_rows.size(); ++i) {
     std::size_t r = valid_rows[i];
-    linalg::Vector e = embedder_->embed(transfer_features(task_, measured_configs_[r]));
-    for (std::size_t c = 0; c < e.size(); ++c) x(i, c) = e[c];
+    feats[i] = transfer_features(task_, measured_configs_[r]);
     y[i] = (measured_results_[r].valid && best_gflops_ > 0.0)
                ? measured_results_[r].gflops / best_gflops_
                : 0.0;
   }
+  linalg::Matrix x = embedder_->embed_batch(linalg::Matrix::from_rows(feats));
   gp_.emplace(std::make_unique<gp::Matern52Kernel>(options_.gp_lengthscale, 1.0),
               options_.gp_noise);
   gp_->fit(x, y);
@@ -88,9 +103,11 @@ std::vector<tuning::Config> DgpTuner::propose(std::size_t n) {
 
   std::vector<tuning::Config> init;
   if (!best_config_.empty()) init.push_back(best_config_);
-  tuning::SaResult sa = tuning::simulated_annealing(
-      task_.space(), [this](const tuning::Config& c) { return ucb(c); },
-      options_.plan_size, rng_, options_.sa, std::move(init));
+  tuning::BatchScoreFn acquisition =
+      [this](const std::vector<tuning::Config>& cs) { return ucb_batch(cs); };
+  tuning::SaResult sa =
+      tuning::simulated_annealing(task_.space(), acquisition, options_.plan_size,
+                                  rng_, options_.sa, std::move(init));
 
   for (const auto& c : sa.configs) {
     if (out.size() >= n) break;

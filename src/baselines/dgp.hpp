@@ -49,6 +49,9 @@ class DgpTuner final : public tuning::TunerBase {
 
  private:
   double ucb(const tuning::Config& c) const;
+  /// Batched acquisition: one embed + one GP query for a whole lockstep SA
+  /// round, bit-identical per element to ucb().
+  std::vector<double> ucb_batch(const std::vector<tuning::Config>& cs) const;
   void refit_gp();
 
   DgpOptions options_;

@@ -1,6 +1,5 @@
 #include "common/parallel.hpp"
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -11,9 +10,12 @@
 
 namespace glimpse {
 
-namespace {
+namespace detail {
+thread_local int pool_depth = 0;
+std::atomic<std::size_t> pool_width_cache{0};
+}  // namespace detail
 
-thread_local int t_pool_depth = 0;
+namespace {
 
 class ThreadPool {
  public:
@@ -44,7 +46,7 @@ class ThreadPool {
 
  private:
   void worker_loop() {
-    t_pool_depth = 1;
+    detail::pool_depth = 1;
     for (;;) {
       std::function<void()> job;
       {
@@ -76,55 +78,37 @@ std::size_t default_num_threads() {
 }
 
 std::mutex g_pool_mu;
-std::size_t g_configured = 0;  // 0 = not yet resolved
 std::shared_ptr<ThreadPool> g_pool;
 
 /// Pool handle (nullptr when width <= 1). shared_ptr keeps a pool alive
 /// for loops that grabbed it before a concurrent set_num_threads.
-std::shared_ptr<ThreadPool> acquire_pool(std::size_t* width) {
+std::shared_ptr<ThreadPool> acquire_pool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_configured == 0) {
-    g_configured = default_num_threads();
-    if (g_configured > 1) g_pool = std::make_shared<ThreadPool>(g_configured - 1);
+  if (detail::pool_width_cache.load(std::memory_order_relaxed) == 0) {
+    std::size_t w = default_num_threads();
+    if (w > 1) g_pool = std::make_shared<ThreadPool>(w - 1);
+    detail::pool_width_cache.store(w, std::memory_order_release);
   }
-  *width = g_configured;
   return g_pool;
 }
 
 }  // namespace
 
-std::size_t num_threads() {
-  std::size_t width = 1;
-  acquire_pool(&width);
-  return width;
+namespace detail {
+
+std::size_t resolve_pool_width() {
+  acquire_pool();
+  return pool_width_cache.load(std::memory_order_acquire);
 }
 
-void set_num_threads(std::size_t n) {
-  std::shared_ptr<ThreadPool> old;
-  {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
-    old = std::move(g_pool);
-    g_pool.reset();
-    g_configured = n ? n : default_num_threads();
-    if (g_configured > 1) g_pool = std::make_shared<ThreadPool>(g_configured - 1);
-  }
-  // Old workers join outside the lock.
-}
-
-bool in_parallel_region() { return t_pool_depth > 0; }
-
-void parallel_for_chunks(
+void run_chunks_on_pool(
     std::size_t begin, std::size_t end, std::size_t grain,
+    std::size_t num_chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  if (end <= begin) return;
-  if (grain == 0) grain = 1;
-  const std::size_t n = end - begin;
-  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::shared_ptr<ThreadPool> pool = acquire_pool();
+  const std::size_t width = pool_width_cache.load(std::memory_order_acquire);
 
-  std::size_t width = 1;
-  std::shared_ptr<ThreadPool> pool = acquire_pool(&width);
-
-  if (!pool || width <= 1 || num_chunks <= 1 || t_pool_depth > 0) {
+  if (!pool || width <= 1) {  // pool was resized away under our feet
     for (std::size_t c = 0; c < num_chunks; ++c) {
       std::size_t b = begin + c * grain;
       body(b, std::min(end, b + grain), c);
@@ -169,9 +153,9 @@ void parallel_for_chunks(
   }
   // The calling thread participates instead of blocking idle. Nested
   // parallel_for calls made by `body` on this thread degrade to serial.
-  ++t_pool_depth;
+  ++pool_depth;
   run_chunks();
-  --t_pool_depth;
+  --pool_depth;
   {
     std::unique_lock<std::mutex> lock(shared.done_mu);
     shared.done_cv.wait(lock, [&] { return shared.helpers_done == helpers; });
@@ -183,12 +167,21 @@ void parallel_for_chunks(
     if (shared.errors[c]) std::rethrow_exception(shared.errors[c]);
 }
 
-void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t)>& fn) {
-  parallel_for_chunks(begin, end, grain,
-                      [&](std::size_t b, std::size_t e, std::size_t) {
-                        for (std::size_t i = b; i < e; ++i) fn(i);
-                      });
+}  // namespace detail
+
+std::size_t num_threads() { return detail::pool_width(); }
+
+void set_num_threads(std::size_t n) {
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    old = std::move(g_pool);
+    g_pool.reset();
+    std::size_t w = n ? n : default_num_threads();
+    if (w > 1) g_pool = std::make_shared<ThreadPool>(w - 1);
+    detail::pool_width_cache.store(w, std::memory_order_release);
+  }
+  // Old workers join outside the lock.
 }
 
 }  // namespace glimpse

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/logging.hpp"
@@ -172,46 +171,52 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   // Per-round memo: the annealing energy and the re-rank loop below both
   // need a candidate's features, prior score and surrogate prediction, and
   // chains revisit configs — featurize each distinct config EXACTLY once
-  // per round. The mutex guards only map access; the computation itself
-  // runs under a per-key once-flag, so concurrent chains missing on the
-  // same config block on the one computing thread instead of duplicating
-  // the work (the old scheme computed outside the lock and let the first
-  // insert win, so concurrent misses paid the featurization repeatedly).
-  // Entries live behind unique_ptr: node addresses survive rehashing.
+  // per round. The lockstep annealer hands every round's candidates to one
+  // BatchScoreFn call, so the memo is only ever touched from that serial
+  // context: no mutex, no once-flags. Fresh configs are featurized in
+  // parallel, packed into one feature matrix, and pushed through a single
+  // batched surrogate predict — one pool dispatch per annealing step
+  // instead of one per (chain, config). Element addresses in the map are
+  // stable across rehashing, so pointers taken during collection stay valid.
   struct Scored {
     double prior_score = 0.0;
     NeuralSurrogate::Prediction pred;
     linalg::Vector derived;  ///< meta-optimizer kernel-feature block
   };
-  struct MemoEntry {
-    std::once_flag once;
-    Scored value;
-  };
-  std::unordered_map<Config, std::unique_ptr<MemoEntry>, searchspace::ConfigHash>
-      memo;
-  std::mutex memo_mu;
-  auto scored = [&](const Config& c) -> const Scored& {
-    MemoEntry* entry;
-    {
-      std::lock_guard<std::mutex> lock(memo_mu);
-      auto& slot = memo[c];
-      if (!slot) slot = std::make_unique<MemoEntry>();
-      entry = slot.get();
+  std::unordered_map<Config, Scored, searchspace::ConfigHash> memo;
+  // Memoize every config in `cs` that has no entry yet, batched: features,
+  // prior scores and meta blocks fan across the pool; the surrogate sees one
+  // packed matrix. predict_batch rows are bit-identical to per-config
+  // predict (shared dot kernel), so batching does not change any score.
+  auto score_fresh = [&](const std::vector<Config>& cs) {
+    std::vector<std::pair<const Config*, Scored*>> fresh;
+    for (const auto& c : cs) {
+      auto [it, inserted] = memo.try_emplace(c);
+      if (inserted) fresh.push_back({&it->first, &it->second});
     }
-    bool computed = false;
-    std::call_once(entry->once, [&] {
-      Scored s;
+    if (telemetry::metrics_enabled()) {
+      auto& reg = telemetry::MetricsRegistry::global();
+      reg.counter("tuner.memo_compute").add(fresh.size());
+      reg.counter("tuner.memo_hit").add(cs.size() - fresh.size());
+    }
+    if (fresh.empty()) return;
+    std::vector<linalg::Vector> rows(fresh.size());
+    parallel_for(0, fresh.size(), 8, [&](std::size_t i) {
+      const Config& c = *fresh[i].first;
+      rows[i] = config_features(task_, c);
+      Scored& s = *fresh[i].second;
       s.prior_score = options_.use_prior ? prior_->config_score(c) : 0.0;
-      s.pred = surrogate_.predict(config_features(task_, c));
       if (options_.use_meta) s.derived = MetaOptimizer::derived_block(task_, c);
-      entry->value = std::move(s);
-      computed = true;
     });
-    if (telemetry::metrics_enabled())
-      telemetry::MetricsRegistry::global()
-          .counter(computed ? "tuner.memo_compute" : "tuner.memo_hit")
-          .add(1);
-    return entry->value;
+    auto preds = surrogate_.predict_batch(linalg::Matrix::from_rows(rows));
+    for (std::size_t i = 0; i < fresh.size(); ++i) fresh[i].second->pred = preds[i];
+  };
+  // Read-only lookup for configs known to be memoized (everything the
+  // annealer returned). Safe to call from parallel loops.
+  auto scored = [&](const Config& c) -> const Scored& {
+    auto it = memo.find(c);
+    GLIMPSE_CHECK(it != memo.end()) << "config escaped the scoring memo";
+    return it->second;
   };
 
   // 1. Simulated annealing with the surrogate as the energy function,
@@ -229,25 +234,34 @@ std::vector<Config> GlimpseTuner::propose_from_search(std::size_t n) {
   // space into the annealing energy (H parameterizes the surrogate, §3.1);
   // its influence decays as real measurements accumulate.
   double meta_w = options_.use_meta ? 0.6 * (1.0 - progress0) : 0.0;
-  tuning::SaResult sa = tuning::simulated_annealing(
-      task_.space(),
-      [this, prior_w, meta_w, progress0, &scored](const Config& c) {
-        const Scored& sc = scored(c);
-        double energy = sc.pred.mean;
-        if (prior_w > 0.0)
-          energy += prior_w * 0.1 * (sc.prior_score - prior_mean_) / prior_std_;
-        if (meta_w > 0.0) {
-          MetaFeatures f;
-          f.surrogate_mean = sc.pred.mean;
-          f.surrogate_std = sc.pred.std;
-          f.prior_z =
-              options_.use_prior ? (sc.prior_score - prior_mean_) / prior_std_ : 0.0;
-          f.progress = progress0;
-          energy += meta_w * artifacts_.meta->score(f, blueprint_, sc.derived);
-        }
-        return energy;
-      },
-      options_.plan_size, rng_, options_.sa, std::move(init));
+  tuning::BatchScoreFn energy_batch =
+      [this, prior_w, meta_w, progress0, &score_fresh,
+       &memo](const std::vector<Config>& cs) {
+        score_fresh(cs);
+        std::vector<double> out(cs.size());
+        // Memo is fully populated for `cs`; this loop only reads it.
+        parallel_for(0, cs.size(), 8, [&](std::size_t i) {
+          const Scored& sc = memo.find(cs[i])->second;
+          double energy = sc.pred.mean;
+          if (prior_w > 0.0)
+            energy += prior_w * 0.1 * (sc.prior_score - prior_mean_) / prior_std_;
+          if (meta_w > 0.0) {
+            MetaFeatures f;
+            f.surrogate_mean = sc.pred.mean;
+            f.surrogate_std = sc.pred.std;
+            f.prior_z = options_.use_prior
+                            ? (sc.prior_score - prior_mean_) / prior_std_
+                            : 0.0;
+            f.progress = progress0;
+            energy += meta_w * artifacts_.meta->score(f, blueprint_, sc.derived);
+          }
+          out[i] = energy;
+        });
+        return out;
+      };
+  tuning::SaResult sa =
+      tuning::simulated_annealing(task_.space(), energy_batch, options_.plan_size,
+                                  rng_, options_.sa, std::move(init));
 
   // Unvisited candidates that survive Hardware-Aware Sampling.
   std::vector<Config> pool;

@@ -87,7 +87,30 @@ std::vector<NeuralSurrogate::Prediction> NeuralSurrogate::predict_batch(
   GLIMPSE_SPAN("surrogate.predict_batch");
   if (telemetry::metrics_enabled())
     telemetry::MetricsRegistry::global().counter("surrogate.predictions").add(x.rows());
-  return parallel_map(x.rows(), 8, [&](std::size_t i) { return predict(x.row(i)); });
+  std::vector<Prediction> out(x.rows());
+  if (out.empty()) return out;
+  // One packed matrix product per ensemble member instead of one dot product
+  // per (sample, net): the batched forward fans whole row panels across the
+  // pool, so a task amortizes a matmul's worth of work over a single
+  // dispatch. Row i of each product is bit-identical to predict(x.row(i))
+  // (matmul_nt shares the dot kernel with matvec), and members accumulate in
+  // ensemble order, so batch and single-sample predictions agree exactly.
+  linalg::Matrix z = scaler_.transform(x);
+  linalg::Vector sum(out.size(), 0.0), sumsq(out.size(), 0.0);
+  for (const auto& net : nets_) {
+    linalg::Matrix o = net.forward_batch(z);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      double v = o(i, 0);
+      sum[i] += v;
+      sumsq[i] += v * v;
+    }
+  }
+  const double n = static_cast<double>(nets_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].mean = sum[i] / n;
+    out[i].std = std::sqrt(std::max(0.0, sumsq[i] / n - out[i].mean * out[i].mean));
+  }
+  return out;
 }
 
 void NeuralSurrogate::save(TextWriter& w) const {

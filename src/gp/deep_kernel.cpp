@@ -1,5 +1,6 @@
 #include "gp/deep_kernel.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hpp"
@@ -51,6 +52,15 @@ linalg::Vector DeepKernelGp::embed(std::span<const double> x) const {
   return post[post.size() - 2];
 }
 
+linalg::Matrix DeepKernelGp::embed_batch(const linalg::Matrix& x) const {
+  linalg::Matrix z = scaler_.fitted() ? scaler_.transform(x) : x;
+  nn::Mlp::BatchCache cache;
+  embedder_.forward_batch(z, &cache);
+  const auto& post = cache.post;
+  GLIMPSE_CHECK(post.size() >= 2);
+  return post[post.size() - 2];
+}
+
 void DeepKernelGp::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rng) {
   GLIMPSE_CHECK(x.rows() == y.size() && x.rows() >= 1);
   std::size_t n = x.rows();
@@ -62,13 +72,14 @@ void DeepKernelGp::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rn
     for (std::size_t i = 0; i < n; ++i) rows[i] = i;
   }
 
-  linalg::Matrix ex(rows.size(), options_.embed_dim);
+  linalg::Matrix sub(rows.size(), x.cols());
   linalg::Vector ey(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    linalg::Vector e = embed(x.row(rows[i]));
-    for (std::size_t c = 0; c < e.size(); ++c) ex(i, c) = e[c];
+    auto src = x.row(rows[i]);
+    std::copy(src.begin(), src.end(), sub.row(i).begin());
     ey[i] = y[rows[i]];
   }
+  linalg::Matrix ex = embed_batch(sub);
 
   gp_.emplace(std::make_unique<Matern52Kernel>(options_.gp_lengthscale, 1.0),
               options_.gp_noise);
@@ -78,6 +89,11 @@ void DeepKernelGp::fit(const linalg::Matrix& x, const linalg::Vector& y, Rng& rn
 GpPrediction DeepKernelGp::predict(std::span<const double> x) const {
   GLIMPSE_CHECK(fitted()) << "DeepKernelGp::predict before fit";
   return gp_->predict(embed(x));
+}
+
+std::vector<GpPrediction> DeepKernelGp::predict_batch(const linalg::Matrix& x) const {
+  GLIMPSE_CHECK(fitted()) << "DeepKernelGp::predict_batch before fit";
+  return gp_->predict_batch(embed_batch(x));
 }
 
 }  // namespace glimpse::gp

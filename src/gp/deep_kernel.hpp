@@ -40,8 +40,17 @@ class DeepKernelGp {
 
   GpPrediction predict(std::span<const double> x) const;
 
+  /// Predict every row of x through one batched embed + one batched GP
+  /// query; out[i] is bit-identical to predict(x.row(i)).
+  std::vector<GpPrediction> predict_batch(const linalg::Matrix& x) const;
+
   /// MLP-embedded representation of a raw feature vector.
   linalg::Vector embed(std::span<const double> x) const;
+
+  /// Embed every row of x via the batched MLP forward (row i equals
+  /// embed(x.row(i)) bit-exactly). One call amortizes one parallel matrix
+  /// product per layer across the whole batch.
+  linalg::Matrix embed_batch(const linalg::Matrix& x) const;
 
   bool fitted() const { return gp_.has_value() && gp_->fitted(); }
   bool pretrained() const { return pretrained_; }

@@ -6,20 +6,48 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "linalg/simd.hpp"
 
 namespace glimpse::linalg {
 
 namespace {
-/// Minimum flops a chunk should own before fanning out to the pool; below
-/// this, scheduling overhead beats the parallel win.
-constexpr std::size_t kGrainFlops = 1 << 15;
-/// k-panel height for the blocked matmul (fits comfortably in L1 alongside
-/// the output row).
-constexpr std::size_t kBlockK = 64;
+/// Minimum flops a chunk should own before fanning out to the pool.
+/// Derived from measurement, not guessed: bench/micro_parallel's
+/// pool_dispatch path prices a chunk's marginal dispatch (atomic claim) at
+/// ~0.02 us, with the fixed submit/wake/quiesce cost of a whole dispatch in
+/// the low tens of microseconds split across its chunks. The kernels
+/// sustain a few tenths of a flop/ns on commodity cores, so 2^17 flops
+/// ≈ 20-60 us of work per chunk keeps total dispatch overhead well under
+/// 1% even for a loop that fans out into only a handful of chunks.
+constexpr std::size_t kGrainFlops = 1 << 17;
+/// Upper bound on useful fan-out: a compile-time constant — NOT the live
+/// pool width — because chunk structure must stay independent of the
+/// thread count (matvec_t sums partials in chunk order; grain derived from
+/// pool size would change results with GLIMPSE_NUM_THREADS).
+constexpr std::size_t kMaxFanout = 16;
+/// Output-panel width (doubles) for the matmul accumulator tile: 512
+/// doubles = 4 KiB, comfortably L1-resident alongside the streamed b rows.
+constexpr std::size_t kPanelJ = 512;
 
-std::size_t row_grain(std::size_t flops_per_row) {
-  return std::max<std::size_t>(1, kGrainFlops / std::max<std::size_t>(1, flops_per_row));
+}  // namespace
+
+namespace detail {
+/// Rows per chunk for row-parallel loops. Large enough that a chunk owns
+/// >= kGrainFlops of work, but capped so at least min(rows, kMaxFanout)
+/// chunks exist and workers do not idle when rows are few and fat. Ranges
+/// too small to fill two cost-sized chunks collapse to one chunk and take
+/// the inline serial path.
+std::size_t row_grain(std::size_t flops_per_row, std::size_t rows) {
+  const std::size_t fpr = std::max<std::size_t>(1, flops_per_row);
+  const std::size_t by_cost = std::max<std::size_t>(1, kGrainFlops / fpr);
+  if (rows * fpr < 2 * kGrainFlops) return by_cost;
+  const std::size_t by_fanout = std::max<std::size_t>(1, rows / kMaxFanout);
+  return std::min(by_cost, by_fanout);
 }
+}  // namespace detail
+
+namespace {
+using detail::row_grain;
 }  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -99,33 +127,67 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
   const std::size_t m = a.rows(), kk = a.cols(), nn = b.cols();
   if (m == 0 || kk == 0 || nn == 0) return c;
-  // Row-parallel blocked ikj: each output row is owned by exactly one chunk
-  // and accumulates over k in ascending order, so the result is bit-identical
-  // to the serial product at any thread count. The k-panel keeps a hot set of
-  // b rows resident while the inner loop streams contiguously over b and c.
-  parallel_for_chunks(0, m, row_grain(kk * nn), [&](std::size_t ib, std::size_t ie,
-                                                    std::size_t) {
-    for (std::size_t k0 = 0; k0 < kk; k0 += kBlockK) {
-      const std::size_t k1 = std::min(kk, k0 + kBlockK);
-      for (std::size_t i = ib; i < ie; ++i) {
-        double* crow = c.row(i).data();
-        for (std::size_t k = k0; k < k1; ++k) {
-          double aik = a(i, k);
-          if (aik == 0.0) continue;
-          const double* brow = b.row(k).data();
-          for (std::size_t j = 0; j < nn; ++j) crow[j] += aik * brow[j];
+  const bool use_simd = simd_enabled();
+  // Row-parallel ikj with a private accumulator panel: each output row is
+  // owned by exactly one chunk, accumulated over k in ascending order into a
+  // cache-aligned local tile, and written back to c exactly once. The tile
+  // keeps the hot writes out of shared cache lines (no false sharing between
+  // chunks owning adjacent rows) and the k loop streams b rows contiguously
+  // through the SIMD axpy kernel. Per-element accumulation order is the
+  // naive ascending-k order, so the result is bit-identical to the serial
+  // triple loop at any thread count and with SIMD on or off.
+  parallel_for_chunks(
+      0, m, row_grain(kk * nn, m), [&](std::size_t ib, std::size_t ie, std::size_t) {
+        alignas(64) double acc[kPanelJ];
+        for (std::size_t i = ib; i < ie; ++i) {
+          const double* arow = a.row(i).data();
+          double* crow = c.row(i).data();
+          for (std::size_t j0 = 0; j0 < nn; j0 += kPanelJ) {
+            const std::size_t w = std::min(kPanelJ, nn - j0);
+            std::fill_n(acc, w, 0.0);
+            for (std::size_t k = 0; k < kk; ++k)
+              kernels::axpy(acc, b.row(k).data() + j0, arow[k], w, use_simd);
+            std::copy_n(acc, w, crow + j0);
+          }
         }
-      }
-    }
-  });
+      });
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  GLIMPSE_CHECK(a.cols() == b.cols())
+      << "matmul_nt shape mismatch: " << a.rows() << "x" << a.cols() << " * ("
+      << b.rows() << "x" << b.cols() << ")^T";
+  Matrix c(a.rows(), b.rows());
+  const std::size_t m = a.rows(), kk = a.cols(), nn = b.rows();
+  if (m == 0 || kk == 0 || nn == 0) return c;
+  const bool use_simd = simd_enabled();
+  // c(i, j) = dot(a.row(i), b.row(j)): both operands stream row-major, so
+  // no transpose materializes. Each c(i, j) uses the canonical dot kernel,
+  // making a batched row bit-identical to a per-row matvec against the same
+  // weights — predict() and predict_batch() agree exactly.
+  parallel_for_chunks(0, m, row_grain(kk * nn, m),
+                      [&](std::size_t ib, std::size_t ie, std::size_t) {
+                        for (std::size_t i = ib; i < ie; ++i) {
+                          const double* arow = a.row(i).data();
+                          double* crow = c.row(i).data();
+                          for (std::size_t j = 0; j < nn; ++j)
+                            crow[j] = kernels::dot(arow, b.row(j).data(), kk, use_simd);
+                        }
+                      });
   return c;
 }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {
   GLIMPSE_CHECK(a.cols() == x.size());
   Vector y(a.rows(), 0.0);
-  parallel_for(0, a.rows(), row_grain(a.cols()),
-               [&](std::size_t i) { y[i] = dot(a.row(i), x); });
+  const bool use_simd = simd_enabled();
+  parallel_for_chunks(0, a.rows(), row_grain(a.cols(), a.rows()),
+                      [&](std::size_t ib, std::size_t ie, std::size_t) {
+                        for (std::size_t i = ib; i < ie; ++i)
+                          y[i] = kernels::dot(a.row(i).data(), x.data(), x.size(),
+                                              use_simd);
+                      });
   return y;
 }
 
@@ -136,16 +198,16 @@ Vector matvec_t(const Matrix& a, std::span<const double> x) {
   // private partial; partials are summed in chunk order afterwards. The
   // chunk structure (and thus the summation order) is fixed by the shapes
   // alone, keeping results thread-count independent.
-  const std::size_t grain = row_grain(a.cols());
+  const std::size_t grain = row_grain(a.cols(), a.rows());
   const std::size_t num_chunks = a.rows() ? (a.rows() + grain - 1) / grain : 0;
+  const bool use_simd = simd_enabled();
   std::vector<Vector> partials(num_chunks);
   parallel_for_chunks(0, a.rows(), grain,
                       [&](std::size_t ib, std::size_t ie, std::size_t chunk) {
                         Vector p(a.cols(), 0.0);
-                        for (std::size_t i = ib; i < ie; ++i) {
-                          auto r = a.row(i);
-                          for (std::size_t j = 0; j < a.cols(); ++j) p[j] += r[j] * x[i];
-                        }
+                        for (std::size_t i = ib; i < ie; ++i)
+                          kernels::axpy(p.data(), a.row(i).data(), x[i], a.cols(),
+                                        use_simd);
                         partials[chunk] = std::move(p);
                       });
   for (const auto& p : partials)
@@ -155,9 +217,7 @@ Vector matvec_t(const Matrix& a, std::span<const double> x) {
 
 double dot(std::span<const double> a, std::span<const double> b) {
   GLIMPSE_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernels::dot(a.data(), b.data(), a.size(), simd_enabled());
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
@@ -184,12 +244,7 @@ Vector vscale(std::span<const double> a, double s) {
 
 double sqdist(std::span<const double> a, std::span<const double> b) {
   GLIMPSE_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kernels::sqdist(a.data(), b.data(), a.size(), simd_enabled());
 }
 
 }  // namespace glimpse::linalg

@@ -68,10 +68,26 @@ class Matrix {
 
 /// Matrix product (throws on shape mismatch).
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// a * b^T without materializing the transpose: c(i,j) = dot(a.row(i),
+/// b.row(j)). Each output element uses the canonical dot kernel, so a row
+/// of the result is bit-identical to matvec(b, a.row(i)) — the batched
+/// MLP/surrogate forward relies on this to agree exactly with the
+/// per-sample path.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
 /// y = A x.
 Vector matvec(const Matrix& a, std::span<const double> x);
 /// y = A^T x.
 Vector matvec_t(const Matrix& a, std::span<const double> x);
+
+namespace detail {
+/// Rows per chunk for the row-parallel kernels above. Pure in its arguments
+/// (never reads the live pool width), so the chunk structure — and with it
+/// every chunk-ordered reduction — is a function of the shapes alone.
+/// Large enough that a chunk owns a dispatch-amortizing slab of flops, but
+/// capped so fat-rowed matrices still fan out instead of collapsing into a
+/// single chunk that idles the pool. Exposed for tests.
+std::size_t row_grain(std::size_t flops_per_row, std::size_t rows);
+}  // namespace detail
 
 double dot(std::span<const double> a, std::span<const double> b);
 double norm2(std::span<const double> a);

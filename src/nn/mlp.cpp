@@ -92,6 +92,29 @@ linalg::Vector Mlp::forward(std::span<const double> x, Cache& cache) const {
   return cur;
 }
 
+linalg::Matrix Mlp::forward_batch(const linalg::Matrix& x, BatchCache* cache) const {
+  GLIMPSE_CHECK(x.cols() == sizes_.front())
+      << "Mlp::forward_batch: got " << x.cols() << " inputs, want " << sizes_.front();
+  if (cache) cache->post.clear();
+  const std::size_t last = p_.w.size() - 1;
+  const linalg::Matrix* in = &x;
+  linalg::Matrix cur;
+  for (std::size_t l = 0; l < p_.w.size(); ++l) {
+    linalg::Matrix pre = linalg::matmul_nt(*in, p_.w[l]);
+    const linalg::Vector& bias = p_.b[l];
+    for (std::size_t r = 0; r < pre.rows(); ++r) {
+      double* row = pre.row(r).data();
+      for (std::size_t i = 0; i < bias.size(); ++i) row[i] += bias[i];
+      if (l != last)
+        for (std::size_t i = 0; i < bias.size(); ++i) row[i] = act(row[i], activation_);
+    }
+    if (cache) cache->post.push_back(pre);
+    cur = std::move(pre);
+    in = &cur;
+  }
+  return cur;
+}
+
 MlpParams Mlp::backward(std::span<const double> x, const Cache& cache,
                         std::span<const double> dout, linalg::Vector* dx) const {
   GLIMPSE_CHECK(cache.pre.size() == p_.w.size()) << "backward without forward cache";

@@ -44,6 +44,21 @@ class Mlp {
   };
   linalg::Vector forward(std::span<const double> x, Cache& cache) const;
 
+  /// Post-activation matrices of a batched pass (rows align with the input
+  /// batch; back() is the network output).
+  struct BatchCache {
+    std::vector<linalg::Matrix> post;
+  };
+
+  /// Batched forward over the rows of x: returns an (x.rows() x output_dim)
+  /// matrix whose row i equals forward(x.row(i)) bit-exactly — the batched
+  /// layer product (matmul_nt) shares its dot kernel with the per-sample
+  /// matvec. One call amortizes one parallel matrix product per layer
+  /// instead of one dot product per sample, which is what makes surrogate
+  /// scoring fan out usefully across the thread pool.
+  linalg::Matrix forward_batch(const linalg::Matrix& x,
+                               BatchCache* cache = nullptr) const;
+
   /// Backprop dL/doutput through the cached pass; returns parameter grads
   /// and optionally accumulates dL/dinput into *dx.
   MlpParams backward(std::span<const double> x, const Cache& cache,

@@ -33,8 +33,9 @@ struct BestPool {
 
 }  // namespace
 
-SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
-                             std::size_t top_k, Rng& rng, SaOptions options,
+SaResult simulated_annealing(const searchspace::ConfigSpace& space,
+                             const BatchScoreFn& score_batch, std::size_t top_k,
+                             Rng& rng, SaOptions options,
                              std::vector<searchspace::Config> init) {
   GLIMPSE_CHECK(options.num_chains >= 1 && options.num_steps >= 1);
   GLIMPSE_SPAN("sa.run");
@@ -42,8 +43,9 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
 
   // Chain starting points come from the caller's stream (serially, so the
   // trajectory depends only on the seed); each chain then walks its own
-  // forked substream, making the run independent of how chains are scheduled
-  // across threads.
+  // forked substream. Batching only changes *where* scores are computed, not
+  // which configs are scored or which RNG draws happen, so trajectories match
+  // the unbatched walk bit for bit at any thread count.
   std::vector<searchspace::Config> points;
   points.reserve(num_chains);
   for (auto& c : init) {
@@ -52,49 +54,58 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
   while (points.size() < num_chains) points.push_back(space.random_config(rng));
   const std::uint64_t base_seed = rng.engine()();
 
-  struct ChainOut {
-    BestPool pool;
-    long long evaluations = 0;
-  };
+  std::vector<Rng> chain_rngs;
+  chain_rngs.reserve(num_chains);
+  std::vector<BestPool> pools(num_chains);
+  std::vector<double> point_scores;
+  long long evaluations = 0;
+  for (std::size_t chain = 0; chain < num_chains; ++chain) {
+    GLIMPSE_SPAN("sa.chain");  // per-chain bookkeeping; scoring is batched
+    chain_rngs.push_back(Rng::fork(base_seed, chain));
+    pools[chain].top_k = top_k;
+  }
+
+  point_scores = score_batch(points);
+  GLIMPSE_CHECK(point_scores.size() == num_chains)
+      << "BatchScoreFn returned " << point_scores.size() << " scores for "
+      << num_chains << " configs";
+  evaluations += static_cast<long long>(num_chains);
+  for (std::size_t chain = 0; chain < num_chains; ++chain)
+    pools[chain].offer(point_scores[chain], points[chain]);
 
   // Scores from a learned model are roughly z-scored; a unit temperature
   // scale works across models.
-  auto run_chain = [&](std::size_t chain) {
-    GLIMPSE_SPAN("sa.chain");  // runs on a pool worker: per-thread buffer
-    Rng chain_rng = Rng::fork(base_seed, chain);
-    ChainOut out;
-    out.pool.top_k = top_k;
-    searchspace::Config point = points[chain];
-    double point_score = score(point);
-    ++out.evaluations;
-    out.pool.offer(point_score, point);
-    for (int step = 0; step < options.num_steps; ++step) {
-      double frac = static_cast<double>(step) / std::max(1, options.num_steps - 1);
-      double temp = options.temp_start + (options.temp_end - options.temp_start) * frac;
-      searchspace::Config cand = space.neighbor(point, chain_rng);
-      double s = score(cand);
-      ++out.evaluations;
-      out.pool.offer(s, cand);
-      double delta = s - point_score;
-      if (delta >= 0.0 || chain_rng.chance(std::exp(delta / std::max(1e-9, temp)))) {
-        point = std::move(cand);
-        point_score = s;
+  std::vector<searchspace::Config> cands(num_chains);
+  for (int step = 0; step < options.num_steps; ++step) {
+    double frac = static_cast<double>(step) / std::max(1, options.num_steps - 1);
+    double temp = options.temp_start + (options.temp_end - options.temp_start) * frac;
+    for (std::size_t chain = 0; chain < num_chains; ++chain)
+      cands[chain] = space.neighbor(points[chain], chain_rngs[chain]);
+    std::vector<double> scores = score_batch(cands);
+    GLIMPSE_CHECK(scores.size() == num_chains)
+        << "BatchScoreFn returned " << scores.size() << " scores for "
+        << num_chains << " configs";
+    evaluations += static_cast<long long>(num_chains);
+    for (std::size_t chain = 0; chain < num_chains; ++chain) {
+      pools[chain].offer(scores[chain], cands[chain]);
+      double delta = scores[chain] - point_scores[chain];
+      if (delta >= 0.0 ||
+          chain_rngs[chain].chance(std::exp(delta / std::max(1e-9, temp)))) {
+        points[chain] = std::move(cands[chain]);
+        point_scores[chain] = scores[chain];
       }
     }
-    return out;
-  };
-
-  std::vector<ChainOut> chains = parallel_map(num_chains, 1, run_chain);
+  }
 
   // Deterministic merge in chain order. The global top_k of all evaluations
   // equals the top_k of the union of per-chain top_k pools, since any
   // globally retained config is also retained by the chain that saw it.
   SaResult result;
+  result.evaluations = evaluations;
   BestPool merged;
   merged.top_k = top_k;
-  for (const auto& chain : chains) {
-    result.evaluations += chain.evaluations;
-    for (auto it = chain.pool.best.rbegin(); it != chain.pool.best.rend(); ++it)
+  for (const auto& pool : pools) {
+    for (auto it = pool.best.rbegin(); it != pool.best.rend(); ++it)
       merged.offer(it->first, it->second);
   }
 
@@ -110,6 +121,22 @@ SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreF
     reg.counter("sa.evaluations").add(static_cast<std::uint64_t>(result.evaluations));
   }
   return result;
+}
+
+SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
+                             std::size_t top_k, Rng& rng, SaOptions options,
+                             std::vector<searchspace::Config> init) {
+  // Fan the per-config scorer across the pool one lockstep batch at a time.
+  // Chunk structure depends only on the batch size (== num_chains), so the
+  // evaluation set and all downstream bookkeeping stay thread-count
+  // independent.
+  BatchScoreFn batch = [&score](const std::vector<searchspace::Config>& cs) {
+    std::vector<double> out(cs.size());
+    parallel_for(0, cs.size(), 8,
+                 [&](std::size_t i) { out[i] = score(cs[i]); });
+    return out;
+  };
+  return simulated_annealing(space, batch, top_k, rng, options, std::move(init));
 }
 
 }  // namespace glimpse::tuning

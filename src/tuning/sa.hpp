@@ -5,9 +5,15 @@
 // chains walks the knob space by single-knob mutations; the best-scoring
 // distinct points seen anywhere become measurement candidates.
 //
-// Chains are independent and run on the shared thread pool (one forked RNG
-// substream per chain), so results are identical at any thread count; the
-// score function must be safe to call concurrently.
+// Chains advance in lockstep: each step, every chain proposes one neighbor
+// (serially, from its own forked RNG substream), then all proposals are
+// scored in a single batch. The batch is where the parallelism lives — a
+// BatchScoreFn can fan one packed surrogate predict across the thread pool
+// instead of paying one dispatch per config. Per-chain RNG streams and
+// accept/reject bookkeeping are untouched by batching, so trajectories are
+// bit-identical to scoring chains one by one, at any thread count. Score
+// functions must be deterministic; batch score functions must be pure
+// (results depend only on the configs).
 #pragma once
 
 #include <functional>
@@ -19,6 +25,9 @@
 namespace glimpse::tuning {
 
 using ScoreFn = std::function<double(const searchspace::Config&)>;
+/// Scores a batch of configs; must return one score per input, in order.
+using BatchScoreFn =
+    std::function<std::vector<double>(const std::vector<searchspace::Config>&)>;
 
 struct SaOptions {
   int num_chains = 48;
@@ -36,6 +45,15 @@ struct SaResult {
 
 /// Run annealing and return the `top_k` best distinct configurations.
 /// `init` seeds some chains (remaining chains start at random configs).
+/// Each lockstep round issues one BatchScoreFn call covering every chain.
+SaResult simulated_annealing(const searchspace::ConfigSpace& space,
+                             const BatchScoreFn& score_batch, std::size_t top_k,
+                             Rng& rng, SaOptions options = {},
+                             std::vector<searchspace::Config> init = {});
+
+/// Convenience overload for per-config scorers: adapts `score` into a batch
+/// function that fans the batch across the thread pool. Produces the same
+/// result as the batched overload with an equivalent BatchScoreFn.
 SaResult simulated_annealing(const searchspace::ConfigSpace& space, const ScoreFn& score,
                              std::size_t top_k, Rng& rng, SaOptions options = {},
                              std::vector<searchspace::Config> init = {});

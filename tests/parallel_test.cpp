@@ -6,11 +6,18 @@
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "glimpse/glimpse_tuner.hpp"
+#include "glimpse/surrogate.hpp"
+#include "gp/gp_regression.hpp"
+#include "gp/kernel.hpp"
 #include "gpusim/measurer.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
+#include "searchspace/features.hpp"
 #include "test_util.hpp"
 #include "tuning/sa.hpp"
 #include "tuning/session.hpp"
@@ -26,6 +33,18 @@ using glimpse::testing::titan_xp;
 struct PoolGuard {
   ~PoolGuard() { set_num_threads(0); }
 };
+
+/// Restore the runtime SIMD toggle when a test returns.
+struct SimdGuard {
+  bool initial = linalg::simd_enabled();
+  ~SimdGuard() { linalg::set_simd_enabled(initial); }
+};
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  linalg::Matrix m(r, c);
+  for (double& v : m.data()) v = rng.normal();
+  return m;
+}
 
 TEST(ParallelTest, NumThreadsIsAtLeastOne) {
   PoolGuard guard;
@@ -126,6 +145,33 @@ TEST(ParallelTest, NestedCallsRunSeriallyWithoutDeadlock) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelTest, SingleChunkRunsInlineOnCallerThread) {
+  PoolGuard guard;
+  set_num_threads(8);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  // One chunk: must not touch the queue at all, just run here.
+  parallel_for_chunks(0, 10, 1000,
+                      [&](std::size_t, std::size_t, std::size_t) {
+                        seen = std::this_thread::get_id();
+                      });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelTest, WidthOnePoolRunsInlineOnCallerThread) {
+  PoolGuard guard;
+  set_num_threads(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(9);
+  // Many chunks but a 1-wide pool: the inline fast path keeps every chunk on
+  // the caller with zero queue/notify traffic.
+  parallel_for_chunks(0, 27, 3,
+                      [&](std::size_t, std::size_t, std::size_t chunk) {
+                        seen[chunk] = std::this_thread::get_id();
+                      });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
 TEST(ParallelTest, MapPreservesOrder) {
   PoolGuard guard;
   set_num_threads(4);
@@ -197,6 +243,155 @@ TEST(ParallelDeterminismTest, TunerTrajectoryIdenticalAtOneAndEightThreads) {
     EXPECT_EQ(serial.trials[i].config, parallel.trials[i].config) << "trial " << i;
     EXPECT_EQ(serial.trials[i].result.valid, parallel.trials[i].result.valid);
     EXPECT_DOUBLE_EQ(serial.trials[i].result.gflops, parallel.trials[i].result.gflops);
+  }
+}
+
+// ---------- grain model ----------
+
+TEST(RowGrainTest, FatRowsFanOutAndTinyRangesCollapse) {
+  PoolGuard guard;
+  auto chunks_of = [](std::size_t grain, std::size_t rows) {
+    return (rows + grain - 1) / grain;
+  };
+  // 32 fat rows (8K flops each): pure cost-based sizing would collapse this
+  // to a couple of chunks and idle most of a pool; the fan-out cap must
+  // yield at least min(rows, 16) chunks.
+  std::size_t g = linalg::detail::row_grain(1 << 13, 32);
+  EXPECT_GE(chunks_of(g, 32), std::min<std::size_t>(32, 16));
+  // A range too small to fill two cost-sized chunks stays one chunk (the
+  // inline fast path): no fan-out for trivial work.
+  EXPECT_GE(linalg::detail::row_grain(4, 100), 100u);
+  // The grain is pure in its arguments: thread count must not leak in,
+  // or chunk-ordered reductions would change with GLIMPSE_NUM_THREADS.
+  set_num_threads(1);
+  std::size_t g1 = linalg::detail::row_grain(1 << 13, 32);
+  set_num_threads(8);
+  std::size_t g8 = linalg::detail::row_grain(1 << 13, 32);
+  EXPECT_EQ(g1, g);
+  EXPECT_EQ(g8, g);
+}
+
+// ---------- SIMD x thread-count determinism matrix ----------
+
+TEST(ParallelDeterminismTest, LinalgBitIdenticalAcrossThreadsAndSimd) {
+  PoolGuard guard;
+  SimdGuard simd_guard;
+  Rng rng(77);
+  // Odd shapes: exercise the 4-wide kernels' tails and multi-chunk splits.
+  linalg::Matrix a = random_matrix(37, 19, rng);
+  linalg::Matrix b = random_matrix(19, 23, rng);
+  linalg::Matrix bt = random_matrix(23, 19, rng);
+  linalg::Matrix m = random_matrix(96, 33, rng);
+  linalg::Vector x(33), xt(96);
+  for (double& v : x) v = rng.normal();
+  for (double& v : xt) v = rng.normal();
+
+  set_num_threads(1);
+  linalg::set_simd_enabled(false);
+  const linalg::Matrix c_ref = linalg::matmul(a, b);
+  const linalg::Matrix nt_ref = linalg::matmul_nt(a, bt);
+  const linalg::Vector mv_ref = linalg::matvec(m, x);
+  const linalg::Vector mvt_ref = linalg::matvec_t(m, xt);
+  const double dot_ref = linalg::dot(x, x);
+  const double sq_ref = linalg::sqdist(m.row(0), m.row(1));
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (bool simd : {false, true}) {
+      set_num_threads(threads);
+      linalg::set_simd_enabled(simd);
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " simd=" << simd);
+      // operator== on the backing vectors is exact bitwise equality here
+      // (no NaNs): the scalar fallback shares the SIMD accumulator tree.
+      linalg::Matrix c = linalg::matmul(a, b);
+      EXPECT_TRUE(std::equal(c.data().begin(), c.data().end(),
+                             c_ref.data().begin()));
+      linalg::Matrix nt = linalg::matmul_nt(a, bt);
+      EXPECT_TRUE(std::equal(nt.data().begin(), nt.data().end(),
+                             nt_ref.data().begin()));
+      EXPECT_EQ(linalg::matvec(m, x), mv_ref);
+      EXPECT_EQ(linalg::matvec_t(m, xt), mvt_ref);
+      EXPECT_EQ(linalg::dot(x, x), dot_ref);
+      EXPECT_EQ(linalg::sqdist(m.row(0), m.row(1)), sq_ref);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TunerDecisionsIdenticalAcrossThreadsAndSimd) {
+  PoolGuard guard;
+  SimdGuard simd_guard;
+  auto run_configs = [&] {
+    core::GlimpseTuner tuner(small_conv_task(), titan_xp(), 555, tiny_artifacts());
+    gpusim::SimMeasurer measurer;
+    auto trace = tuning::run_session(tuner, small_conv_task(), titan_xp(),
+                                     measurer, {.max_trials = 48, .batch_size = 8});
+    std::vector<std::pair<searchspace::Config, double>> out;
+    for (const auto& t : trace.trials)
+      out.emplace_back(t.config, t.result.gflops);
+    return out;
+  };
+  set_num_threads(1);
+  linalg::set_simd_enabled(false);
+  const auto baseline = run_configs();
+  ASSERT_FALSE(baseline.empty());
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    for (bool simd : {false, true}) {
+      set_num_threads(threads);
+      linalg::set_simd_enabled(simd);
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " simd=" << simd);
+      EXPECT_EQ(run_configs(), baseline);
+    }
+  }
+  // The remaining cell of the matrix: serial with SIMD on.
+  set_num_threads(1);
+  linalg::set_simd_enabled(true);
+  EXPECT_EQ(run_configs(), baseline);
+}
+
+// ---------- batched predict == per-sample predict ----------
+
+TEST(ParallelDeterminismTest, SurrogatePredictBatchMatchesPredict) {
+  PoolGuard guard;
+  set_num_threads(4);
+  const auto& task = small_conv_task();
+  Rng rng(91);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 48; ++i) {
+    rows.push_back(searchspace::config_features(
+        task, task.space().random_config(rng)));
+    y.push_back(rng.uniform());
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  Rng fit_rng(17);
+  core::NeuralSurrogate s(x.cols(), fit_rng, {.ensemble = 3});
+  s.fit(x, y, fit_rng);
+  auto batch = s.predict_batch(x);
+  ASSERT_EQ(batch.size(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto one = s.predict(x.row(i));
+    EXPECT_EQ(batch[i].mean, one.mean) << "row " << i;
+    EXPECT_EQ(batch[i].std, one.std) << "row " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, GpPredictBatchMatchesPredict) {
+  PoolGuard guard;
+  set_num_threads(4);
+  Rng rng(23);
+  linalg::Matrix x = random_matrix(64, 9, rng);
+  linalg::Vector y(64);
+  for (double& v : y) v = rng.normal();
+  gp::GpRegressor gpr(std::make_unique<gp::Matern52Kernel>(1.5, 1.0), 1e-4);
+  gpr.fit(x, y);
+  linalg::Matrix q = random_matrix(33, 9, rng);
+  auto batch = gpr.predict_batch(q);
+  ASSERT_EQ(batch.size(), q.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    auto one = gpr.predict(q.row(i));
+    EXPECT_EQ(batch[i].mean, one.mean) << "row " << i;
+    EXPECT_EQ(batch[i].variance, one.variance) << "row " << i;
   }
 }
 

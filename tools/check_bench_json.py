@@ -33,8 +33,16 @@ Checks three file shapes, selected by content sniffing (or forced with
                   admission must account exactly (accepted + rejected ==
                   submitted, completed + cancelled <= accepted)
 
+With --check-speedup, bench files are additionally gated against per-path
+parallel speedup floors (the perf regression gate for the thread-pool /
+SIMD layer). Thresholds assume >= 4 worker threads; when the machine
+cannot express that parallelism (hardware_concurrency < threads_parallel,
+or fewer than 4 parallel threads), the gate skips with a warning instead
+of failing, so laptops and 1-core CI shells don't produce false alarms.
+
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
+  tools/check_bench_json.py --check-speedup BENCH_parallel.json
   tools/check_bench_json.py --selftest
 
 Standard library only; exit status 0 iff every file validates.
@@ -88,6 +96,54 @@ def check_bench(doc: object, name: str) -> int:
         _require(p["serial_ms"] >= 0, f"{where}: negative serial_ms")
         _require(p["parallel_ms"] >= 0, f"{where}: negative parallel_ms")
     return len(doc["paths"])
+
+
+# Parallel speedup floors enforced by --check-speedup, keyed by path name.
+# Calibrated for a 4-thread run of bench/micro_parallel on a >= 4-core
+# machine: the SIMD'd row-parallel matmul must beat 3x, and the end-to-end
+# figure-grid fan-out (which also contains serial per-cell work) must beat
+# 1.5x. Raise these only with bench numbers in hand.
+SPEEDUP_THRESHOLDS = {
+    "linalg_matmul": 3.0,
+    "fig6_grid": 1.5,
+}
+GATE_MIN_THREADS = 4
+
+
+def check_speedup(doc: object, name: str,
+                  thresholds: dict[str, float] | None = None) -> str:
+    """Gate a validated bench doc against per-path speedup floors.
+
+    Returns a human-readable summary; raises ValidationError on regression.
+    """
+    if thresholds is None:
+        thresholds = SPEEDUP_THRESHOLDS
+    check_bench(doc, name)
+    tp = doc["threads_parallel"]
+    hc = doc.get("hardware_concurrency")
+    if hc is not None:
+        _require(isinstance(hc, int) and not isinstance(hc, bool) and hc >= 0,
+                 f"{name}: hardware_concurrency must be a non-negative int")
+    if tp < GATE_MIN_THREADS:
+        return (f"speedup gate SKIPPED: only {tp} parallel thread(s), "
+                f"thresholds assume >= {GATE_MIN_THREADS}")
+    if isinstance(hc, int) and 0 < hc < tp:
+        return (f"speedup gate SKIPPED: hardware_concurrency {hc} < "
+                f"threads_parallel {tp}; machine cannot express the "
+                f"parallelism being gated")
+    by_name = {p["name"]: p for p in doc["paths"]}
+    parts = []
+    for pname in sorted(thresholds):
+        floor = thresholds[pname]
+        _require(pname in by_name,
+                 f"{name}: gated path '{pname}' missing from paths")
+        p = by_name[pname]
+        speedup = p["serial_ms"] / max(1e-9, p["parallel_ms"])
+        _require(speedup >= floor,
+                 f"{name}: path '{pname}' speedup {speedup:.2f}x is below "
+                 f"the {floor:.2f}x floor at {tp} threads (perf regression)")
+        parts.append(f"{pname} {speedup:.2f}x >= {floor:.2f}x")
+    return "speedup gate passed: " + ", ".join(parts)
 
 
 def check_faults(doc: object, name: str) -> int:
@@ -286,9 +342,14 @@ def sniff_kind(text: str) -> str:
     return "bench"
 
 
-def check_file(path: Path, kind: str | None) -> str:
+def check_file(path: Path, kind: str | None, gate_speedup: bool = False) -> str:
     text = path.read_text()
     kind = kind or sniff_kind(text)
+    if gate_speedup:
+        _require(kind == "bench",
+                 f"{path}: --check-speedup only applies to bench json "
+                 f"(sniffed '{kind}')")
+        return check_speedup(json.loads(text), str(path))
     if kind == "bench":
         n = check_bench(json.loads(text), str(path))
         return f"bench json, {n} path(s)"
@@ -321,6 +382,23 @@ VALID_BENCH = {
     "paths": [
         {"name": "gemm", "serial_ms": 10.0, "parallel_ms": 2.5,
          "speedup": 4.0},
+    ],
+}
+
+# A bench doc that satisfies the speedup gate on capable hardware.
+GATED_BENCH = {
+    "threads_serial": 1,
+    "threads_parallel": 4,
+    "hardware_concurrency": 8,
+    "simd_compiled": True,
+    "simd_enabled": True,
+    "paths": [
+        {"name": "linalg_matmul", "serial_ms": 40.0, "parallel_ms": 11.0,
+         "speedup": 3.64},
+        {"name": "fig6_grid", "serial_ms": 900.0, "parallel_ms": 400.0,
+         "speedup": 2.25},
+        {"name": "pool_dispatch", "serial_ms": 0.1, "parallel_ms": 3.0,
+         "speedup": 0.03},
     ],
 }
 
@@ -458,6 +536,25 @@ def selftest() -> int:
          json.dumps(dict(VALID_SERVICE, scenarios=[
              {k: v for k, v in VALID_SERVICE["scenarios"][0].items()
               if k != "results_identical"}])), False),
+        ("speedup gate passes on capable hardware", "speedup",
+         json.dumps(GATED_BENCH), True),
+        ("speedup gate catches a matmul regression", "speedup",
+         json.dumps(dict(GATED_BENCH, paths=[
+             dict(GATED_BENCH["paths"][0], parallel_ms=20.0),
+             GATED_BENCH["paths"][1], GATED_BENCH["paths"][2]])), False),
+        ("speedup gate requires the gated paths", "speedup",
+         json.dumps(dict(GATED_BENCH, paths=[GATED_BENCH["paths"][0]])),
+         False),
+        ("speedup gate skips on too-narrow hardware", "speedup",
+         json.dumps(dict(GATED_BENCH, hardware_concurrency=1, paths=[
+             dict(GATED_BENCH["paths"][0], parallel_ms=50.0),
+             GATED_BENCH["paths"][1], GATED_BENCH["paths"][2]])), True),
+        ("speedup gate skips below 4 parallel threads", "speedup",
+         json.dumps(dict(GATED_BENCH, threads_parallel=2, paths=[
+             dict(GATED_BENCH["paths"][0], parallel_ms=50.0),
+             GATED_BENCH["paths"][1], GATED_BENCH["paths"][2]])), True),
+        ("speedup gate rejects non-bench input", "speedup",
+         json.dumps(VALID_TRACE), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -465,7 +562,10 @@ def selftest() -> int:
             path = Path(tmp) / f"case_{i}.json"
             path.write_text(content)
             try:
-                check_file(path, kind)
+                if kind == "speedup":
+                    check_file(path, None, gate_speedup=True)
+                else:
+                    check_file(path, kind)
                 passed = True
             except (ValidationError, json.JSONDecodeError):
                 passed = False
@@ -491,6 +591,9 @@ def main(argv: list[str]) -> int:
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help="gate bench files against per-path parallel "
+                             "speedup floors (perf regression gate)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -501,7 +604,8 @@ def main(argv: list[str]) -> int:
     status = 0
     for path in args.files:
         try:
-            print(f"[ok] {path}: {check_file(path, args.kind)}")
+            print(f"[ok] {path}: "
+                  f"{check_file(path, args.kind, args.check_speedup)}")
         except FileNotFoundError:
             print(f"[FAIL] {path}: no such file", file=sys.stderr)
             status = 1
