@@ -16,6 +16,10 @@
 //                           control must reject the overflow with a
 //                           retry-after hint, never block or drop silently.
 //
+// Plus a tracing-overhead probe: the same ping round-trip timed with
+// distributed tracing off and on, so the per-request cost of the span +
+// traceparent layer shows up as a number instead of a guess.
+//
 // Results go to stdout and BENCH_service.json (validated by
 // tools/check_bench_json.py --kind service).
 #include <unistd.h>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "common/json_writer.hpp"
+#include "common/telemetry/span.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -252,6 +257,41 @@ Scenario run_saturation_burst(int index) {
   return s;
 }
 
+struct TracingOverhead {
+  std::size_t requests = 0;
+  double off_us_per_req = 0.0;
+  double on_us_per_req = 0.0;
+  std::uint64_t traced_spans = 0;
+};
+
+/// Same client, same daemon, same request: ping round-trips timed with
+/// tracing off and then on. Both halves run in this process, so the "on"
+/// number carries the full cost of the layer (client request span, wire
+/// traceparent, server request span, buffer appends).
+TracingOverhead run_tracing_overhead(int index) {
+  TracingOverhead t;
+  constexpr std::size_t kRequests = 2000;
+  t.requests = kRequests;
+  Daemon d(service::SessionManagerOptions{}, index);
+  Client client = Client::connect_unix(d.sock);
+
+  auto us_per_ping = [&](std::size_t n) {
+    double t0 = now_ms();
+    for (std::size_t i = 0; i < n; ++i) client.ping();
+    return (now_ms() - t0) * 1000.0 / static_cast<double>(n);
+  };
+
+  us_per_ping(200);  // warm the connection and the daemon's dispatch path
+  telemetry::set_tracing_enabled(false);
+  t.off_us_per_req = us_per_ping(kRequests);
+  telemetry::set_tracing_enabled(true);
+  telemetry::clear_events();
+  t.on_us_per_req = us_per_ping(kRequests);
+  telemetry::set_tracing_enabled(false);
+  t.traced_spans = telemetry::drain_events().size();
+  return t;
+}
+
 void print_scenario(const Scenario& s) {
   std::printf(
       "%-20s clients %zu  submitted %2zu  accepted %2zu  rejected %2zu"
@@ -274,6 +314,15 @@ int main() {
   print_scenario(scenarios.back());
   scenarios.push_back(run_saturation_burst(2));
   print_scenario(scenarios.back());
+
+  TracingOverhead overhead = run_tracing_overhead(3);
+  std::printf(
+      "%-20s %zu pings  tracing off %7.2f us/req  on %7.2f us/req"
+      "  (+%.2f us)  %llu spans\n",
+      "tracing_overhead", overhead.requests, overhead.off_us_per_req,
+      overhead.on_us_per_req,
+      overhead.on_us_per_req - overhead.off_us_per_req,
+      static_cast<unsigned long long>(overhead.traced_spans));
 
   bool ok = true;
   for (const Scenario& s : scenarios) {
@@ -312,6 +361,15 @@ int main() {
       jw.end_object();
     }
     jw.end_array();
+    jw.key("tracing_overhead");
+    jw.begin_object();
+    jw.kv("requests", static_cast<std::uint64_t>(overhead.requests));
+    jw.kv_fixed("off_us_per_req", overhead.off_us_per_req, 3);
+    jw.kv_fixed("on_us_per_req", overhead.on_us_per_req, 3);
+    jw.kv_fixed("overhead_us_per_req",
+                overhead.on_us_per_req - overhead.off_us_per_req, 3);
+    jw.kv("traced_spans", overhead.traced_spans);
+    jw.end_object();
     jw.end_object();
     jw.done();
     std::printf("wrote %s\n", out_path);

@@ -7,6 +7,7 @@
 // then load trace.json in chrome://tracing (or ui.perfetto.dev).
 #pragma once
 
-#include "common/telemetry/export.hpp"   // IWYU pragma: export
-#include "common/telemetry/metrics.hpp"  // IWYU pragma: export
-#include "common/telemetry/span.hpp"     // IWYU pragma: export
+#include "common/telemetry/export.hpp"         // IWYU pragma: export
+#include "common/telemetry/metrics.hpp"        // IWYU pragma: export
+#include "common/telemetry/span.hpp"           // IWYU pragma: export
+#include "common/telemetry/trace_context.hpp"  // IWYU pragma: export

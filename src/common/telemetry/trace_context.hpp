@@ -1,0 +1,73 @@
+// Distributed trace context: the identity that stitches spans from
+// different processes (glimpse_client → glimpsed → scheduler workers) into
+// one trace.
+//
+// A TraceContext is a 128-bit trace id, the 64-bit id of the current span,
+// and a sampled flag. On the wire it travels as a W3C traceparent header
+// value (modeled on opentelemetry-cpp's http_trace_context propagator):
+//
+//     00-<32 lowercase hex trace id>-<16 lowercase hex span id>-<2 hex flags>
+//
+// Determinism constraint (DESIGN.md §13): ids come from a dedicated
+// SplitMix64 stream seeded from std::random_device / the clock / the pid —
+// never from glimpse::Rng — and are only ever generated while tracing is
+// enabled, so traced and untraced runs make bit-identical tuning decisions.
+//
+// Each thread carries an ambient "active" context: Span (span.hpp) reads it
+// to inherit the trace id and chain parent span ids, and ScopedTraceContext
+// installs one for the current scope (e.g. a server connection thread while
+// it handles one request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace glimpse::telemetry {
+
+struct TraceContext {
+  std::uint64_t trace_id_hi = 0;
+  std::uint64_t trace_id_lo = 0;
+  std::uint64_t span_id = 0;  ///< the current (parent-to-be) span
+  bool sampled = false;
+
+  /// W3C validity: trace id and span id both nonzero.
+  bool valid() const { return (trace_id_hi | trace_id_lo) != 0 && span_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Fresh root context (new trace id, new span id, sampled). Draws from the
+/// dedicated telemetry entropy stream; call only when tracing is enabled.
+TraceContext make_trace_context();
+
+/// Fresh 64-bit span id (nonzero) from the telemetry entropy stream.
+std::uint64_t next_span_id();
+
+/// Format as a traceparent value ("00-…-…-01"). Invalid contexts format
+/// too (all-zero fields); callers normally check valid() first.
+std::string to_traceparent(const TraceContext& ctx);
+
+/// Strict parse of a traceparent value: version 00, exact field widths,
+/// lowercase or uppercase hex, nonzero trace and span ids. Returns false
+/// (and leaves `out` untouched) on any malformation.
+bool parse_traceparent(std::string_view s, TraceContext& out);
+
+/// The calling thread's ambient context (invalid/default when none active).
+TraceContext current_trace_context();
+
+/// Install `ctx` as the calling thread's ambient context for this scope;
+/// restores the previous context on destruction. Spans begun inside the
+/// scope join ctx's trace as children of ctx.span_id.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace glimpse::telemetry

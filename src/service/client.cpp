@@ -12,6 +12,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/telemetry/span.hpp"
+#include "common/telemetry/trace_context.hpp"
+
 namespace glimpse::service {
 
 Client Client::connect_unix(const std::string& path) {
@@ -73,6 +76,24 @@ Client::~Client() {
 }
 
 Response Client::call(const Request& req) {
+  if (!telemetry::tracing_enabled()) return call_impl(req);
+  // Client-side request span: the root of the distributed trace (or a child
+  // of the caller's ambient context). The traceparent sent on the wire names
+  // this span, so daemon-side spans stitch underneath it.
+  telemetry::TraceContext ctx = telemetry::current_trace_context();
+  if (!ctx.valid()) {
+    ctx = telemetry::make_trace_context();
+    ctx.span_id = 0;  // root pending: the request span becomes the trace root
+  }
+  telemetry::ScopedTraceContext scope(ctx);
+  telemetry::Span span("client.request");
+  span.set_note(to_string(req.type).data());
+  Request wired = req;
+  wired.traceparent = telemetry::to_traceparent(telemetry::current_trace_context());
+  return call_impl(wired);
+}
+
+Response Client::call_impl(const Request& req) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
   const std::string payload = encode_request(req) + "\n";
   std::size_t off = 0;

@@ -42,6 +42,11 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
 
+  /// Transport body of call(): send one encoded request line, read one
+  /// response line. call() wraps this with the client-side request span and
+  /// traceparent injection when tracing is enabled.
+  Response call_impl(const Request& req);
+
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last response line
 };

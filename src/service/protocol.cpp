@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/json_writer.hpp"
+#include "common/telemetry/trace_context.hpp"
 
 namespace glimpse::service {
 
@@ -446,11 +447,30 @@ bool get_bool(const JsonValue& obj, std::string_view key, bool& out,
 bool get_version(const JsonValue& obj, int& out, std::string& error) {
   std::uint64_t v = 0;
   if (!get_u64(obj, "v", v, 0, 1u << 20, error)) return false;
-  if (v != static_cast<std::uint64_t>(kProtocolVersion)) {
+  if (v < static_cast<std::uint64_t>(kMinProtocolVersion) ||
+      v > static_cast<std::uint64_t>(kProtocolVersion)) {
     error = "unsupported protocol version";
     return false;
   }
   out = static_cast<int>(v);
+  return true;
+}
+
+/// Optional "traceparent" member: absent is fine (v1 peers, untraced
+/// requests); when present it must be a well-formed W3C traceparent.
+bool get_traceparent(const JsonValue& obj, std::string& out, std::string& error) {
+  const JsonValue* v = find(obj, "traceparent");
+  if (!v) return true;
+  if (v->kind != JsonValue::kString) {
+    error = "key 'traceparent' must be a string";
+    return false;
+  }
+  telemetry::TraceContext ctx;
+  if (!telemetry::parse_traceparent(v->s, ctx)) {
+    error = "malformed traceparent";
+    return false;
+  }
+  out = v->s;
   return true;
 }
 
@@ -556,16 +576,30 @@ bool parse_stats(const JsonValue& obj, ServiceStats& out, std::string& error) {
     return false;
   }
   if (!check_keys(obj,
-                  {"queue_depth", "running", "submitted", "completed",
-                   "cancelled", "failed", "rejected", "resumed", "slots",
-                   "cache_enabled", "cache_hits", "cache_inserts",
-                   "shared_hits", "draining"},
+                  {"queue_depth", "running", "jobs_inflight",
+                   "admitted_prio_high", "admitted_prio_normal",
+                   "admitted_prio_low", "submitted", "completed", "cancelled",
+                   "failed", "rejected", "resumed", "slots", "cache_enabled",
+                   "cache_hits", "cache_inserts", "shared_hits", "draining"},
                   error))
     return false;
   ServiceStats s;
   const std::uint64_t kMax = UINT64_MAX;
   if (!get_u64(obj, "queue_depth", s.queue_depth, 0, kMax, error)) return false;
   if (!get_u64(obj, "running", s.running, 0, kMax, error)) return false;
+  // v2 additions; optional so v1 stats payloads still parse.
+  if (!get_u64(obj, "jobs_inflight", s.jobs_inflight, 0, kMax, error,
+               /*required=*/false))
+    return false;
+  if (!get_u64(obj, "admitted_prio_high", s.admitted_prio_high, 0, kMax, error,
+               /*required=*/false))
+    return false;
+  if (!get_u64(obj, "admitted_prio_normal", s.admitted_prio_normal, 0, kMax,
+               error, /*required=*/false))
+    return false;
+  if (!get_u64(obj, "admitted_prio_low", s.admitted_prio_low, 0, kMax, error,
+               /*required=*/false))
+    return false;
   if (!get_u64(obj, "submitted", s.submitted, 0, kMax, error)) return false;
   if (!get_u64(obj, "completed", s.completed, 0, kMax, error)) return false;
   if (!get_u64(obj, "cancelled", s.cancelled, 0, kMax, error)) return false;
@@ -586,6 +620,10 @@ void write_stats(JsonWriter& w, const ServiceStats& s) {
   w.begin_object();
   w.kv("queue_depth", s.queue_depth);
   w.kv("running", s.running);
+  w.kv("jobs_inflight", s.jobs_inflight);
+  w.kv("admitted_prio_high", s.admitted_prio_high);
+  w.kv("admitted_prio_normal", s.admitted_prio_normal);
+  w.kv("admitted_prio_low", s.admitted_prio_low);
   w.kv("submitted", s.submitted);
   w.kv("completed", s.completed);
   w.kv("cancelled", s.cancelled);
@@ -655,6 +693,7 @@ std::string encode_request(const Request& r) {
         break;
       default: break;  // ping / stats / drain / shutdown carry no payload
     }
+    if (!r.traceparent.empty()) w.kv("traceparent", r.traceparent);
     w.end_object();
   }
   return os.str();
@@ -685,6 +724,7 @@ std::string encode_response(const Response& r) {
       case ResponseType::kError: w.kv("reason", r.reason); break;
       default: break;  // pong / ok carry no payload
     }
+    if (!r.traceparent.empty()) w.kv("traceparent", r.traceparent);
     w.end_object();
   }
   return os.str();
@@ -703,16 +743,18 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
   }
   Request r;
   if (!get_version(root, r.version, error)) return false;
+  if (!get_traceparent(root, r.traceparent, error)) return false;
   std::string type;
   if (!get_string(root, "type", type, 16, false, error)) return false;
   if (type == "ping" || type == "stats" || type == "drain" || type == "shutdown") {
-    if (!check_keys(root, {"v", "type"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "traceparent"}, error)) return false;
     r.type = type == "ping"    ? RequestType::kPing
              : type == "stats" ? RequestType::kStats
              : type == "drain" ? RequestType::kDrain
                                : RequestType::kShutdown;
   } else if (type == "submit") {
-    if (!check_keys(root, {"v", "type", "client", "priority", "job"}, error))
+    if (!check_keys(root, {"v", "type", "client", "priority", "job", "traceparent"},
+                    error))
       return false;
     r.type = RequestType::kSubmit;
     if (!get_string(root, "client", r.client, 256, false, error)) return false;
@@ -724,11 +766,13 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
     }
     if (!parse_job_spec(*job, r.job, error)) return false;
   } else if (type == "status" || type == "cancel") {
-    if (!check_keys(root, {"v", "type", "job_id"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "job_id", "traceparent"}, error))
+      return false;
     r.type = type == "status" ? RequestType::kStatus : RequestType::kCancel;
     if (!get_u64(root, "job_id", r.job_id, 0, UINT64_MAX, error)) return false;
   } else if (type == "result") {
-    if (!check_keys(root, {"v", "type", "job_id", "wait"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "job_id", "wait", "traceparent"}, error))
+      return false;
     r.type = RequestType::kResult;
     if (!get_u64(root, "job_id", r.job_id, 0, UINT64_MAX, error)) return false;
     if (!get_bool(root, "wait", r.wait, error, /*required=*/false)) return false;
@@ -753,24 +797,28 @@ bool parse_response(std::string_view line, Response& out, std::string& error) {
   }
   Response r;
   if (!get_version(root, r.version, error)) return false;
+  if (!get_traceparent(root, r.traceparent, error)) return false;
   std::string type;
   if (!get_string(root, "type", type, 16, false, error)) return false;
   if (type == "pong" || type == "ok") {
-    if (!check_keys(root, {"v", "type"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "traceparent"}, error)) return false;
     r.type = type == "pong" ? ResponseType::kPong : ResponseType::kOk;
   } else if (type == "accepted") {
-    if (!check_keys(root, {"v", "type", "job_id"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "job_id", "traceparent"}, error))
+      return false;
     r.type = ResponseType::kAccepted;
     if (!get_u64(root, "job_id", r.job_id, 0, UINT64_MAX, error)) return false;
   } else if (type == "rejected") {
-    if (!check_keys(root, {"v", "type", "reason", "retry_after_s"}, error))
+    if (!check_keys(root, {"v", "type", "reason", "retry_after_s", "traceparent"},
+                    error))
       return false;
     r.type = ResponseType::kRejected;
     if (!get_string(root, "reason", r.reason, 1024, false, error)) return false;
     if (!get_nonneg_double(root, "retry_after_s", r.retry_after_s, error))
       return false;
   } else if (type == "status" || type == "result") {
-    if (!check_keys(root, {"v", "type", "job"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "job", "traceparent"}, error))
+      return false;
     r.type = type == "status" ? ResponseType::kStatus : ResponseType::kResult;
     const JsonValue* job = find(root, "job");
     if (!job) {
@@ -779,7 +827,8 @@ bool parse_response(std::string_view line, Response& out, std::string& error) {
     }
     if (!parse_job_summary(*job, r.summary, error)) return false;
   } else if (type == "stats") {
-    if (!check_keys(root, {"v", "type", "stats"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "stats", "traceparent"}, error))
+      return false;
     r.type = ResponseType::kStats;
     const JsonValue* st = find(root, "stats");
     if (!st) {
@@ -788,7 +837,8 @@ bool parse_response(std::string_view line, Response& out, std::string& error) {
     }
     if (!parse_stats(*st, r.stats, error)) return false;
   } else if (type == "error") {
-    if (!check_keys(root, {"v", "type", "reason"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "reason", "traceparent"}, error))
+      return false;
     r.type = ResponseType::kError;
     if (!get_string(root, "reason", r.reason, 1024, true, error)) return false;
   } else {
@@ -817,6 +867,7 @@ std::string encode_spool_record(const SpoolRecord& r) {
     w.kv("priority", r.priority);
     w.key("job");
     write_job_spec(w, r.job);
+    if (!r.traceparent.empty()) w.kv("traceparent", r.traceparent);
     w.end_object();
   }
   return os.str();
@@ -835,9 +886,11 @@ bool parse_spool_record(std::string_view line, SpoolRecord& out, std::string& er
   }
   int version = 0;
   if (!get_version(root, version, error)) return false;
-  if (!check_keys(root, {"v", "id", "client", "priority", "job"}, error))
+  if (!check_keys(root, {"v", "id", "client", "priority", "job", "traceparent"},
+                  error))
     return false;
   SpoolRecord r;
+  if (!get_traceparent(root, r.traceparent, error)) return false;
   if (!get_u64(root, "id", r.id, 0, UINT64_MAX, error)) return false;
   if (!get_string(root, "client", r.client, 256, false, error)) return false;
   if (!get_i64(root, "priority", r.priority, -100, 100, error)) return false;

@@ -2,8 +2,12 @@
 //
 // Every message is one JSON object on one line (LF-terminated; no embedded
 // newlines — JsonWriter escapes control characters). Requests and responses
-// carry a version field `"v"`; a daemon refuses versions it does not speak
-// rather than guessing. The parser follows the repo's hardened-TextReader
+// carry a version field `"v"`; a daemon accepts any version in
+// [kMinProtocolVersion, kProtocolVersion] and refuses versions it does not
+// speak rather than guessing. Version 2 added an optional "traceparent"
+// member (W3C trace context, common/telemetry/trace_context.hpp) to every
+// request and response; v1 messages simply omit it, and peers that do not
+// trace ignore it. The parser follows the repo's hardened-TextReader
 // discipline: strict grammar, explicit caps (line length, nesting depth,
 // string/array sizes), unknown or duplicate keys rejected, every numeric
 // field range-checked — a garbled or hostile line yields a parse error
@@ -40,7 +44,9 @@
 
 namespace glimpse::service {
 
-inline constexpr int kProtocolVersion = 1;
+inline constexpr int kProtocolVersion = 2;
+/// Oldest version still accepted (v1 = the pre-tracing wire format).
+inline constexpr int kMinProtocolVersion = 1;
 /// Hard cap on one protocol line (bytes, newline excluded). Connections
 /// sending longer lines are answered with an error and closed.
 inline constexpr std::size_t kMaxLineBytes = 1 << 16;
@@ -82,6 +88,9 @@ struct Request {
   JobSpec job;                ///< submit
   std::uint64_t job_id = 0;   ///< status / result / cancel
   bool wait = false;          ///< result: block until the job settles
+  /// Optional W3C traceparent ("00-…") propagating the client's trace
+  /// context into the daemon; empty = not traced (omitted on the wire).
+  std::string traceparent;
 
   friend bool operator==(const Request&, const Request&) = default;
 };
@@ -105,6 +114,12 @@ struct JobSummary {
 struct ServiceStats {
   std::uint64_t queue_depth = 0;
   std::uint64_t running = 0;
+  /// Jobs accepted but not yet settled (queued + running).
+  std::uint64_t jobs_inflight = 0;
+  /// Admissions by priority class (priority > 0 / == 0 / < 0).
+  std::uint64_t admitted_prio_high = 0;
+  std::uint64_t admitted_prio_normal = 0;
+  std::uint64_t admitted_prio_low = 0;
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;
@@ -141,6 +156,8 @@ struct Response {
   double retry_after_s = 0.0;  ///< rejected: back off this long (wall s)
   JobSummary summary;          ///< status / result
   ServiceStats stats;          ///< stats
+  /// Echo of the request's traceparent (empty = untraced request).
+  std::string traceparent;
 
   friend bool operator==(const Response&, const Response&) = default;
 };
@@ -166,6 +183,9 @@ struct SpoolRecord {
   std::string client;
   std::int64_t priority = 0;
   JobSpec job;
+  /// Trace identity of the accepted job, so a job recovered after a daemon
+  /// restart stays stitched to the trace that submitted it. Optional.
+  std::string traceparent;
 
   friend bool operator==(const SpoolRecord&, const SpoolRecord&) = default;
 };

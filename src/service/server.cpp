@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/telemetry/span.hpp"
+#include "common/telemetry/trace_context.hpp"
 #include "service/protocol.hpp"
 #include "service/session_manager.hpp"
 
@@ -170,6 +172,16 @@ bool Server::serve_line(int fd, const std::string& line) {
   std::string err;
   if (!parse_request(line, req, err))
     return send_all(fd, encode_response(error_response(err)) + "\n");
+  // Adopt the client's trace context for the duration of this request: the
+  // server.request span (and everything the handlers start underneath it,
+  // down to per-attempt measurer spans) stitches under the client's request
+  // span. parse_request already validated the traceparent field.
+  telemetry::TraceContext inbound;
+  if (telemetry::tracing_enabled() && !req.traceparent.empty())
+    telemetry::parse_traceparent(req.traceparent, inbound);
+  telemetry::ScopedTraceContext trace_scope(inbound);
+  telemetry::Span request_span("server.request");
+  request_span.set_note(to_string(req.type).data());
   Response resp;
   bool keep_open = true;
   switch (req.type) {
@@ -203,6 +215,7 @@ bool Server::serve_line(int fd, const std::string& line) {
       break;
     }
   }
+  resp.traceparent = req.traceparent;  // echo so the client can correlate
   if (!send_all(fd, encode_response(resp) + "\n")) return false;
   return keep_open;
 }

@@ -14,6 +14,8 @@
 #include "baselines/random_tuner.hpp"
 #include "common/logging.hpp"
 #include "common/telemetry/metrics.hpp"
+#include "common/telemetry/span.hpp"
+#include "common/telemetry/trace_context.hpp"
 #include "gpusim/measurer.hpp"
 #include "hwspec/database.hpp"
 #include "searchspace/models.hpp"
@@ -50,6 +52,14 @@ struct SessionManager::JobRecord {
 
   JobSummary summary;
   std::size_t scan_pos = 0;  ///< trace trials already folded into summary
+
+  // Distributed-trace identity (tentpole, DESIGN.md §13). trace_ctx.span_id
+  // is the job's root span; trace_parent is the client request span it nests
+  // under. Telemetry only — never read by scheduling or tuning decisions.
+  telemetry::TraceContext trace_ctx;
+  std::uint64_t trace_parent = 0;
+  std::uint64_t enqueue_ns = 0;  ///< queue entry (0 = not timed)
+  std::uint64_t admit_ns = 0;    ///< scheduler admission (0 = never admitted)
 };
 
 SessionManager::SessionManager(SessionManagerOptions options)
@@ -174,6 +184,8 @@ void SessionManager::build_runtime(JobRecord& rec) {
   if (rec.spec.time_budget_s > 0.0) sess.time_budget_s = rec.spec.time_budget_s;
   sess.seed = rec.spec.seed;
   sess.result_cache = cache_.get();
+  sess.trace = rec.trace_ctx;
+  sess.trace_job_id = rec.id;
   if (!options_.spool_dir.empty()) {
     sess.checkpoint_path = spool_file(rec.id, ".ckpt");
     sess.checkpoint_every_batches = options_.checkpoint_every_batches;
@@ -206,6 +218,13 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
     return error_response("task index out of range (model has " +
                           std::to_string(num_tasks) + " tasks)");
 
+  // Capture the connection thread's ambient trace context (set by the
+  // server from the request's traceparent) before taking the lock; the
+  // worker thread that later runs the job has no ambient context of its own.
+  const telemetry::TraceContext inbound =
+      telemetry::tracing_enabled() ? telemetry::current_trace_context()
+                                   : telemetry::TraceContext{};
+
   std::lock_guard<std::mutex> lock(mu_);
   Response r;
   if (draining_ || stop_) {
@@ -225,6 +244,9 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
     return r;
   }
   ++next_id_;
+  if (priority > 0) ++admitted_high_;
+  else if (priority < 0) ++admitted_low_;
+  else ++admitted_normal_;
   auto rec = std::make_unique<JobRecord>();
   rec->id = id;
   rec->client = client;
@@ -233,6 +255,16 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
   rec->summary.job_id = id;
   rec->summary.client = client;
   rec->summary.state = "queued";
+  if (inbound.valid()) {
+    // The job gets its own root span id under the client's request span;
+    // everything the job does (queue wait, rounds, measurements) nests
+    // beneath it, across processes and across daemon restarts.
+    rec->trace_parent = inbound.span_id;
+    rec->trace_ctx = inbound;
+    rec->trace_ctx.span_id = telemetry::next_span_id();
+  }
+  if (telemetry::tracing_enabled() || telemetry::metrics_enabled())
+    rec->enqueue_ns = telemetry::now_ns();
   if (!options_.spool_dir.empty()) {
     try {
       persist_spec(*rec);
@@ -300,6 +332,10 @@ Response SessionManager::stats() const {
   s.queue_depth = queue_.depth();
   for (const auto& [id, rec] : records_)
     if (rec->state == "running") ++s.running;
+  s.jobs_inflight = s.queue_depth + s.running;
+  s.admitted_prio_high = admitted_high_;
+  s.admitted_prio_normal = admitted_normal_;
+  s.admitted_prio_low = admitted_low_;
   s.submitted = submitted_;
   s.completed = completed_;
   s.cancelled = cancelled_;
@@ -339,9 +375,12 @@ Response SessionManager::drain() {
 }
 
 void SessionManager::persist_spec(const JobRecord& rec) {
-  write_line_atomic(spool_file(rec.id, ".spec.json"),
-                    encode_spool_record({rec.id, rec.client, rec.priority,
-                                         rec.spec}));
+  write_line_atomic(
+      spool_file(rec.id, ".spec.json"),
+      encode_spool_record({rec.id, rec.client, rec.priority, rec.spec,
+                           rec.trace_ctx.valid()
+                               ? telemetry::to_traceparent(rec.trace_ctx)
+                               : std::string()}));
 }
 
 bool SessionManager::persist_result(const JobRecord& rec) {
@@ -359,6 +398,21 @@ bool SessionManager::persist_result(const JobRecord& rec) {
 
 void SessionManager::finalize_locked(JobRecord& rec, std::string state,
                                      std::string error) {
+  if (telemetry::tracing_enabled() && rec.trace_ctx.valid() &&
+      rec.enqueue_ns != 0) {
+    // The job's root span: covers admission through settlement (or the whole
+    // queued life for jobs cancelled before running). Its id is the one the
+    // spool carries and every child span points at.
+    const std::uint64_t t0 = rec.admit_ns != 0 ? rec.admit_ns : rec.enqueue_ns;
+    const std::uint64_t now = telemetry::now_ns();
+    telemetry::EventArgs args;
+    args.job_id = rec.id;
+    args.note = state == "done"        ? "done"
+                : state == "cancelled" ? "cancelled"
+                                       : "failed";
+    telemetry::record_span_event("job.run", t0, now > t0 ? now - t0 : 0,
+                                 rec.trace_ctx, rec.trace_parent, args);
+  }
   rec.state = state;
   rec.summary.state = state;
   rec.summary.error = std::move(error);
@@ -468,8 +522,20 @@ void SessionManager::recover_spool() {
     const bool have_ckpt = fs::exists(ckpt, ec);
     if (have_ckpt) rec->sess.resume_from = ckpt;
     rec->summary.state = "queued";
+    if (!f.sr.traceparent.empty()) {
+      // Re-join the submitting client's trace: the spooled traceparent names
+      // the job's root span, so spans from the resumed run stitch under the
+      // same trace id. The original request-span parent did not survive the
+      // restart; the job root simply has no parent in the new segment.
+      telemetry::parse_traceparent(f.sr.traceparent, rec->trace_ctx);
+    }
+    if (telemetry::tracing_enabled() || telemetry::metrics_enabled())
+      rec->enqueue_ns = telemetry::now_ns();
     queue_.push(QueuedJob{id, rec->client, rec->priority, rec->spec},
                 /*force=*/true);
+    if (rec->priority > 0) ++admitted_high_;
+    else if (rec->priority < 0) ++admitted_low_;
+    else ++admitted_normal_;
     ++submitted_;
     ++resumed_;
     LOG_INFO << "recovered spooled job " << id
@@ -510,6 +576,26 @@ void SessionManager::admit_queued_locked() {
     rec.admitted = true;
     rec.state = "running";
     rec.summary.state = "running";
+    if (rec.enqueue_ns != 0) {
+      rec.admit_ns = telemetry::now_ns();
+      const std::uint64_t waited =
+          rec.admit_ns > rec.enqueue_ns ? rec.admit_ns - rec.enqueue_ns : 0;
+      if (telemetry::metrics_enabled())
+        telemetry::MetricsRegistry::global()
+            .histogram("stage.queue_wait_s")
+            .record(static_cast<double>(waited) * 1e-9);
+      if (telemetry::tracing_enabled() && rec.trace_ctx.valid()) {
+        // The wait spans two threads (submit on a connection thread, admit
+        // here on the worker), so it is recorded retroactively as a child
+        // of the job's root span.
+        telemetry::TraceContext ev = rec.trace_ctx;
+        ev.span_id = telemetry::next_span_id();
+        telemetry::EventArgs args;
+        args.job_id = rec.id;
+        telemetry::record_span_event("queue.wait", rec.enqueue_ns, waited, ev,
+                                     rec.trace_ctx.span_id, args);
+      }
+    }
     if (rec.cancel_requested) scheduler_->cancel(rec.sched_index);
   }
 }

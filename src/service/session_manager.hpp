@@ -147,6 +147,11 @@ class SessionManager {
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t resumed_ = 0;
+  // Per-priority-class admissions (jobs that entered the queue, including
+  // spool re-admissions): priority > 0, == 0, < 0.
+  std::uint64_t admitted_high_ = 0;
+  std::uint64_t admitted_normal_ = 0;
+  std::uint64_t admitted_low_ = 0;
 
   // Worker-thread-only state (see threading model above).
   std::unique_ptr<tuning::Scheduler> scheduler_;

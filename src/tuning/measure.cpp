@@ -22,6 +22,24 @@ void record_fault_metrics(MeasureError e) {
       .add(1);
 }
 
+/// Wall-clock stage histogram (DESIGN.md §13): records seconds into `name`
+/// on scope exit when metrics are on. Wall time only — simulated time and
+/// tuning decisions never see it.
+struct StageTimer {
+  const char* name;
+  bool on;
+  std::uint64_t t0;
+  explicit StageTimer(const char* n)
+      : name(n),
+        on(telemetry::metrics_enabled()),
+        t0(on ? telemetry::now_ns() : 0) {}
+  ~StageTimer() {
+    if (on)
+      telemetry::MetricsRegistry::global().histogram(name).record(
+          static_cast<double>(telemetry::now_ns() - t0) * 1e-9);
+  }
+};
+
 }  // namespace
 
 bool implausible(const MeasureResult& r) {
@@ -42,7 +60,16 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
                                  const hwspec::GpuSpec& hw, const Config& config,
                                  const RetryPolicy& policy, std::uint64_t seed,
                                  std::uint64_t trial_id, ResultCache* cache) {
-  GLIMPSE_SPAN("measure.with_retry");
+  telemetry::Span span("measure.with_retry");
+  StageTimer stage("stage.measure_s");
+  if (span.active()) {
+    // Config fingerprint ties the span to what was measured; hashed only
+    // when the span is live so the untraced path does no extra work.
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    for (std::uint32_t v : config) fp = hash_combine(fp, v);
+    span.set_config_fp(fp);
+    span.set_round(trial_id);
+  }
   CacheKey cache_key;
   if (cache) {
     // Consult the cache before the measurer, the retry loop, or the jitter
@@ -52,7 +79,12 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
     cache_key.hw_fp = hardware_fingerprint(hw);
     cache_key.config = config;
     MeasureResult hit;
-    if (cache->lookup(cache_key, hit)) return hit;
+    StageTimer lookup("stage.cache_hit_s");
+    if (cache->lookup(cache_key, hit)) {
+      span.set_note("cache_hit");
+      return hit;
+    }
+    lookup.on = false;  // miss: only hits feed the cache_hit histogram
   }
   const int max_attempts = std::max(1, policy.max_attempts);
   const double timeout =
@@ -61,14 +93,23 @@ MeasureResult measure_with_retry(gpusim::Measurer& measurer,
 
   MeasureResult last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    MeasureResult r = measurer.measure(task, hw, config, timeout);
-    if (implausible(r)) {
-      // The payload claims success but cannot be real: treat as corruption
-      // rather than poisoning the tuner with garbage.
-      r.valid = false;
-      r.error = MeasureError::kCorrupt;
-      r.latency_s = 0.0;
-      r.gflops = 0.0;
+    MeasureResult r;
+    {
+      // Each retry is its own child span; failed attempts carry their
+      // MeasureError kind so a trace shows what each retry paid for.
+      telemetry::Span attempt_span("measure.attempt");
+      attempt_span.set_round(trial_id);
+      r = measurer.measure(task, hw, config, timeout);
+      if (implausible(r)) {
+        // The payload claims success but cannot be real: treat as corruption
+        // rather than poisoning the tuner with garbage.
+        r.valid = false;
+        r.error = MeasureError::kCorrupt;
+        r.latency_s = 0.0;
+        r.gflops = 0.0;
+      }
+      if (r.error != MeasureError::kNone)
+        attempt_span.set_note(gpusim::to_string(r.error));
     }
     r.attempts = attempt;
     if (r.error == MeasureError::kNone) {

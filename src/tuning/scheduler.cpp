@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.hpp"
@@ -146,6 +147,8 @@ Trace Scheduler::take_trace(std::size_t job) {
 
 bool Scheduler::step_round() {
   GLIMPSE_SPAN("scheduler.round");
+  const bool timed = telemetry::metrics_enabled();
+  const std::uint64_t round_t0 = timed ? telemetry::now_ns() : 0;
   // Round-local dedup map. unordered_map gives stable element addresses,
   // so RoundEntry pointers taken here survive later insertions.
   std::unordered_map<CacheKey, RoundEntry, CacheKeyHash> round;
@@ -222,6 +225,16 @@ bool Scheduler::step_round() {
       std::size_t j = measuring[m];
       ScheduledJob& job = jobs_[j];
       JobState& s = *states_[j];
+      // Join the job's distributed trace (service jobs carry one in their
+      // options) so this round's measure spans — and the measure_with_retry
+      // children inside — stitch under the job. Telemetry only: nothing the
+      // measurements compute depends on it.
+      std::optional<telemetry::ScopedTraceContext> trace_scope;
+      if (telemetry::tracing_enabled() && job.options.trace.valid())
+        trace_scope.emplace(job.options.trace);
+      telemetry::Span round_span("scheduler.job_round");
+      round_span.set_job(job.options.trace_job_id);
+      round_span.set_round(s.st.step);
       s.owned_elapsed.resize(s.owned_index.size());
       for (std::size_t q = 0; q < s.owned_index.size(); ++q) {
         std::size_t i = s.owned_index[q];
@@ -241,7 +254,12 @@ bool Scheduler::step_round() {
     ScheduledJob& job = jobs_[j];
     JobState& s = *states_[j];
     if (s.done || s.batch.empty()) continue;
-    GLIMPSE_SPAN("session.batch");  // one per job-batch, as in the old loop
+    std::optional<telemetry::ScopedTraceContext> trace_scope;
+    if (telemetry::tracing_enabled() && job.options.trace.valid())
+      trace_scope.emplace(job.options.trace);
+    telemetry::Span batch_span("session.batch");  // one per job-batch
+    batch_span.set_job(job.options.trace_job_id);
+    batch_span.set_round(s.st.step);
     Trace& trace = s.st.trace;
     std::vector<MeasureResult> results;
     results.reserve(s.batch.size());
@@ -301,6 +319,10 @@ bool Scheduler::step_round() {
         s.st.trials_since_improvement >= job.options.plateau_trials)
       finish(j);
   }
+  if (timed)
+    telemetry::MetricsRegistry::global()
+        .histogram("stage.round_compute_s")
+        .record(static_cast<double>(telemetry::now_ns() - round_t0) * 1e-9);
   return true;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry/trace_context.hpp"
 #include "tuning/tuner.hpp"
 
 namespace glimpse::tuning {
@@ -98,6 +99,13 @@ struct SessionOptions {
   /// decision (configs, results, steps) but not on `elapsed_s` — compare
   /// them with trace_decisions_identical, not operator==.
   ResultCache* result_cache = nullptr;
+
+  /// Distributed-trace identity for this session's spans (service jobs: the
+  /// job's root span). Telemetry only — never read by tuning decisions, so
+  /// traced and untraced sessions stay bit-identical. Invalid = untraced.
+  telemetry::TraceContext trace;
+  /// Service job id attached to this session's spans (0 = none).
+  std::uint64_t trace_job_id = 0;
 };
 
 /// Drive one tuner to completion. Implemented as a single-job schedule

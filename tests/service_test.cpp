@@ -16,11 +16,14 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +31,9 @@
 #include "baselines/autotvm.hpp"
 #include "baselines/chameleon.hpp"
 #include "baselines/random_tuner.hpp"
+#include "common/parallel.hpp"
+#include "common/telemetry/span.hpp"
+#include "common/telemetry/trace_context.hpp"
 #include "gpusim/measurer.hpp"
 #include "hwspec/database.hpp"
 #include "proptest_util.hpp"
@@ -169,9 +175,21 @@ JobSpec any_job_spec(Rng& rng) {
   return spec;
 }
 
+/// A well-formed random traceparent (the parser rejects malformed ones, so
+/// the round-trip generators must only produce valid values or none).
+std::string any_traceparent(Rng& rng) {
+  telemetry::TraceContext ctx;
+  ctx.trace_id_hi = any_u64(rng);
+  ctx.trace_id_lo = any_u64(rng) | 1;  // trace id must be nonzero
+  ctx.span_id = any_u64(rng) | 1;      // span id must be nonzero
+  ctx.sampled = rng.chance(0.5);
+  return telemetry::to_traceparent(ctx);
+}
+
 Request any_request(Rng& rng) {
   Request r;
   r.type = static_cast<RequestType>(rng.uniform_int(0, 7));
+  if (rng.chance(0.5)) r.traceparent = any_traceparent(rng);
   switch (r.type) {
     case RequestType::kSubmit:
       r.client = nonempty_string(rng, 32);
@@ -213,6 +231,7 @@ JobSummary any_summary(Rng& rng) {
 Response any_response(Rng& rng) {
   Response r;
   r.type = static_cast<ResponseType>(rng.uniform_int(0, 7));
+  if (rng.chance(0.5)) r.traceparent = any_traceparent(rng);
   switch (r.type) {
     case ResponseType::kAccepted:
       r.job_id = any_u64(rng);
@@ -229,6 +248,10 @@ Response any_response(Rng& rng) {
       ServiceStats& s = r.stats;
       s.queue_depth = any_u64(rng);
       s.running = any_u64(rng);
+      s.jobs_inflight = any_u64(rng);
+      s.admitted_prio_high = any_u64(rng);
+      s.admitted_prio_normal = any_u64(rng);
+      s.admitted_prio_low = any_u64(rng);
       s.submitted = any_u64(rng);
       s.completed = any_u64(rng);
       s.cancelled = any_u64(rng);
@@ -287,6 +310,7 @@ TEST(ServiceProtocol, SpoolRecordRoundTrip) {
     rec.client = nonempty_string(rng, 32);
     rec.priority = rng.uniform_int(-100, 100);
     rec.job = any_job_spec(rng);
+    if (rng.chance(0.5)) rec.traceparent = any_traceparent(rng);
     service::SpoolRecord back;
     std::string err;
     if (!service::parse_spool_record(service::encode_spool_record(rec), back, err))
@@ -338,8 +362,8 @@ TEST(ServiceProtocol, StrictParserRejects) {
   EXPECT_FALSE(service::parse_request(R"({"v":1,"type":"ping","zap":1})", r, err));
   // Duplicate key.
   EXPECT_FALSE(service::parse_request(R"({"v":1,"v":1,"type":"ping"})", r, err));
-  // Wrong version.
-  EXPECT_FALSE(service::parse_request(R"({"v":2,"type":"ping"})", r, err));
+  // Wrong version (v1 and v2 are the live protocol; v3 does not exist).
+  EXPECT_FALSE(service::parse_request(R"({"v":3,"type":"ping"})", r, err));
   // Missing version.
   EXPECT_FALSE(service::parse_request(R"({"type":"ping"})", r, err));
   // Unknown type.
@@ -372,6 +396,62 @@ TEST(ServiceProtocol, StrictParserRejects) {
   // Nesting bomb.
   std::string deep(64, '[');
   EXPECT_FALSE(service::parse_request(deep, r, err));
+}
+
+// Protocol v2 added the optional traceparent; v1 peers (no traceparent, no
+// jobs_inflight/admission counters) must keep parsing, and a traceparent
+// that is present must be well-formed.
+TEST(ServiceProtocol, VersionCompatAndTraceparent) {
+  Request r;
+  std::string err;
+  EXPECT_TRUE(service::parse_request(R"({"v":1,"type":"ping"})", r, err)) << err;
+  EXPECT_TRUE(r.traceparent.empty());
+  EXPECT_TRUE(service::parse_request(R"({"v":2,"type":"ping"})", r, err)) << err;
+  EXPECT_TRUE(r.traceparent.empty());
+
+  const std::string tp =
+      "00-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01";
+  EXPECT_TRUE(service::parse_request(
+      R"({"v":2,"type":"ping","traceparent":")" + tp + R"("})", r, err))
+      << err;
+  EXPECT_EQ(r.traceparent, tp);
+
+  // Malformed traceparents are a parse error, not a silent drop.
+  for (const char* bad :
+       {"garbage",
+        "01-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01",  // version
+        "00-00000000000000000000000000000000-a4871a5c829f593c-01",  // zero trace
+        "00-118d627ac8387f2ece243bda5e27a40b-0000000000000000-01",  // zero span
+        "00-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-1"}) {
+    EXPECT_FALSE(service::parse_request(
+        std::string(R"({"v":2,"type":"ping","traceparent":")") + bad + R"("})",
+        r, err))
+        << bad;
+    EXPECT_EQ(err, "malformed traceparent") << bad;
+  }
+
+  // A v1 stats payload without the v2 counters parses; counters default 0.
+  Response resp;
+  EXPECT_TRUE(service::parse_response(
+      R"({"v":1,"type":"stats","stats":{"queue_depth":1,"running":2,)"
+      R"("submitted":3,"completed":4,"cancelled":0,"failed":0,"rejected":0,)"
+      R"("resumed":0,"slots":2,"cache_enabled":true,"cache_hits":0,)"
+      R"("cache_inserts":0,"shared_hits":0,"draining":false}})",
+      resp, err))
+      << err;
+  EXPECT_EQ(resp.stats.queue_depth, 1u);
+  EXPECT_EQ(resp.stats.jobs_inflight, 0u);
+  EXPECT_EQ(resp.stats.admitted_prio_normal, 0u);
+
+  // Responses carry the echoed traceparent through a round-trip.
+  Response echo;
+  echo.type = ResponseType::kPong;
+  echo.traceparent = tp;
+  Response echo_back;
+  ASSERT_TRUE(
+      service::parse_response(service::encode_response(echo), echo_back, err))
+      << err;
+  EXPECT_EQ(echo_back.traceparent, tp);
 }
 
 // ---------------------------------------------------------------------------
@@ -540,6 +620,53 @@ TEST(ServiceManager, ConcurrentMultiClientSubmitIsDeterministic) {
   // one insert per distinct (task, hw, config), everything else deduped.
   EXPECT_EQ(stats.stats.cache_inserts, 3u * 48u);
   EXPECT_LE(stats.stats.cache_hits, 9u * 48u);
+}
+
+// The determinism matrix the tracing layer must not break: tracing on/off x
+// pool width, two concurrent clients each — every cell bit-identical to the
+// direct (daemon-free, untraced) reference run. Tracing ids come from a
+// dedicated entropy stream, so enabling spans must not perturb a single
+// tuning decision.
+TEST(ServiceManager, TracingMatrixIsBitIdentical) {
+  const JobSpec job_a = small_job(/*seed=*/501);
+  const JobSpec job_b = small_job(/*seed=*/502);
+  const tuning::Trace ref_a = direct_trace(job_a);
+  const tuning::Trace ref_b = direct_trace(job_b);
+
+  const bool was_tracing = telemetry::tracing_enabled();
+  for (bool tracing : {false, true}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "tracing=" << tracing << " threads=" << threads);
+      set_num_threads(threads);
+      telemetry::set_tracing_enabled(tracing);
+
+      SessionManagerOptions opts;
+      opts.slots = 2;
+      SessionManager manager(opts);
+      Response ra = manager.submit("alice", 1, job_a);
+      Response rb = manager.submit("bob", -1, job_b);
+      ASSERT_EQ(ra.type, ResponseType::kAccepted);
+      ASSERT_EQ(rb.type, ResponseType::kAccepted);
+      Response done_a = manager.result(ra.job_id, /*wait=*/true);
+      Response done_b = manager.result(rb.job_id, /*wait=*/true);
+      ASSERT_EQ(done_a.type, ResponseType::kResult);
+      ASSERT_EQ(done_b.type, ResponseType::kResult);
+      expect_summary_matches_trace(done_a.summary, ref_a);
+      expect_summary_matches_trace(done_b.summary, ref_b);
+
+      // The admission counters see one job per priority class.
+      Response stats = manager.stats();
+      ASSERT_EQ(stats.type, ResponseType::kStats);
+      EXPECT_EQ(stats.stats.admitted_prio_high, 1u);
+      EXPECT_EQ(stats.stats.admitted_prio_low, 1u);
+      EXPECT_EQ(stats.stats.admitted_prio_normal, 0u);
+      EXPECT_EQ(stats.stats.jobs_inflight, 0u);
+    }
+  }
+  telemetry::set_tracing_enabled(was_tracing);
+  telemetry::clear_events();
+  set_num_threads(0);  // restore the env/hardware default pool width
 }
 
 // Saturate admission: pin the worker inside a long scheduler round, then
@@ -870,6 +997,41 @@ TEST(ServiceServer, GarbageLinesGetErrorsNotCrashes) {
   server.stop();
 }
 
+// Satellite regression: every connection gets its own short-lived thread,
+// and with tracing on each records spans. Exited threads must recycle their
+// buffer tags, so a burst of sequential connections cannot grow the span
+// registry — and none of their spans may be lost before the drain.
+TEST(ServiceServer, ShortLivedConnectionThreadsRecycleSpanBuffers) {
+  const std::string sock = short_sock_path("recycle");
+  SessionManager manager{SessionManagerOptions{}};
+  Server server(manager, ServerOptions{sock, -1});
+  server.start();
+
+  const bool was_tracing = telemetry::tracing_enabled();
+  telemetry::set_tracing_enabled(true);
+  telemetry::clear_events();
+  const std::size_t buffers_before = telemetry::num_thread_buffers();
+
+  constexpr int kConnections = 48;
+  for (int i = 0; i < kConnections; ++i) {
+    Client client = Client::connect_unix(sock);
+    ASSERT_EQ(client.ping().type, ResponseType::kPong);
+  }  // ~> destructor closes the socket; the connection thread exits
+
+  server.stop();  // joins every connection thread: all tags released
+  telemetry::set_tracing_enabled(was_tracing);
+
+  // Sequential connections overlap only briefly (thread exit is async), so
+  // the registry's high-water mark stays far below the connection count.
+  EXPECT_LE(telemetry::num_thread_buffers(), buffers_before + 8);
+
+  // The recycled buffers kept every exited thread's spans for the flush.
+  int server_spans = 0;
+  for (const telemetry::TraceEvent& e : telemetry::drain_events())
+    if (std::strcmp(e.name, "server.request") == 0) ++server_spans;
+  EXPECT_EQ(server_spans, kConnections);
+}
+
 // ---------------------------------------------------------------------------
 // The real thing: kill -9 the glimpsed binary mid-job; a restarted daemon
 // must resume and complete every accepted job bit-identically.
@@ -877,7 +1039,10 @@ TEST(ServiceServer, GarbageLinesGetErrorsNotCrashes) {
 
 class DaemonProcess {
  public:
-  DaemonProcess(const std::string& sock, const std::string& spool) {
+  /// `trace_path` non-empty exports the daemon's spans there on clean exit
+  /// (GLIMPSE_TRACE in the child's environment, as a user would set it).
+  DaemonProcess(const std::string& sock, const std::string& spool,
+                const std::string& trace_path = "") {
     int out_pipe[2];
     if (::pipe(out_pipe) != 0) return;
     pid_ = ::fork();
@@ -885,6 +1050,10 @@ class DaemonProcess {
       ::dup2(out_pipe[1], STDOUT_FILENO);
       ::close(out_pipe[0]);
       ::close(out_pipe[1]);
+      if (trace_path.empty())
+        ::unsetenv("GLIMPSE_TRACE");
+      else
+        ::setenv("GLIMPSE_TRACE", trace_path.c_str(), 1);
       ::execl(GLIMPSED_BIN, GLIMPSED_BIN, "--unix", sock.c_str(), "--spool",
               spool.c_str(), "--slots", "2", "--cache", "mem",
               static_cast<char*>(nullptr));
@@ -986,6 +1155,84 @@ TEST(ServiceDaemon, SigkillMidJobThenRestartCompletesEverything) {
     EXPECT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0);
   }
+}
+
+// The tentpole acceptance test: one traced job against a real glimpsed over
+// a unix socket yields spans in BOTH processes sharing one trace id — the
+// client-side request span here (this process is the traced client), and
+// the daemon's server/queue/scheduler/measurer spans in the GLIMPSE_TRACE
+// JSONL export it writes on clean shutdown. tools/trace_stitch.py merges
+// the two files; this test checks the same join key the stitch relies on.
+TEST(ServiceDaemon, DistributedTraceSharesOneTraceId) {
+  const std::string sock = short_sock_path("trace");
+  const std::string spool = tmp_path("svc_trace_spool");
+  const std::string daemon_trace = tmp_path("svc_trace_daemon.jsonl");
+  std::filesystem::remove_all(spool);
+  std::filesystem::remove(daemon_trace);
+
+  DaemonProcess daemon(sock, spool, daemon_trace);
+  ASSERT_TRUE(daemon.started());
+  ASSERT_NE(daemon.wait_ready(), "");
+
+  const bool was_tracing = telemetry::tracing_enabled();
+  telemetry::set_tracing_enabled(true);
+  telemetry::clear_events();
+  {
+    Client client = Client::connect_unix(sock);
+    Response r = client.submit("tracer", 0, small_job(/*seed=*/31));
+    ASSERT_EQ(r.type, ResponseType::kAccepted);
+    // Accepted responses echo the request's traceparent back.
+    EXPECT_FALSE(r.traceparent.empty());
+    Response done = client.result(r.job_id, /*wait=*/true);
+    ASSERT_EQ(done.type, ResponseType::kResult);
+    EXPECT_EQ(done.summary.state, "done");
+    EXPECT_EQ(client.shutdown().type, ResponseType::kOk);
+  }
+  int status = daemon.wait_exit();
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  telemetry::set_tracing_enabled(was_tracing);
+
+  // Client half: the submit request span roots the trace.
+  std::uint64_t hi = 0, lo = 0;
+  int client_request_spans = 0;
+  for (const telemetry::TraceEvent& e : telemetry::drain_events()) {
+    if (e.name == nullptr || std::strcmp(e.name, "client.request") != 0)
+      continue;
+    ++client_request_spans;
+    if (e.note != nullptr && std::strcmp(e.note, "submit") == 0) {
+      EXPECT_EQ(e.parent_span_id, 0u) << "the request span should be a root";
+      hi = e.trace_id_hi;
+      lo = e.trace_id_lo;
+    }
+  }
+  EXPECT_GE(client_request_spans, 3);  // submit + result + shutdown
+  ASSERT_NE(hi | lo, 0u) << "no traced submit request recorded client-side";
+  char trace_hex[33];
+  std::snprintf(trace_hex, sizeof trace_hex, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+
+  // Daemon half: its JSONL export holds the rest of the same trace.
+  std::ifstream in(daemon_trace);
+  ASSERT_TRUE(in.is_open()) << "daemon wrote no trace file: " << daemon_trace;
+  const std::string needle = std::string("\"trace_id\":\"") + trace_hex + "\"";
+  bool saw_meta = false;
+  std::set<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"trace_meta\"") != std::string::npos) saw_meta = true;
+    if (line.find(needle) == std::string::npos) continue;
+    const std::size_t k = line.find("\"name\":\"");
+    ASSERT_NE(k, std::string::npos) << line;
+    const std::size_t start = k + 8;
+    names.insert(line.substr(start, line.find('"', start) - start));
+  }
+  EXPECT_TRUE(saw_meta) << "daemon export lacks its trace_meta header";
+  for (const char* want : {"server.request", "queue.wait", "job.run",
+                           "scheduler.job_round", "measure.attempt"})
+    EXPECT_TRUE(names.count(want) > 0)
+        << want << " missing from the daemon's half of trace " << trace_hex;
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <cmath>
 #include <cstddef>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_writer.hpp"
@@ -299,6 +301,198 @@ TEST_F(TelemetryTest, DrainClearsBuffers) {
   EXPECT_TRUE(snapshot_events().empty());
 }
 
+// ---- distributed trace context ---------------------------------------------
+
+TEST_F(TelemetryTest, TraceparentFormatsAndParsesRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id_hi = 0x118d627ac8387f2eULL;
+  ctx.trace_id_lo = 0xce243bda5e27a40bULL;
+  ctx.span_id = 0xa4871a5c829f593cULL;
+  ctx.sampled = true;
+  const std::string tp = to_traceparent(ctx);
+  EXPECT_EQ(tp, "00-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01");
+  TraceContext back;
+  ASSERT_TRUE(parse_traceparent(tp, back));
+  EXPECT_EQ(back, ctx);
+}
+
+TEST_F(TelemetryTest, TraceparentRejectsMalformedValues) {
+  const char* bad[] = {
+      "",
+      "00-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c",      // short
+      "00-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01x",  // long
+      "01-118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01",   // version
+      "00-00000000000000000000000000000000-a4871a5c829f593c-01",   // zero trace
+      "00-118d627ac8387f2ece243bda5e27a40b-0000000000000000-01",   // zero span
+      "00-118d627ac8387f2ece243bda5e27a40g-a4871a5c829f593c-01",   // non-hex
+      "00_118d627ac8387f2ece243bda5e27a40b-a4871a5c829f593c-01",   // delimiter
+  };
+  for (const char* s : bad) {
+    TraceContext out;
+    EXPECT_FALSE(parse_traceparent(s, out)) << "accepted: " << s;
+    EXPECT_FALSE(out.valid()) << "out mutated by: " << s;
+  }
+}
+
+TEST_F(TelemetryTest, MakeTraceContextIsValidAndUnique) {
+  set_tracing_enabled(true);
+  TraceContext a = make_trace_context();
+  TraceContext b = make_trace_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(next_span_id(), next_span_id());
+}
+
+TEST_F(TelemetryTest, SpansJoinAmbientTraceAndChainParents) {
+  set_tracing_enabled(true);
+  TraceContext ctx = make_trace_context();
+  {
+    ScopedTraceContext scope(ctx);
+    GLIMPSE_SPAN("test.trace_outer");
+    GLIMPSE_SPAN("test.trace_inner");
+  }
+  { GLIMPSE_SPAN("test.no_trace"); }
+  set_tracing_enabled(false);
+  auto events = drain_events();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  const TraceEvent& bare = events[2];
+  ASSERT_STREQ(outer.name, "test.trace_outer");
+  ASSERT_STREQ(inner.name, "test.trace_inner");
+  // Both spans carry the scope's trace id; the inner chains to the outer,
+  // the outer to the context's span.
+  EXPECT_EQ(outer.trace_id_hi, ctx.trace_id_hi);
+  EXPECT_EQ(outer.trace_id_lo, ctx.trace_id_lo);
+  EXPECT_EQ(inner.trace_id_hi, ctx.trace_id_hi);
+  EXPECT_EQ(outer.parent_span_id, ctx.span_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  // Outside the scope: no trace identity at all.
+  EXPECT_EQ(bare.trace_id_hi | bare.trace_id_lo, 0u);
+  EXPECT_EQ(bare.span_id, 0u);
+  // And the ambient context was restored.
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST_F(TelemetryTest, RootPendingContextMakesFirstSpanTheRoot) {
+  set_tracing_enabled(true);
+  TraceContext ctx = make_trace_context();
+  ctx.span_id = 0;  // root pending: no phantom parent
+  {
+    ScopedTraceContext scope(ctx);
+    GLIMPSE_SPAN("test.trace_root");
+  }
+  set_tracing_enabled(false);
+  auto events = drain_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id_hi, ctx.trace_id_hi);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+  EXPECT_NE(events[0].span_id, 0u);
+}
+
+TEST_F(TelemetryTest, SpanAttributesReachTheEvent) {
+  set_tracing_enabled(true);
+  {
+    Span s("test.attrs");
+    EXPECT_TRUE(s.active());
+    s.set_job(42);
+    s.set_round(7);
+    s.set_config_fp(0xdeadbeefULL);
+    s.set_note("cache_hit");
+  }
+  set_tracing_enabled(false);
+  auto events = drain_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].job_id, 42u);
+  EXPECT_EQ(events[0].round, 7u);
+  EXPECT_EQ(events[0].config_fp, 0xdeadbeefULL);
+  EXPECT_STREQ(events[0].note, "cache_hit");
+}
+
+TEST_F(TelemetryTest, RecordSpanEventCarriesContextAndArgs) {
+  set_tracing_enabled(true);
+  TraceContext ctx = make_trace_context();
+  EventArgs args;
+  args.job_id = 9;
+  args.note = "done";
+  record_span_event("test.retro", 1000, 500, ctx, 0x1234u, args);
+  set_tracing_enabled(false);
+  auto events = drain_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.retro");
+  EXPECT_EQ(events[0].start_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 500u);
+  EXPECT_EQ(events[0].trace_id_hi, ctx.trace_id_hi);
+  EXPECT_EQ(events[0].span_id, ctx.span_id);
+  EXPECT_EQ(events[0].parent_span_id, 0x1234u);
+  EXPECT_EQ(events[0].job_id, 9u);
+  EXPECT_STREQ(events[0].note, "done");
+}
+
+// Satellite regression: short-lived threads (one per server connection) must
+// not grow the buffer registry without bound, and events recorded by a
+// thread that has already exited must still be drainable.
+TEST_F(TelemetryTest, ThreadBufferTagsAreRecycledAcrossShortLivedThreads) {
+  set_tracing_enabled(true);
+  const std::size_t before = num_thread_buffers();
+  std::set<std::uint32_t> tags;
+  constexpr int kThreads = 32;
+  for (int i = 0; i < kThreads; ++i) {
+    std::thread t([&] {
+      tags.insert(thread_tag());
+      GLIMPSE_SPAN("test.short_lived");
+    });
+    t.join();  // sequential: each thread exits before the next starts
+  }
+  set_tracing_enabled(false);
+  // Sequential threads all reuse one recycled tag (LIFO free list), so the
+  // registry grew by at most one slot — not one per thread.
+  EXPECT_EQ(tags.size(), 1u);
+  EXPECT_LE(num_thread_buffers(), before + 1);
+  // Every exited thread's span survived in the adopted buffer.
+  std::size_t recorded = 0;
+  for (const auto& e : drain_events())
+    if (std::string_view(e.name) == "test.short_lived") ++recorded;
+  EXPECT_EQ(recorded, static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TelemetryTest, JsonlTraceExportCarriesMetaAndIds) {
+  set_tracing_enabled(true);
+  TraceContext ctx = make_trace_context();
+  {
+    ScopedTraceContext scope(ctx);
+    GLIMPSE_SPAN("test.jsonl_span");
+  }
+  set_tracing_enabled(false);
+  std::ostringstream os;
+  write_trace_jsonl(os, snapshot_events());
+
+  std::vector<Json> lines;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty()) lines.push_back(JsonReader(line).parse());
+  ASSERT_GE(lines.size(), 2u);
+  const Json& meta = lines[0];
+  EXPECT_EQ(meta.at("name").str, "trace_meta");
+  EXPECT_EQ(meta.at("ph").str, "M");
+  EXPECT_GT(meta.at("pid").num, 0.0);
+  EXPECT_GT(meta.at("args").at("base_unix_ns").num, 0.0);
+  bool found = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Json& e = lines[i];
+    if (e.at("name").str != "test.jsonl_span") continue;
+    found = true;
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_EQ(e.at("args").at("trace_id").str.size(), 32u);
+    EXPECT_EQ(e.at("args").at("span_id").str.size(), 16u);
+  }
+  EXPECT_TRUE(found);
+}
+
 // ---- histogram math --------------------------------------------------------
 
 TEST_F(TelemetryTest, HistogramBucketsAndExactBoundaryPercentiles) {
@@ -431,24 +625,32 @@ TEST_F(TelemetryTest, ChromeTraceExportParsesBack) {
 
   Json root = JsonReader(os.str()).parse();
   EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
+  EXPECT_GE(root.at("pid").num, 1.0);
+  EXPECT_GT(root.at("baseUnixNs").num, 0.0);
   const auto& events = root.at("traceEvents").arr;
-  ASSERT_EQ(events.size(), 2u);
-  // Export order is (tid, start): the outer span leads despite closing last.
-  EXPECT_EQ(events[0].at("name").str, "test.export_outer");
-  EXPECT_EQ(events[1].at("name").str, "test.export_inner");
-  for (const auto& e : events) {
-    EXPECT_EQ(e.at("ph").str, "X");
-    EXPECT_EQ(e.at("cat").str, "glimpse");
-    EXPECT_GE(e.at("ts").num, 0.0);
-    EXPECT_GE(e.at("dur").num, 0.0);
-    ASSERT_TRUE(e.has("args"));
+  // Metadata records (process_name, one thread_name per tid) lead, then the
+  // X spans in (tid, start) order: the outer span despite closing last.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].at("ph").str, "M");
+  EXPECT_EQ(events[0].at("name").str, "process_name");
+  std::vector<const Json*> spans;
+  for (const auto& e : events)
+    if (e.at("ph").str == "X") spans.push_back(&e);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->at("name").str, "test.export_outer");
+  EXPECT_EQ(spans[1]->at("name").str, "test.export_inner");
+  for (const Json* e : spans) {
+    EXPECT_EQ(e->at("cat").str, "glimpse");
+    EXPECT_GE(e->at("ts").num, 0.0);
+    EXPECT_GE(e->at("dur").num, 0.0);
+    ASSERT_TRUE(e->has("args"));
   }
-  EXPECT_DOUBLE_EQ(events[0].at("args").at("depth").num, 0.0);
-  EXPECT_DOUBLE_EQ(events[1].at("args").at("depth").num, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0]->at("args").at("depth").num, 0.0);
+  EXPECT_DOUBLE_EQ(spans[1]->at("args").at("depth").num, 1.0);
   // The inner interval sits within the outer one (µs, same clock).
-  EXPECT_GE(events[1].at("ts").num, events[0].at("ts").num);
-  EXPECT_LE(events[1].at("ts").num + events[1].at("dur").num,
-            events[0].at("ts").num + events[0].at("dur").num + 1e-3);
+  EXPECT_GE(spans[1]->at("ts").num, spans[0]->at("ts").num);
+  EXPECT_LE(spans[1]->at("ts").num + spans[1]->at("dur").num,
+            spans[0]->at("ts").num + spans[0]->at("dur").num + 1e-3);
 }
 
 TEST_F(TelemetryTest, MetricsJsonlExportParsesBack) {

@@ -9,7 +9,12 @@ Checks three file shapes, selected by content sniffing (or forced with
                     {"name", "serial_ms", "parallel_ms", "speedup"}, ...]}
   * trace      -- Chrome trace-event JSON written via GLIMPSE_TRACE:
                   {"traceEvents": [{"name", "ph", "ts", ...}, ...]};
-                  "X" (complete) events must also carry "dur".
+                  "X" (complete) events must also carry "dur". A
+                  GLIMPSE_TRACE path ending in .jsonl instead holds JSONL
+                  segments ("trace_meta" metadata line, then one event
+                  object per line) — both shapes validate under this kind,
+                  including distributed-trace id formats (trace_id 32 hex,
+                  span ids 16 hex) when present.
   * metrics    -- JSONL written via GLIMPSE_METRICS: one object per line,
                   each with "name" and "type" (counter | gauge | histogram);
                   histograms carry count/sum/min/max/p50/p90/p99/buckets.
@@ -223,6 +228,18 @@ def check_service(doc: object, name: str) -> int:
                  f"{where}: more settled jobs than accepted")
         _require(s["cache_hits"] >= 0, f"{where}: negative cache_hits")
         _require(s["wall_ms"] >= 0, f"{where}: negative wall_ms")
+    if "tracing_overhead" in doc:
+        where = f"{name}: tracing_overhead"
+        t = doc["tracing_overhead"]
+        _require_keys(t, {"requests": int, "off_us_per_req": NUMBER,
+                          "on_us_per_req": NUMBER,
+                          "overhead_us_per_req": NUMBER,
+                          "traced_spans": int}, where)
+        _require(t["requests"] >= 1, f"{where}: requests < 1")
+        _require(t["off_us_per_req"] >= 0, f"{where}: negative off latency")
+        _require(t["on_us_per_req"] >= 0, f"{where}: negative on latency")
+        # overhead_us_per_req may dip below zero on a noisy host; no check.
+        _require(t["traced_spans"] >= 0, f"{where}: negative traced_spans")
     return len(doc["scenarios"])
 
 
@@ -262,18 +279,74 @@ def check_journal_lines(lines: list[str], name: str) -> int:
     return n
 
 
+def _check_span_ids(args: object, where: str) -> None:
+    """Distributed-trace id formats, when the event carries them."""
+    if not isinstance(args, dict):
+        return
+    for key, width in (("trace_id", 32), ("span_id", 16),
+                       ("parent_span_id", 16)):
+        if key not in args:
+            continue
+        v = args[key]
+        _require(isinstance(v, str) and len(v) == width
+                 and all(c in "0123456789abcdef" for c in v),
+                 f"{where}: '{key}' must be {width} lowercase hex chars")
+    if "trace_id" in args:
+        _require(set(args["trace_id"]) != {"0"},
+                 f"{where}: all-zero trace_id")
+
+
+def _check_x_event(e: dict, where: str) -> None:
+    _require_keys(e, {"name": str, "ph": str, "ts": NUMBER}, where)
+    _require(e["ts"] >= 0, f"{where}: negative ts")
+    _require(e["ts"] < 1e15, f"{where}: implausible ts (wrapped clock?)")
+    if e["ph"] == "X":
+        _require_keys(e, {"dur": NUMBER}, where)
+        _require(e["dur"] >= 0, f"{where}: negative dur")
+        _check_span_ids(e.get("args"), where)
+
+
 def check_trace(doc: object, name: str) -> int:
     _require_keys(doc, {"traceEvents": list}, name)
     events = doc["traceEvents"]
     _require(len(events) > 0, f"{name}: empty traceEvents")
     for i, e in enumerate(events):
-        where = f"{name}: traceEvents[{i}]"
-        _require_keys(e, {"name": str, "ph": str, "ts": NUMBER}, where)
-        _require(e["ts"] >= 0, f"{where}: negative ts")
-        if e["ph"] == "X":
-            _require_keys(e, {"dur": NUMBER}, where)
-            _require(e["dur"] >= 0, f"{where}: negative dur")
+        _check_x_event(e, f"{name}: traceEvents[{i}]")
     return len(events)
+
+
+def check_trace_lines(lines: list[str], name: str) -> int:
+    """JSONL trace segments (GLIMPSE_TRACE=<path>.jsonl, appendable)."""
+    n = 0
+    in_segment = False
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{name}:{lineno}"
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{where}: bad JSON ({exc})") from exc
+        _require(isinstance(e, dict), f"{where}: expected an object")
+        if e.get("name") == "trace_meta":
+            _require(e.get("ph") == "M", f"{where}: trace_meta must be 'M'")
+            args = e.get("args")
+            _require(isinstance(args, dict), f"{where}: trace_meta needs args")
+            _require_keys(args, {"process": str, "base_unix_ns": int},
+                          f"{where}: trace_meta args")
+            in_segment = True
+            continue
+        _require(in_segment,
+                 f"{where}: event before any trace_meta segment header")
+        _require(e.get("ph") in ("X", "M"),
+                 f"{where}: unexpected phase '{e.get('ph')}'")
+        _check_x_event(e, where)
+        if e["ph"] == "X":
+            n += 1
+    _require(in_segment, f"{name}: no trace_meta segment header")
+    _require(n > 0, f"{name}: no span events")
+    return n
 
 
 def check_metrics_lines(lines: list[str], name: str) -> int:
@@ -323,6 +396,8 @@ def sniff_kind(text: str) -> str:
         doc = json.loads(first_line)
         if isinstance(doc, dict) and "step" in doc and "config" in doc:
             return "journal"
+        if isinstance(doc, dict) and "ph" in doc:
+            return "trace"  # JSONL trace segment (trace_meta or event line)
         if isinstance(doc, dict) and "name" in doc and "type" in doc:
             return "metrics"
     except json.JSONDecodeError:
@@ -354,8 +429,15 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False) -> str:
         n = check_bench(json.loads(text), str(path))
         return f"bench json, {n} path(s)"
     if kind == "trace":
-        n = check_trace(json.loads(text), str(path))
-        return f"chrome trace, {n} event(s)"
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            n = check_trace(doc, str(path))
+            return f"chrome trace, {n} event(s)"
+        n = check_trace_lines(text.splitlines(), str(path))
+        return f"trace jsonl, {n} span(s)"
     if kind == "metrics":
         n = check_metrics_lines(text.splitlines(), str(path))
         return f"metrics jsonl, {n} metric(s)"
@@ -411,6 +493,26 @@ VALID_TRACE = {
          "tid": 1, "ts": 10.0, "dur": 50.0, "args": {"depth": 1}},
     ],
 }
+
+VALID_TRACE_JSONL = "\n".join([
+    json.dumps({"name": "trace_meta", "ph": "M", "pid": 17, "ts": 0,
+                "args": {"process": "glimpse_client",
+                         "base_unix_ns": 1754600000000000000}}),
+    json.dumps({"name": "client.request", "cat": "glimpse", "ph": "X",
+                "pid": 17, "tid": 0, "ts": 12.5, "dur": 800.0,
+                "args": {"depth": 0,
+                         "trace_id": "118d627ac8387f2ece243bda5e27a40b",
+                         "span_id": "a4871a5c829f593c", "note": "submit"}}),
+    json.dumps({"name": "trace_meta", "ph": "M", "pid": 19, "ts": 0,
+                "args": {"process": "glimpsed",
+                         "base_unix_ns": 1754600000000100000}}),
+    json.dumps({"name": "server.request", "cat": "glimpse", "ph": "X",
+                "pid": 19, "tid": 1, "ts": 40.0, "dur": 35.0,
+                "args": {"depth": 0,
+                         "trace_id": "118d627ac8387f2ece243bda5e27a40b",
+                         "span_id": "670c7d0bd5ef0a71",
+                         "parent_span_id": "a4871a5c829f593c"}}),
+])
 
 VALID_FAULTS = {
     "max_trials": 96,
@@ -489,6 +591,22 @@ def selftest() -> int:
         ("trace with string ts", "trace",
          json.dumps({"traceEvents": [{"name": "a", "ph": "X", "ts": "0",
                                       "dur": 1.0}]}), False),
+        ("valid trace jsonl", None, VALID_TRACE_JSONL, True),
+        ("trace jsonl sniffs without forced kind", None,
+         VALID_TRACE_JSONL, True),
+        ("trace jsonl event before meta", "trace",
+         "\n".join(VALID_TRACE_JSONL.splitlines()[1:]), False),
+        ("trace jsonl short trace_id", "trace",
+         VALID_TRACE_JSONL.replace("118d627ac8387f2ece243bda5e27a40b",
+                                   "118d"), False),
+        ("trace jsonl uppercase span_id", "trace",
+         VALID_TRACE_JSONL.replace("a4871a5c829f593c",
+                                   "A4871A5C829F593C"), False),
+        ("trace jsonl wrapped timestamp", "trace",
+         VALID_TRACE_JSONL.replace('"ts": 40.0',
+                                   '"ts": 18446744073709552.0'), False),
+        ("trace jsonl meta missing base", "trace",
+         VALID_TRACE_JSONL.replace('"base_unix_ns"', '"nope"'), False),
         ("metrics line missing type", "metrics",
          json.dumps({"name": "x", "value": 1}), False),
         ("metrics bucket sum mismatch", "metrics",
@@ -536,6 +654,14 @@ def selftest() -> int:
          json.dumps(dict(VALID_SERVICE, scenarios=[
              {k: v for k, v in VALID_SERVICE["scenarios"][0].items()
               if k != "results_identical"}])), False),
+        ("service tracing overhead accepted", "service",
+         json.dumps(dict(VALID_SERVICE, tracing_overhead={
+             "requests": 2000, "off_us_per_req": 11.5, "on_us_per_req": 12.75,
+             "overhead_us_per_req": 1.25, "traced_spans": 8000})), True),
+        ("service tracing overhead negative latency", "service",
+         json.dumps(dict(VALID_SERVICE, tracing_overhead={
+             "requests": 2000, "off_us_per_req": -1.0, "on_us_per_req": 12.75,
+             "overhead_us_per_req": 13.75, "traced_spans": 8000})), False),
         ("speedup gate passes on capable hardware", "speedup",
          json.dumps(GATED_BENCH), True),
         ("speedup gate catches a matmul regression", "speedup",

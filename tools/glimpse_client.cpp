@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/telemetry/export.hpp"
 #include "service/client.hpp"
 
 namespace {
@@ -63,10 +64,31 @@ int print_and_exit_code(const glimpse::service::Response& r) {
   return exit_code(r);
 }
 
+/// Human-readable load summary for `stats`, on stderr so stdout stays one
+/// scriptable JSON line.
+void print_stats_summary(const glimpse::service::Response& r) {
+  if (r.type != glimpse::service::ResponseType::kStats) return;
+  const glimpse::service::ServiceStats& s = r.stats;
+  std::cerr << "queue_depth=" << s.queue_depth << " running=" << s.running
+            << " jobs_inflight=" << s.jobs_inflight << "\n"
+            << "admitted priority: high=" << s.admitted_prio_high
+            << " normal=" << s.admitted_prio_normal
+            << " low=" << s.admitted_prio_low << "\n";
+}
+
+/// Flushes span buffers to GLIMPSE_TRACE (JSONL segments append, so every
+/// client invocation adds to the same file) on every return from main.
+/// usage() exits via std::exit and skips it: no request was ever traced.
+struct TelemetryFlusher {
+  ~TelemetryFlusher() { glimpse::telemetry::export_to_env_paths(); }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace glimpse::service;
+  glimpse::telemetry::set_process_label("glimpse_client");
+  TelemetryFlusher telemetry_flusher;
 
   std::string unix_path;
   std::string tcp_host = "127.0.0.1";
@@ -104,7 +126,11 @@ int main(int argc, char** argv) {
                                       : Client::connect_unix(unix_path);
 
     if (command == "ping") return print_and_exit_code(client.ping());
-    if (command == "stats") return print_and_exit_code(client.stats());
+    if (command == "stats") {
+      Response r = client.stats();
+      print_stats_summary(r);
+      return print_and_exit_code(r);
+    }
     if (command == "drain") return print_and_exit_code(client.drain());
     if (command == "shutdown") return print_and_exit_code(client.shutdown());
 

@@ -40,6 +40,7 @@
 
 #include <unistd.h>
 
+#include "common/telemetry/export.hpp"
 #include "service/server.hpp"
 #include "service/session_manager.hpp"
 #include "tuning/scheduler.hpp"
@@ -67,6 +68,7 @@ void on_signal(int) {
 
 int main(int argc, char** argv) {
   using namespace glimpse;
+  telemetry::set_process_label("glimpsed");
 
   service::SessionManagerOptions mopts;
   mopts.slots = tuning::scheduler_slots_from_env(4);
@@ -142,6 +144,10 @@ int main(int argc, char** argv) {
     ssize_t ignored = ::write(g_signal_pipe[1], &b, 1);
     (void)ignored;
     signal_thread.join();
+    // Graceful shutdown is a quiescent point: every connection thread and
+    // the worker have joined, so the span buffers are safe to flush.
+    for (const std::string& path : telemetry::export_to_env_paths())
+      std::cerr << "glimpsed: telemetry written to " << path << "\n";
   } catch (const std::exception& e) {
     std::cerr << "glimpsed: " << e.what() << "\n";
     return 1;
