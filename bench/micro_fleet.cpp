@@ -1,0 +1,306 @@
+// Fleet scaling bench: the same job mix against 1, 2, and 4 glimpsed
+// shards, placed by the client-side ShardRing exactly as a fleet client
+// would (the hot path bypasses the router; the router is control-plane).
+//
+// Method: a warm-up pass runs every job once against a single shard with a
+// shared cache directory, recording the reference decisions and filling
+// the shared tier. Each measured point then boots N fresh shards against
+// that warm tier (their constructors sync it), places every job with the
+// ring, and times submit-to-settle for the whole mix. Cache-warm, the
+// measured cost is the serving stack itself — protocol framing, queue,
+// scheduler rounds, cache lookups — which is what must scale with shards.
+//
+// Acceptance (checked in-binary, and by check_bench_json --kind fleet):
+//   * every point completes every job, decisions bit-identical to the
+//     single-shard reference (sharding must not change results);
+//   * aggregate jobs/sec at 4 shards vs 1 is reported as scaling_4v1; the
+//     CI gate (--check-fleet-scaling) requires >= 3.0 on hosts with >= 4
+//     cores and skips elsewhere, so the number is recorded either way.
+//
+// Results go to stdout and BENCH_fleet.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/session_manager.hpp"
+#include "service/shard_ring.hpp"
+
+namespace {
+
+using namespace glimpse;
+using service::Client;
+using service::JobSpec;
+using service::JobSummary;
+using service::Response;
+using service::ResponseType;
+using service::ShardRing;
+
+constexpr std::uint64_t kMaxTrials = 16;
+constexpr std::size_t kJobs = 48;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Distinct (task, gpu, seed) triples spread across 4 GPUs x 12 tasks so
+/// the ring has real variety to place.
+std::vector<JobSpec> workload() {
+  static const char* kGpus[] = {"Titan Xp", "RTX 2070 Super", "RTX 2080 Ti",
+                                "RTX 3090"};
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.tuner = "random";
+    spec.model = "resnet18";
+    spec.task_index = i % 12;
+    spec.gpu = kGpus[i % 4];
+    spec.seed = 7000 + i;
+    spec.max_trials = kMaxTrials;
+    spec.batch_size = 8;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+/// One in-process shard: manager + server on a fresh Unix socket.
+struct Shard {
+  Shard(const std::string& name, const std::string& cache_dir, int index)
+      : sock("/tmp/glimpse_micro_fleet_" + std::to_string(::getpid()) + "_" +
+             std::to_string(index) + "_" + name + ".sock") {
+    service::SessionManagerOptions mopts;
+    mopts.slots = 1;  // scaling must come from shard count, not slots
+    mopts.cache_shared_dir = cache_dir;
+    mopts.shard_name = name;
+    manager = std::make_unique<service::SessionManager>(mopts);
+    server = std::make_unique<service::Server>(
+        *manager, service::ServerOptions{sock, -1});
+    server->start();
+  }
+  ~Shard() { server->stop(); }
+
+  std::string sock;
+  std::unique_ptr<service::SessionManager> manager;
+  std::unique_ptr<service::Server> server;
+};
+
+struct ShardStats {
+  std::string shard;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+struct Point {
+  std::size_t daemons = 0;
+  double wall_ms = 0.0;
+  double jobs_per_s = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  bool decisions_identical = true;
+  std::vector<ShardStats> per_shard;
+};
+
+/// Key a job by its identity axes (ids differ per deployment).
+std::uint64_t job_key(const JobSpec& s) { return s.seed; }
+
+Point run_point(std::size_t daemons, int index, const std::string& cache_dir,
+                const std::vector<JobSpec>& jobs,
+                const std::map<std::uint64_t, JobSummary>& reference) {
+  Point p;
+  p.daemons = daemons;
+
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::map<std::string, std::size_t> by_name;
+  for (std::size_t i = 0; i < daemons; ++i) {
+    names.push_back("p" + std::to_string(index) + "s" + std::to_string(i));
+    by_name[names.back()] = i;
+    shards.push_back(std::make_unique<Shard>(names.back(), cache_dir,
+                                             index * 8 + static_cast<int>(i)));
+  }
+  ShardRing ring(names);
+
+  // One client thread per shard, each driving exactly the jobs the ring
+  // places there: submit everything, then wait every result.
+  std::vector<std::vector<const JobSpec*>> assigned(daemons);
+  for (const JobSpec& j : jobs)
+    assigned[by_name[ring.node_for_job(j)]].push_back(&j);
+
+  std::vector<std::vector<JobSummary>> settled(daemons);
+  const double t0 = now_ms();
+  std::vector<std::thread> threads;
+  for (std::size_t s = 0; s < daemons; ++s) {
+    threads.emplace_back([&, s] {
+      Client client = Client::connect_unix(shards[s]->sock);
+      std::vector<std::uint64_t> ids;
+      for (const JobSpec* spec : assigned[s]) {
+        Response r = client.submit("bench", 0, *spec);
+        if (r.type == ResponseType::kAccepted) ids.push_back(r.job_id);
+      }
+      for (std::uint64_t id : ids) {
+        Response done = client.result(id, /*wait=*/true);
+        if (done.type == ResponseType::kResult)
+          settled[s].push_back(done.summary);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  p.wall_ms = now_ms() - t0;
+
+  for (std::size_t s = 0; s < daemons; ++s)
+    p.completed += settled[s].size();
+
+  // Bit-identity against the reference, matched by submission order (each
+  // shard settles its own jobs in its own id order = submission order).
+  p.decisions_identical = p.completed == jobs.size();
+  for (std::size_t s = 0; s < daemons; ++s) {
+    if (settled[s].size() != assigned[s].size()) {
+      p.decisions_identical = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < settled[s].size(); ++i) {
+      const JobSummary& got = settled[s][i];
+      auto it = reference.find(job_key(*assigned[s][i]));
+      if (it == reference.end()) {
+        p.decisions_identical = false;
+        continue;
+      }
+      const JobSummary& want = it->second;
+      p.decisions_identical = p.decisions_identical && got.state == "done" &&
+                              got.trials == want.trials &&
+                              got.faulted == want.faulted &&
+                              got.best_gflops == want.best_gflops &&  // bits
+                              got.best_config == want.best_config;
+    }
+  }
+
+  for (std::size_t s = 0; s < daemons; ++s) {
+    Client c = Client::connect_unix(shards[s]->sock);
+    Response stats = c.stats();
+    ShardStats ss;
+    ss.shard = names[s];
+    ss.completed = stats.stats.completed;
+    ss.cache_hits = stats.stats.cache_hits;
+    p.cache_hits += ss.cache_hits;
+    p.per_shard.push_back(ss);
+  }
+  p.jobs_per_s = p.wall_ms > 0.0
+                     ? static_cast<double>(p.completed) * 1000.0 / p.wall_ms
+                     : 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_fleet: sharded glimpsed scaling ===\n\n");
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::vector<JobSpec> jobs = workload();
+
+  const std::string cache_dir =
+      "/tmp/glimpse_micro_fleet_cache_" + std::to_string(::getpid());
+  std::filesystem::remove_all(cache_dir);
+
+  // Warm-up pass: fill the shared tier and record reference decisions.
+  std::map<std::uint64_t, JobSummary> reference;
+  {
+    Shard warm("warm", cache_dir, 99);
+    Client client = Client::connect_unix(warm.sock);
+    double t0 = now_ms();
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : jobs) {
+      Response r = client.submit("warm", 0, spec);
+      if (r.type == ResponseType::kAccepted) ids.push_back(r.job_id);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Response done = client.result(ids[i], /*wait=*/true);
+      if (done.type == ResponseType::kResult)
+        reference[job_key(jobs[i])] = done.summary;
+    }
+    std::printf("warm-up          %zu jobs  wall %8.1f ms (cache-cold)\n",
+                reference.size(), now_ms() - t0);
+  }
+  if (reference.size() != jobs.size()) {
+    std::printf("warm-up failed to settle every job\n");
+    return 1;
+  }
+
+  std::vector<Point> points;
+  for (std::size_t daemons : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    points.push_back(run_point(daemons, static_cast<int>(points.size()),
+                               cache_dir, jobs, reference));
+    const Point& p = points.back();
+    std::printf(
+        "daemons %zu        %llu jobs  wall %8.1f ms  %8.1f jobs/s"
+        "  hits %llu  identical %s\n",
+        p.daemons, static_cast<unsigned long long>(p.completed), p.wall_ms,
+        p.jobs_per_s, static_cast<unsigned long long>(p.cache_hits),
+        p.decisions_identical ? "yes" : "NO");
+  }
+
+  const double scaling_4v1 = points.front().jobs_per_s > 0.0
+                                 ? points.back().jobs_per_s /
+                                       points.front().jobs_per_s
+                                 : 0.0;
+  bool identical = true;
+  bool complete = true;
+  for (const Point& p : points) {
+    identical = identical && p.decisions_identical;
+    complete = complete && p.completed == jobs.size();
+  }
+  std::printf("\nscaling 4v1: %.2fx on %u cores\n", scaling_4v1, cores);
+  std::printf("acceptance (all jobs settle, decisions bit-identical across "
+              "shard counts): %s\n",
+              identical && complete ? "PASS" : "FAIL");
+
+  const char* out_path = "BENCH_fleet.json";
+  if (std::ofstream f{out_path}) {
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.kv("hardware_concurrency", static_cast<std::uint64_t>(cores));
+    jw.kv("jobs", static_cast<std::uint64_t>(kJobs));
+    jw.kv("max_trials", kMaxTrials);
+    jw.key("points");
+    jw.begin_array();
+    for (const Point& p : points) {
+      jw.begin_object();
+      jw.kv("daemons", static_cast<std::uint64_t>(p.daemons));
+      jw.kv_fixed("wall_ms", p.wall_ms, 3);
+      jw.kv_fixed("jobs_per_s", p.jobs_per_s, 3);
+      jw.kv("completed", p.completed);
+      jw.kv("cache_hits", p.cache_hits);
+      jw.key("per_shard");
+      jw.begin_array();
+      for (const ShardStats& ss : p.per_shard) {
+        jw.begin_object();
+        jw.kv("shard", ss.shard);
+        jw.kv("completed", ss.completed);
+        jw.kv("cache_hits", ss.cache_hits);
+        jw.end_object();
+      }
+      jw.end_array();
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.kv_fixed("scaling_4v1", scaling_4v1, 3);
+    jw.kv("decisions_identical", identical);
+    jw.end_object();
+    jw.done();
+    std::printf("wrote %s\n", out_path);
+  }
+  std::filesystem::remove_all(cache_dir);
+  return identical && complete ? 0 : 1;
+}

@@ -60,12 +60,15 @@ Client Client::connect_tcp(const std::string& host, int port) {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      auth_(std::move(other.auth_)),
+      buffer_(std::move(other.buffer_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    auth_ = std::move(other.auth_);
     buffer_ = std::move(other.buffer_);
   }
   return *this;
@@ -75,8 +78,17 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Request Client::decorate(const Request& req) const {
+  Request wired = req;
+  if (wired.auth.empty()) wired.auth = auth_;
+  if (telemetry::tracing_enabled())
+    wired.traceparent =
+        telemetry::to_traceparent(telemetry::current_trace_context());
+  return wired;
+}
+
 Response Client::call(const Request& req) {
-  if (!telemetry::tracing_enabled()) return call_impl(req);
+  if (!telemetry::tracing_enabled()) return call_impl(decorate(req));
   // Client-side request span: the root of the distributed trace (or a child
   // of the caller's ambient context). The traceparent sent on the wire names
   // this span, so daemon-side spans stitch underneath it.
@@ -88,12 +100,37 @@ Response Client::call(const Request& req) {
   telemetry::ScopedTraceContext scope(ctx);
   telemetry::Span span("client.request");
   span.set_note(to_string(req.type).data());
-  Request wired = req;
-  wired.traceparent = telemetry::to_traceparent(telemetry::current_trace_context());
-  return call_impl(wired);
+  return call_impl(decorate(req));
+}
+
+Response Client::subscribe(
+    std::uint64_t job_id, const std::function<void(const Response&)>& on_update) {
+  Request req;
+  req.type = RequestType::kSubscribe;
+  req.job_id = job_id;
+  // Same span discipline as call(), held across the whole stream.
+  telemetry::TraceContext ctx = telemetry::current_trace_context();
+  if (telemetry::tracing_enabled() && !ctx.valid()) {
+    ctx = telemetry::make_trace_context();
+    ctx.span_id = 0;
+  }
+  telemetry::ScopedTraceContext scope(ctx);
+  telemetry::Span span("client.request");
+  span.set_note("subscribe");
+  send_request(decorate(req));
+  while (true) {
+    Response r = read_response();
+    if (r.type != ResponseType::kStatus) return r;  // kResult or kError
+    if (on_update) on_update(r);
+  }
 }
 
 Response Client::call_impl(const Request& req) {
+  send_request(req);
+  return read_response();
+}
+
+void Client::send_request(const Request& req) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
   const std::string payload = encode_request(req) + "\n";
   std::size_t off = 0;
@@ -106,7 +143,10 @@ Response Client::call_impl(const Request& req) {
     }
     off += static_cast<std::size_t>(n);
   }
+}
 
+Response Client::read_response() {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
   while (true) {
     std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "service/protocol.hpp"
@@ -23,10 +24,25 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// Shared-secret token attached to every request this client sends
+  /// (protocol v3). Empty (the default) sends none.
+  void set_auth(std::string token) { auth_ = std::move(token); }
+
+  /// Underlying socket fd (-1 when disconnected). The Router uses it to
+  /// shutdown() in-flight upstream calls from another thread on stop().
+  int native_handle() const { return fd_; }
+
   /// Send one request, read one response. Throws on transport failure or
   /// an unparseable response; protocol-level errors come back as a normal
   /// Response of type kError / kRejected.
   Response call(const Request& req);
+
+  /// v3 push streaming: subscribe to `job_id` and invoke `on_update` for
+  /// every interim kStatus the daemon pushes; returns the final response
+  /// (kResult, or kError for unknown ids / daemon stop). A null callback
+  /// just drains to the final response. Throws on transport failure.
+  Response subscribe(std::uint64_t job_id,
+                     const std::function<void(const Response&)>& on_update = {});
 
   // Convenience wrappers around call().
   Response ping();
@@ -46,8 +62,14 @@ class Client {
   /// response line. call() wraps this with the client-side request span and
   /// traceparent injection when tracing is enabled.
   Response call_impl(const Request& req);
+  void send_request(const Request& req);
+  Response read_response();
+  /// Inject the stored auth token (and, under tracing, the ambient
+  /// traceparent) into an outgoing request.
+  Request decorate(const Request& req) const;
 
   int fd_ = -1;
+  std::string auth_;
   std::string buffer_;  ///< bytes received past the last response line
 };
 

@@ -456,6 +456,23 @@ bool get_version(const JsonValue& obj, int& out, std::string& error) {
   return true;
 }
 
+/// Optional "auth" member (v3): absent is fine (unauthenticated peers);
+/// when present it must be a non-empty token of sane length.
+bool get_auth(const JsonValue& obj, std::string& out, std::string& error) {
+  const JsonValue* v = find(obj, "auth");
+  if (!v) return true;
+  if (v->kind != JsonValue::kString) {
+    error = "key 'auth' must be a string";
+    return false;
+  }
+  if (v->s.empty() || v->s.size() > 256) {
+    error = "key 'auth' has bad length";
+    return false;
+  }
+  out = v->s;
+  return true;
+}
+
 /// Optional "traceparent" member: absent is fine (v1 peers, untraced
 /// requests); when present it must be a well-formed W3C traceparent.
 bool get_traceparent(const JsonValue& obj, std::string& out, std::string& error) {
@@ -579,8 +596,9 @@ bool parse_stats(const JsonValue& obj, ServiceStats& out, std::string& error) {
                   {"queue_depth", "running", "jobs_inflight",
                    "admitted_prio_high", "admitted_prio_normal",
                    "admitted_prio_low", "submitted", "completed", "cancelled",
-                   "failed", "rejected", "resumed", "slots", "cache_enabled",
-                   "cache_hits", "cache_inserts", "shared_hits", "draining"},
+                   "failed", "rejected", "quota_rejections", "resumed", "slots",
+                   "cache_enabled", "cache_hits", "cache_inserts",
+                   "shared_hits", "draining"},
                   error))
     return false;
   ServiceStats s;
@@ -605,6 +623,10 @@ bool parse_stats(const JsonValue& obj, ServiceStats& out, std::string& error) {
   if (!get_u64(obj, "cancelled", s.cancelled, 0, kMax, error)) return false;
   if (!get_u64(obj, "failed", s.failed, 0, kMax, error)) return false;
   if (!get_u64(obj, "rejected", s.rejected, 0, kMax, error)) return false;
+  // v3 addition; optional so v1/v2 stats payloads still parse.
+  if (!get_u64(obj, "quota_rejections", s.quota_rejections, 0, kMax, error,
+               /*required=*/false))
+    return false;
   if (!get_u64(obj, "resumed", s.resumed, 0, kMax, error)) return false;
   if (!get_u64(obj, "slots", s.slots, 0, kMax, error)) return false;
   if (!get_bool(obj, "cache_enabled", s.cache_enabled, error)) return false;
@@ -629,6 +651,7 @@ void write_stats(JsonWriter& w, const ServiceStats& s) {
   w.kv("cancelled", s.cancelled);
   w.kv("failed", s.failed);
   w.kv("rejected", s.rejected);
+  w.kv("quota_rejections", s.quota_rejections);
   w.kv("resumed", s.resumed);
   w.kv("slots", s.slots);
   w.kv("cache_enabled", s.cache_enabled);
@@ -648,6 +671,7 @@ std::string_view to_string(RequestType t) {
     case RequestType::kStatus: return "status";
     case RequestType::kResult: return "result";
     case RequestType::kCancel: return "cancel";
+    case RequestType::kSubscribe: return "subscribe";
     case RequestType::kStats: return "stats";
     case RequestType::kDrain: return "drain";
     case RequestType::kShutdown: return "shutdown";
@@ -685,6 +709,7 @@ std::string encode_request(const Request& r) {
         break;
       case RequestType::kStatus:
       case RequestType::kCancel:
+      case RequestType::kSubscribe:
         w.kv("job_id", r.job_id);
         break;
       case RequestType::kResult:
@@ -693,6 +718,7 @@ std::string encode_request(const Request& r) {
         break;
       default: break;  // ping / stats / drain / shutdown carry no payload
     }
+    if (!r.auth.empty()) w.kv("auth", r.auth);
     if (!r.traceparent.empty()) w.kv("traceparent", r.traceparent);
     w.end_object();
   }
@@ -743,17 +769,21 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
   }
   Request r;
   if (!get_version(root, r.version, error)) return false;
+  if (!get_auth(root, r.auth, error)) return false;
   if (!get_traceparent(root, r.traceparent, error)) return false;
   std::string type;
   if (!get_string(root, "type", type, 16, false, error)) return false;
   if (type == "ping" || type == "stats" || type == "drain" || type == "shutdown") {
-    if (!check_keys(root, {"v", "type", "traceparent"}, error)) return false;
+    if (!check_keys(root, {"v", "type", "auth", "traceparent"}, error))
+      return false;
     r.type = type == "ping"    ? RequestType::kPing
              : type == "stats" ? RequestType::kStats
              : type == "drain" ? RequestType::kDrain
                                : RequestType::kShutdown;
   } else if (type == "submit") {
-    if (!check_keys(root, {"v", "type", "client", "priority", "job", "traceparent"},
+    if (!check_keys(root,
+                    {"v", "type", "client", "priority", "job", "auth",
+                     "traceparent"},
                     error))
       return false;
     r.type = RequestType::kSubmit;
@@ -765,13 +795,20 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
       return false;
     }
     if (!parse_job_spec(*job, r.job, error)) return false;
-  } else if (type == "status" || type == "cancel") {
-    if (!check_keys(root, {"v", "type", "job_id", "traceparent"}, error))
+  } else if (type == "status" || type == "cancel" || type == "subscribe") {
+    if (!check_keys(root, {"v", "type", "job_id", "auth", "traceparent"}, error))
       return false;
-    r.type = type == "status" ? RequestType::kStatus : RequestType::kCancel;
+    r.type = type == "status"   ? RequestType::kStatus
+             : type == "cancel" ? RequestType::kCancel
+                                : RequestType::kSubscribe;
+    if (r.type == RequestType::kSubscribe && r.version < 3) {
+      error = "'subscribe' requires protocol v3";
+      return false;
+    }
     if (!get_u64(root, "job_id", r.job_id, 0, UINT64_MAX, error)) return false;
   } else if (type == "result") {
-    if (!check_keys(root, {"v", "type", "job_id", "wait", "traceparent"}, error))
+    if (!check_keys(root, {"v", "type", "job_id", "wait", "auth", "traceparent"},
+                    error))
       return false;
     r.type = RequestType::kResult;
     if (!get_u64(root, "job_id", r.job_id, 0, UINT64_MAX, error)) return false;

@@ -7,7 +7,14 @@
 // speak rather than guessing. Version 2 added an optional "traceparent"
 // member (W3C trace context, common/telemetry/trace_context.hpp) to every
 // request and response; v1 messages simply omit it, and peers that do not
-// trace ignore it. The parser follows the repo's hardened-TextReader
+// trace ignore it. Version 3 added (all optional, so v1/v2 still parse):
+// an "auth" member on every request (shared-secret token, required by
+// daemons serving non-loopback TCP), the "subscribe" request type (the
+// server pushes a stream of "status" responses for the job on the same
+// connection, terminated by a final "result" — push streaming instead of
+// poll loops), and the "quota_rejections" stats counter (submissions
+// refused because the client exhausted its simulated-GPU-seconds quota).
+// The parser follows the repo's hardened-TextReader
 // discipline: strict grammar, explicit caps (line length, nesting depth,
 // string/array sizes), unknown or duplicate keys rejected, every numeric
 // field range-checked — a garbled or hostile line yields a parse error
@@ -24,9 +31,13 @@
 //   {"v":1,"type":"status","job_id":3}
 //   {"v":1,"type":"result","job_id":3,"wait":true}
 //   {"v":1,"type":"cancel","job_id":3}
+//   {"v":3,"type":"subscribe","job_id":3}
 //   {"v":1,"type":"stats"}
 //   {"v":1,"type":"drain"}
 //   {"v":1,"type":"shutdown"}
+//
+// Optional members appended to any request in canonical order:
+//   ...,"auth":"<token>","traceparent":"00-..."}
 //
 // Responses:
 //   {"v":1,"type":"pong"} / {"v":1,"type":"ok"}
@@ -44,7 +55,7 @@
 
 namespace glimpse::service {
 
-inline constexpr int kProtocolVersion = 2;
+inline constexpr int kProtocolVersion = 3;
 /// Oldest version still accepted (v1 = the pre-tracing wire format).
 inline constexpr int kMinProtocolVersion = 1;
 /// Hard cap on one protocol line (bytes, newline excluded). Connections
@@ -74,6 +85,7 @@ enum class RequestType {
   kStatus,
   kResult,
   kCancel,
+  kSubscribe,  ///< v3: push-stream status updates until the job settles
   kStats,
   kDrain,
   kShutdown,
@@ -86,8 +98,12 @@ struct Request {
   std::string client;         ///< submit: non-empty client identity
   std::int64_t priority = 0;  ///< submit: higher runs first, in [-100, 100]
   JobSpec job;                ///< submit
-  std::uint64_t job_id = 0;   ///< status / result / cancel
+  std::uint64_t job_id = 0;   ///< status / result / cancel / subscribe
   bool wait = false;          ///< result: block until the job settles
+  /// Optional shared-secret token (v3). A daemon started with an auth
+  /// token refuses every request that does not carry the matching value;
+  /// empty = unauthenticated (omitted on the wire).
+  std::string auth;
   /// Optional W3C traceparent ("00-…") propagating the client's trace
   /// context into the daemon; empty = not traced (omitted on the wire).
   std::string traceparent;
@@ -125,6 +141,9 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;
+  /// v3: submissions refused because the client's simulated-GPU-seconds
+  /// quota was exhausted (a subset of `rejected`).
+  std::uint64_t quota_rejections = 0;
   std::uint64_t resumed = 0;  ///< jobs recovered from the spool on restart
   std::uint64_t slots = 0;
   bool cache_enabled = false;

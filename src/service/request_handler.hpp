@@ -1,0 +1,37 @@
+// The seam between the socket front-end (server.hpp) and whatever answers
+// requests behind it. PR 5 hard-wired the Server to the SessionManager;
+// the fleet work needs a second implementation — the glimpse-router, which
+// answers the same wire protocol by forwarding to shards over a consistent
+// hash ring — so the dispatch is an interface now.
+//
+// `handle` may emit any number of responses for one request: exactly one
+// for the classic request/response types, a stream of interim "status"
+// responses terminated by a final "result"/"error" for v3 `subscribe`.
+// The emit callback returns false once the connection is gone; handlers
+// should stop emitting then. `handle`'s return value is the keep-open
+// decision for the connection (the Server itself still owns `shutdown`).
+#pragma once
+
+#include <functional>
+
+namespace glimpse::service {
+
+struct Request;
+struct Response;
+
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  using Emit = std::function<bool(const Response&)>;
+
+  /// Answer one parsed request by emitting responses. Returns whether the
+  /// connection should stay open.
+  virtual bool handle(const Request& req, const Emit& emit) = 0;
+
+  /// Release anything blocking inside handle() (waiters, upstreams) so
+  /// connection threads can be joined. Called from Server::stop().
+  virtual void stop() = 0;
+};
+
+}  // namespace glimpse::service

@@ -43,14 +43,14 @@ int make_listener_unix(const std::string& path) {
   return fd;
 }
 
-int make_listener_tcp(int port, int& bound_port) {
+int make_listener_tcp(int port, bool bind_any, int& bound_port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd);
@@ -73,16 +73,23 @@ int make_listener_tcp(int port, int& bound_port) {
 
 }  // namespace
 
+Server::Server(RequestHandler& handler, ServerOptions options)
+    : handler_(handler), options_(std::move(options)) {}
+
 Server::Server(SessionManager& manager, ServerOptions options)
-    : manager_(manager), options_(std::move(options)) {}
+    : Server(static_cast<RequestHandler&>(manager), std::move(options)) {}
 
 Server::~Server() { stop(); }
 
 void Server::start() {
+  if (options_.tcp_bind_any && options_.auth_token.empty())
+    throw std::invalid_argument(
+        "refusing to bind TCP on all interfaces without an auth token");
   if (::pipe(wake_pipe_) != 0) throw std::runtime_error("pipe failed");
   if (!options_.unix_path.empty()) unix_fd_ = make_listener_unix(options_.unix_path);
   if (options_.tcp_port >= 0)
-    tcp_fd_ = make_listener_tcp(options_.tcp_port, bound_tcp_port_);
+    tcp_fd_ = make_listener_tcp(options_.tcp_port, options_.tcp_bind_any,
+                                bound_tcp_port_);
   if (unix_fd_ < 0 && tcp_fd_ < 0)
     throw std::invalid_argument("server has no listeners configured");
   acceptor_ = std::thread(&Server::accept_loop, this);
@@ -100,9 +107,9 @@ void Server::stop() {
     stopping_ = true;
   }
   shutdown_cv_.notify_all();
-  // Stop the manager first: it wakes any connection thread blocked in
+  // Stop the handler first: it wakes any connection thread blocked in
   // result(wait=true)/drain so the socket shutdowns below can take effect.
-  manager_.stop();
+  handler_.stop();
   if (wake_pipe_[1] >= 0) {
     char b = 'x';
     ssize_t ignored = ::write(wake_pipe_[1], &b, 1);
@@ -172,6 +179,18 @@ bool Server::serve_line(int fd, const std::string& line) {
   std::string err;
   if (!parse_request(line, req, err))
     return send_all(fd, encode_response(error_response(err)) + "\n");
+  // Every response for this request echoes the traceparent so the client
+  // can correlate; the handler may emit several (v3 subscribe streams).
+  const RequestHandler::Emit emit = [&](const Response& r) {
+    Response out = r;
+    out.traceparent = req.traceparent;
+    return send_all(fd, encode_response(out) + "\n");
+  };
+  // Authentication gates everything below, shutdown included. A mismatch
+  // answers with an error and keeps the conversation open, same as a
+  // malformed line — a well-meaning client can retry with the right token.
+  if (!options_.auth_token.empty() && req.auth != options_.auth_token)
+    return emit(error_response("unauthorized"));
   // Adopt the client's trace context for the duration of this request: the
   // server.request span (and everything the handlers start underneath it,
   // down to per-attempt measurer spans) stitches under the client's request
@@ -182,42 +201,26 @@ bool Server::serve_line(int fd, const std::string& line) {
   telemetry::ScopedTraceContext trace_scope(inbound);
   telemetry::Span request_span("server.request");
   request_span.set_note(to_string(req.type).data());
-  Response resp;
-  bool keep_open = true;
   switch (req.type) {
-    case RequestType::kPing:
+    case RequestType::kPing: {
+      Response resp;
       resp.type = ResponseType::kPong;
-      break;
-    case RequestType::kSubmit:
-      resp = manager_.submit(req.client, req.priority, req.job);
-      break;
-    case RequestType::kStatus:
-      resp = manager_.status(req.job_id);
-      break;
-    case RequestType::kResult:
-      resp = manager_.result(req.job_id, req.wait);
-      break;
-    case RequestType::kCancel:
-      resp = manager_.cancel(req.job_id);
-      break;
-    case RequestType::kStats:
-      resp = manager_.stats();
-      break;
-    case RequestType::kDrain:
-      resp = manager_.drain();
-      break;
+      return emit(resp);
+    }
     case RequestType::kShutdown: {
+      Response resp;
       resp.type = ResponseType::kOk;
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_requested_ = true;
       shutdown_cv_.notify_all();
-      keep_open = false;
-      break;
+      emit(resp);
+      return false;
     }
+    default:
+      // submit / status / result / cancel / subscribe / stats / drain all
+      // belong to the handler behind this socket.
+      return handler_.handle(req, emit);
   }
-  resp.traceparent = req.traceparent;  // echo so the client can correlate
-  if (!send_all(fd, encode_response(resp) + "\n")) return false;
-  return keep_open;
 }
 
 void Server::connection_loop(int fd) {

@@ -1,6 +1,7 @@
 // Socket front-end of the glimpsed daemon: accepts connections on a
 // Unix-domain socket and/or a TCP port, frames the line-delimited protocol,
-// and forwards each request to the SessionManager.
+// and forwards each request to a RequestHandler (the SessionManager in
+// glimpsed, the shard Router in glimpse-router).
 //
 // One accept thread polls the listeners (a self-pipe breaks the poll on
 // stop), and each connection gets its own thread — connections are
@@ -23,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "service/request_handler.hpp"
+
 namespace glimpse::service {
 
 class SessionManager;
@@ -32,14 +35,24 @@ struct ServerOptions {
   /// socket file from a crashed daemon is removed before binding.
   std::string unix_path;
   /// TCP port; -1 disables the TCP listener, 0 binds an ephemeral port
-  /// (read it back with tcp_port()). Binds on 127.0.0.1 only — the
-  /// protocol has no authentication, so it stays off external interfaces.
+  /// (read it back with tcp_port()). Binds on 127.0.0.1 unless
+  /// tcp_bind_any is set.
   int tcp_port = -1;
+  /// Bind TCP on 0.0.0.0 instead of loopback. Refused by start() unless
+  /// auth_token is set: the protocol must not face external interfaces
+  /// unauthenticated.
+  bool tcp_bind_any = false;
+  /// Shared-secret token (protocol v3). Non-empty makes every request —
+  /// on every listener, loopback included — carry the matching "auth"
+  /// member or be refused with an "unauthorized" error.
+  std::string auth_token;
 };
 
 class Server {
  public:
-  /// Does not listen yet; call start(). `manager` must outlive the server.
+  /// Does not listen yet; call start(). `handler` must outlive the server.
+  Server(RequestHandler& handler, ServerOptions options);
+  /// Convenience for the common daemon shape (the manager is the handler).
   Server(SessionManager& manager, ServerOptions options);
   ~Server();
 
@@ -52,7 +65,7 @@ class Server {
   /// Block until a client sends `shutdown` or stop() is called.
   void wait_shutdown();
 
-  /// Stop the manager (checkpoints persist), close every listener and
+  /// Stop the handler (checkpoints persist), close every listener and
   /// connection, join all threads. Idempotent; the destructor calls it.
   void stop();
 
@@ -68,7 +81,7 @@ class Server {
   bool serve_line(int fd, const std::string& line);
   bool send_all(int fd, const std::string& payload);
 
-  SessionManager& manager_;
+  RequestHandler& handler_;
   ServerOptions options_;
 
   int unix_fd_ = -1;

@@ -52,6 +52,9 @@ struct SessionManager::JobRecord {
 
   JobSummary summary;
   std::size_t scan_pos = 0;  ///< trace trials already folded into summary
+  /// Bumped on every externally visible progress change (admission, new
+  /// trials, settlement); subscribe() streams a status per bump.
+  std::uint64_t update_version = 0;
 
   // Distributed-trace identity (tentpole, DESIGN.md §13). trace_ctx.span_id
   // is the job's root span; trace_parent is the client request span it nests
@@ -65,7 +68,16 @@ struct SessionManager::JobRecord {
 SessionManager::SessionManager(SessionManagerOptions options)
     : options_(std::move(options)), queue_(options_.queue) {
   GLIMPSE_CHECK(options_.slots >= 1);
-  if (!options_.cache.empty()) {
+  if (!options_.cache_shared_dir.empty()) {
+    GLIMPSE_CHECK(!options_.shard_name.empty());
+    std::error_code ec;
+    fs::create_directories(options_.cache_shared_dir, ec);
+    tuning::ResultCacheOptions copts;
+    copts.path =
+        options_.cache_shared_dir + "/tier-" + options_.shard_name + ".jsonl";
+    copts.shared_dir = options_.cache_shared_dir;
+    cache_ = std::make_unique<tuning::ResultCache>(copts);
+  } else if (!options_.cache.empty()) {
     tuning::ResultCacheOptions copts;
     if (options_.cache != "mem") copts.path = options_.cache;
     cache_ = std::make_unique<tuning::ResultCache>(copts);
@@ -234,6 +246,21 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
     r.retry_after_s = options_.queue.retry_after_s;
     return r;
   }
+  if (options_.quota_gpu_s > 0.0) {
+    auto spent = quota_spent_.find(client);
+    if (spent != quota_spent_.end() && spent->second >= options_.quota_gpu_s) {
+      // Queue slots bound concurrency; this bounds total simulated GPU time
+      // a client can burn. The rejection is advisory-retryable: running
+      // jobs never stop charging, but an operator can restart or raise the
+      // quota, so a retry hint beats a hard error.
+      ++rejected_;
+      ++quota_rejections_;
+      r.type = ResponseType::kRejected;
+      r.reason = "quota_exhausted";
+      r.retry_after_s = options_.queue.retry_after_s;
+      return r;
+    }
+  }
   const std::uint64_t id = next_id_;
   Admission adm = queue_.push(QueuedJob{id, client, priority, spec});
   if (!adm.accepted) {
@@ -307,6 +334,54 @@ Response SessionManager::result(std::uint64_t job_id, bool wait) {
   return r;
 }
 
+bool SessionManager::handle(const Request& req, const Emit& emit) {
+  switch (req.type) {
+    case RequestType::kSubmit:
+      return emit(submit(req.client, req.priority, req.job));
+    case RequestType::kStatus: return emit(status(req.job_id));
+    case RequestType::kResult: return emit(result(req.job_id, req.wait));
+    case RequestType::kCancel: return emit(cancel(req.job_id));
+    case RequestType::kSubscribe: return subscribe(req.job_id, emit);
+    case RequestType::kStats: return emit(stats());
+    case RequestType::kDrain: return emit(drain());
+    default:
+      // kPing / kShutdown are the Server's; anything else reaching here is
+      // a dispatch bug upstream, answered without trusting it.
+      return emit(error_response("unsupported request type"));
+  }
+}
+
+bool SessionManager::subscribe(std::uint64_t job_id, const Emit& emit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = records_.find(job_id);
+  if (it == records_.end()) {
+    lock.unlock();
+    return emit(error_response("unknown job_id"));
+  }
+  JobRecord* rec = it->second.get();
+  // Records are never erased while the manager lives, so `rec` stays valid
+  // across the unlocked emit calls below.
+  std::uint64_t seen = std::numeric_limits<std::uint64_t>::max();
+  while (true) {
+    settled_cv_.wait(lock, [&] {
+      return stop_ || rec->settled() || rec->update_version != seen;
+    });
+    if (stop_ && !rec->settled()) {
+      lock.unlock();
+      return emit(error_response("daemon stopping"));
+    }
+    seen = rec->update_version;
+    Response r;
+    r.type = rec->settled() ? ResponseType::kResult : ResponseType::kStatus;
+    r.summary = rec->summary;
+    const bool final_push = rec->settled();
+    lock.unlock();
+    if (!emit(r)) return false;  // connection gone mid-stream
+    if (final_push) return true;
+    lock.lock();
+  }
+}
+
 Response SessionManager::cancel(std::uint64_t job_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(job_id);
@@ -341,6 +416,7 @@ Response SessionManager::stats() const {
   s.cancelled = cancelled_;
   s.failed = failed_;
   s.rejected = rejected_;
+  s.quota_rejections = quota_rejections_;
   s.resumed = resumed_;
   s.slots = options_.slots;
   s.cache_enabled = cache_ != nullptr;
@@ -416,6 +492,7 @@ void SessionManager::finalize_locked(JobRecord& rec, std::string state,
   rec.state = state;
   rec.summary.state = state;
   rec.summary.error = std::move(error);
+  ++rec.update_version;
   if (state == "done") ++completed_;
   else if (state == "cancelled") ++cancelled_;
   else ++failed_;
@@ -576,6 +653,7 @@ void SessionManager::admit_queued_locked() {
     rec.admitted = true;
     rec.state = "running";
     rec.summary.state = "running";
+    ++rec.update_version;  // subscribers see queued -> running
     if (rec.enqueue_ns != 0) {
       rec.admit_ns = telemetry::now_ns();
       const std::uint64_t waited =
@@ -601,6 +679,7 @@ void SessionManager::admit_queued_locked() {
 }
 
 void SessionManager::refresh_locked() {
+  bool progressed = false;
   for (auto& [id, recp] : records_) {
     JobRecord& rec = *recp;
     if (rec.state != "running" || !rec.admitted) continue;
@@ -613,8 +692,17 @@ void SessionManager::refresh_locked() {
         rec.summary.best_config = t.config;
       }
     }
+    if (rec.summary.trials != tr.trials.size()) {
+      ++rec.update_version;  // new trials are visible progress
+      progressed = true;
+    }
     rec.summary.trials = tr.trials.size();
+    // Quota accounting charges the client for the simulated time this
+    // round added (the measurer's elapsed clock is monotone per job).
+    const double prev_elapsed = rec.summary.elapsed_s;
     rec.summary.elapsed_s = rec.measurer->elapsed_seconds();
+    if (options_.quota_gpu_s > 0.0 && rec.summary.elapsed_s > prev_elapsed)
+      quota_spent_[rec.client] += rec.summary.elapsed_s - prev_elapsed;
     if (scheduler_->job_done(rec.sched_index)) {
       finalize_locked(rec,
                       scheduler_->job_cancelled(rec.sched_index) ? "cancelled"
@@ -622,6 +710,7 @@ void SessionManager::refresh_locked() {
                       "");
     }
   }
+  if (progressed) settled_cv_.notify_all();  // wake subscribe() streams
 }
 
 void SessionManager::worker_loop() {
@@ -646,6 +735,9 @@ void SessionManager::worker_loop() {
       threw = true;
       what = e.what();
     }
+    // Pull peer shards' fresh cache entries between rounds (no-op without
+    // a shared tier). Outside the lock: it reads tier files from disk.
+    if (cache_) cache_->sync_peers();
     lock.lock();
     if (threw) {
       LOG_ERROR << "scheduler round failed: " << what;

@@ -35,6 +35,7 @@
 
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
+#include "service/request_handler.hpp"
 
 namespace glimpse::searchspace {
 class TaskSet;
@@ -56,6 +57,20 @@ struct SessionManagerOptions {
   /// Shared result cache: "" off, "mem" memory-only, else a disk path
   /// (same encoding as GLIMPSE_RESULT_CACHE).
   std::string cache;
+  /// Fleet shared cache tier: a directory of replicated per-shard JSONL
+  /// tiers (`tier-<shard>.jsonl`). Non-empty overrides `cache`: this
+  /// daemon appends its own tier there and periodically merges every
+  /// peer's tier, so a cache hit on any shard eventually serves all
+  /// shards. See tuning::ResultCacheOptions::shared_dir.
+  std::string cache_shared_dir;
+  /// This daemon's name inside the shared tier (file stem and peer
+  /// identity). Required when cache_shared_dir is set.
+  std::string shard_name;
+  /// Per-client simulated-GPU-seconds quota (protocol v3). A client whose
+  /// completed measurements have consumed at least this much simulated
+  /// time has further submissions rejected ("quota_exhausted"). 0 means
+  /// unlimited. Spent time is tracked for this daemon's lifetime.
+  double quota_gpu_s = 0.0;
   /// Session checkpoint cadence, in batches (spooled daemons only).
   std::size_t checkpoint_every_batches = 1;
   /// Settled jobs kept in the spool across restarts. recover_spool()
@@ -68,13 +83,18 @@ struct SessionManagerOptions {
 
 /// All client-facing methods speak protocol Responses so the server layer
 /// only frames and encodes.
-class SessionManager {
+class SessionManager : public RequestHandler {
  public:
   explicit SessionManager(SessionManagerOptions options = {});
-  ~SessionManager();
+  ~SessionManager() override;
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
+
+  /// RequestHandler: dispatch one parsed request (the Server handles ping
+  /// and shutdown itself). kSubscribe streams interim kStatus responses
+  /// through `emit` until the job settles with a final kResult.
+  bool handle(const Request& req, const Emit& emit) override;
 
   /// Validate + admit one job. kAccepted with the job id, or kRejected
   /// ("saturated" / "client_saturated" / "draining", with a retry hint),
@@ -92,6 +112,12 @@ class SessionManager {
   /// Cancel a queued or running job (kOk; idempotent on settled jobs).
   Response cancel(std::uint64_t job_id);
 
+  /// v3 push streaming: emit the job's current summary immediately, then
+  /// one kStatus per visible progress change, then the final kResult (or
+  /// kError on unknown ids / daemon stop). Returns the keep-open decision
+  /// (false only when `emit` reported the connection gone).
+  bool subscribe(std::uint64_t job_id, const Emit& emit);
+
   Response stats() const;
 
   /// Stop admitting new jobs and block until every accepted job settles.
@@ -100,7 +126,7 @@ class SessionManager {
 
   /// Stop the worker promptly (running jobs stay checkpointed in the spool
   /// for the next daemon). Idempotent; the destructor calls it.
-  void stop();
+  void stop() override;
 
   /// Jobs re-admitted from the spool by this process at startup.
   std::uint64_t recovered() const;
@@ -146,7 +172,10 @@ class SessionManager {
   std::uint64_t cancelled_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t quota_rejections_ = 0;
   std::uint64_t resumed_ = 0;
+  /// Simulated GPU seconds consumed per client (quota accounting).
+  std::map<std::string, double> quota_spent_;
   // Per-priority-class admissions (jobs that entered the queue, including
   // spool re-admissions): priority > 0, == 0, < 0.
   std::uint64_t admitted_high_ = 0;

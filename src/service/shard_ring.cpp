@@ -1,0 +1,90 @@
+#include "service/shard_ring.hpp"
+
+#include <cassert>
+
+namespace glimpse::service {
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix of a 64-bit state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t stable_hash64(std::string_view s) {
+  return mix64(fnv1a(s, 0xcbf29ce484222325ull));
+}
+
+std::uint64_t shard_key(const JobSpec& job) {
+  // Task/hardware axes only; '\x1f' separators keep ("ab","c") and
+  // ("a","bc") distinct without escaping (database names never contain
+  // control characters).
+  std::uint64_t h = fnv1a(job.model, 0xcbf29ce484222325ull);
+  h = fnv1a("\x1f", h);
+  h = fnv1a(job.gpu, h);
+  h = fnv1a("\x1f", h);
+  for (std::uint64_t t = job.task_index;; t >>= 8) {
+    char byte = static_cast<char>(t & 0xff);
+    h = fnv1a({&byte, 1}, h);
+    if (t < 0x100) break;
+  }
+  return mix64(h);
+}
+
+ShardRing::ShardRing(const std::vector<std::string>& nodes) {
+  for (const std::string& n : nodes) add(n);
+}
+
+void ShardRing::add(const std::string& node) {
+  if (nodes_.count(node)) return;
+  int placed = 0;
+  for (int i = 0; i < kVirtualNodesPerShard; ++i) {
+    const std::uint64_t point =
+        stable_hash64(node + '#' + std::to_string(i));
+    // A point collision between shards is a ~2^-64 event per pair; first
+    // owner keeps the point so placement never depends on add() order of
+    // the survivors after a remove().
+    if (ring_.emplace(point, node).second) ++placed;
+  }
+  nodes_[node] = placed;
+}
+
+void ShardRing::remove(const std::string& node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  for (auto rit = ring_.begin(); rit != ring_.end();) {
+    if (rit->second == node)
+      rit = ring_.erase(rit);
+    else
+      ++rit;
+  }
+  nodes_.erase(it);
+}
+
+std::vector<std::string> ShardRing::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, points] : nodes_) out.push_back(name);
+  return out;
+}
+
+const std::string& ShardRing::node_for(std::uint64_t key) const {
+  assert(!ring_.empty() && "node_for on an empty ring");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wraparound
+  return it->second;
+}
+
+}  // namespace glimpse::service

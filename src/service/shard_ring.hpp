@@ -1,0 +1,75 @@
+// Consistent-hash ring mapping job keys onto a fleet of glimpsed shards.
+//
+// Every client (and the glimpse-router tool, for clients that cannot hash)
+// builds the same ring from the same ordered node list and therefore routes
+// any given (task, hardware) key to the same shard — no coordination
+// service, no shared state. Each node contributes kVirtualNodesPerShard
+// points on a 64-bit ring; a key is served by the first point clockwise
+// from its hash. Virtual nodes keep the key ranges near-uniform (the
+// shard_ring_test property pins distribution within 2x of uniform at 4
+// shards), and removing a node remaps only the departed node's ranges —
+// the property the failover path depends on: jobs on surviving shards keep
+// their placement, so their spools and caches stay hot.
+//
+// Hashing is deliberately NOT std::hash: ring placement must be stable
+// across processes, platforms, and libstdc++ versions, because the router
+// and every client hash independently. stable_hash64 is FNV-1a finalized
+// with the SplitMix64 mixer — the same construction the telemetry layer
+// uses for ids, chosen here for its avalanche behaviour on short keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace glimpse::service {
+
+/// Points each shard contributes to the ring. 64 keeps the max/min key
+/// range ratio under 2 for small fleets while the ring stays tiny.
+inline constexpr int kVirtualNodesPerShard = 64;
+
+/// Cross-process-stable 64-bit hash (FNV-1a + SplitMix64 finalizer).
+std::uint64_t stable_hash64(std::string_view s);
+
+/// The routing key for a job: hashes the task/hardware axes (model, task
+/// index, gpu) and nothing else. Seed, tuner, and trial budget are
+/// excluded on purpose — every run of the same kernel on the same GPU
+/// lands on the same shard, right next to that shard's cache entries for
+/// it (result_cache keys on the same two fingerprints).
+std::uint64_t shard_key(const JobSpec& job);
+
+/// Deterministic consistent-hash ring over named shards.
+class ShardRing {
+ public:
+  ShardRing() = default;
+  explicit ShardRing(const std::vector<std::string>& nodes);
+
+  /// Adds a shard (no-op if already present).
+  void add(const std::string& node);
+  /// Removes a shard and all its ring points (no-op if absent).
+  void remove(const std::string& node);
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+  /// Shard names in insertion-independent sorted order.
+  std::vector<std::string> nodes() const;
+
+  /// The shard owning `key`: first ring point clockwise from key, with
+  /// wraparound. Must not be called on an empty ring.
+  const std::string& node_for(std::uint64_t key) const;
+
+  /// Convenience: node_for(shard_key(job)).
+  const std::string& node_for_job(const JobSpec& job) const {
+    return node_for(shard_key(job));
+  }
+
+ private:
+  std::map<std::uint64_t, std::string> ring_;  ///< point -> shard name
+  std::map<std::string, int> nodes_;           ///< shard -> live point count
+};
+
+}  // namespace glimpse::service

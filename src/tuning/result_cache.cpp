@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <vector>
 
 #include "common/json_writer.hpp"
 #include "common/logging.hpp"
@@ -223,6 +226,9 @@ ResultCache::ResultCache(ResultCacheOptions options) : options_(std::move(option
       LOG_WARN << "result cache: cannot append to " << options_.path
                << "; running memory-only";
   }
+  // Fleet mode: adopt whatever the peer shards measured before this one
+  // started (a restarted shard comes back warm from the whole fleet).
+  sync_peers();
 }
 
 ResultCache::~ResultCache() {
@@ -361,6 +367,78 @@ bool ResultCache::compact() {
     if (merged > 0) reg.counter("cache.compact_merged").add(merged);
   }
   return true;
+}
+
+std::size_t ResultCache::sync_peers() {
+  if (options_.shared_dir.empty()) return 0;
+  namespace fs = std::filesystem;
+  // Enumerate before locking; sorted so merge order (and hence LRU order
+  // for fresh peer entries) never depends on directory iteration order.
+  std::vector<fs::path> peers;
+  const std::string own = fs::path(options_.path).filename().string();
+  std::error_code ec;
+  for (fs::directory_iterator it(options_.shared_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() < 12 || name.rfind("tier-", 0) != 0 ||
+        name.substr(name.size() - 6) != ".jsonl")
+      continue;
+    if (name == own) continue;  // never re-read our own appends
+    peers.push_back(it->path());
+  }
+  std::sort(peers.begin(), peers.end());
+
+  std::size_t adopted = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const fs::path& peer : peers) {
+    std::ifstream is(peer, std::ios::binary);
+    if (!is.good()) continue;  // peer vanished between listing and open
+    std::uint64_t& off = peer_offsets_[peer.string()];
+    is.seekg(0, std::ios::end);
+    const std::streamoff file_size = is.tellg();
+    if (file_size < 0) continue;
+    if (static_cast<std::uint64_t>(file_size) < off) off = 0;  // peer compacted
+    if (static_cast<std::uint64_t>(file_size) == off) continue;
+    is.seekg(static_cast<std::streamoff>(off));
+    std::string chunk((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    // Consume only newline-terminated lines: the peer may be mid-append,
+    // and its final partial line must be re-read whole next sync.
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = chunk.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = chunk.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      CacheKey key;
+      gpusim::MeasureResult r;
+      bool stale = false;
+      if (!parse_cache_line(line, key, r, stale)) {
+        ++stats_.rejected_lines;
+        bump("cache.rejected_line");
+        continue;
+      }
+      if (stale) {
+        ++stats_.stale;
+        bump("cache.stale");
+        continue;
+      }
+      const std::size_t before = index_.size();
+      // Memory-only insert: replication back to our own tier happens at
+      // compact() time, so two shards syncing each other never ping-pong
+      // the same entry through their append logs.
+      insert_locked(key, r, /*persist=*/false);
+      if (index_.size() > before) {
+        ++stats_.peer_merged;
+        --stats_.inserts;  // adoptions are not local inserts
+        ++adopted;
+        bump("cache.peer_merged");
+      }
+    }
+    off += start;
+  }
+  return adopted;
 }
 
 std::size_t ResultCache::size() const {

@@ -22,6 +22,17 @@
 //    merging in any disk entries the memory tier has LRU-evicted so
 //    long-running fleets can compact without losing history.
 //
+// Fleet mode (shared_dir): several daemons point at one directory, each
+// appending only to its own `tier-<shard>.jsonl` — single-writer files, so
+// no cross-process locking — and periodically pulling the other shards'
+// tiers with sync_peers(). Peer reads are incremental (a byte offset per
+// peer file, rewound when a peer compacts underneath us) and consume only
+// newline-terminated lines, so a peer's in-flight append is never torn.
+// Peer entries enter memory-only (no re-append: no echo amplification
+// between shards); compact() then persists whatever memory holds, which is
+// exactly the PR 5 merge-on-compact path — a hit measured on any shard
+// eventually lands in every shard's tier.
+//
 // Only settled results are cached: valid measurements and deterministic
 // model-invalid configs (error == kNone). Infrastructure faults (transient,
 // timeout, corrupt) are never cached — a flaky measurement must stay
@@ -79,6 +90,10 @@ struct ResultCacheOptions {
   std::size_t capacity = 1 << 16;
   /// Persistent tier path; empty disables the disk tier.
   std::string path;
+  /// Fleet shared-tier directory. Non-empty makes sync_peers() merge every
+  /// `tier-*.jsonl` in it except this cache's own `path` (which should
+  /// live inside the directory). Empty disables peer syncing.
+  std::string shared_dir;
 };
 
 struct ResultCacheStats {
@@ -93,6 +108,8 @@ struct ResultCacheStats {
   /// Disk-tier entries preserved by compact() that the memory tier had
   /// evicted (the disk/memory merge path).
   std::uint64_t compact_merged = 0;
+  /// Entries adopted from peer shards' tiers by sync_peers().
+  std::uint64_t peer_merged = 0;
 };
 
 class ResultCache {
@@ -124,6 +141,13 @@ class ResultCache {
   /// rewrite fails.
   bool compact();
 
+  /// Fleet mode: incrementally merge new entries from every peer shard's
+  /// tier file in `shared_dir`. Returns the number of entries adopted
+  /// (0 and a no-op without a shared_dir). Safe to call concurrently with
+  /// lookups; peers' partially appended final lines are left for the next
+  /// sync rather than consumed torn.
+  std::size_t sync_peers();
+
   std::size_t size() const;
   ResultCacheStats stats() const;
   const ResultCacheOptions& options() const { return options_; }
@@ -151,6 +175,8 @@ class ResultCache {
   std::unordered_map<CacheKey, EntryList::iterator, CacheKeyHash> index_;
   std::ofstream appender_;
   ResultCacheStats stats_;
+  /// Fleet mode: bytes of each peer tier already consumed (by path).
+  std::unordered_map<std::string, std::uint64_t> peer_offsets_;
 };
 
 }  // namespace glimpse::tuning

@@ -1,0 +1,808 @@
+// Fleet tests (ctest -L service / -L fleet): N glimpsed shards behind the
+// consistent-hash Router.
+//
+// In-process: Router routing/id-remapping/stats-aggregation/drain-fan-out,
+// subscribe streaming through the router, shared-secret auth, per-client
+// simulated-GPU-seconds quotas, and the shared result-cache tier (a hit on
+// any shard eventually serves all shards).
+//
+// Real processes: a 12-job mixed-priority workload against 4 real glimpsed
+// daemons behind a real glimpse_router must settle bit-identically to the
+// same workload on a single daemon, with each job's trace id present in
+// both the router's and the owning shard's GLIMPSE_TRACE export; and a
+// SIGKILLed shard mid-job must fail over — the client's call rides the
+// router's retry loop, the restarted shard resumes from its spool, the
+// job completes bit-identically, and the other shards are unperturbed.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/autotvm.hpp"
+#include "baselines/random_tuner.hpp"
+#include "common/telemetry/span.hpp"
+#include "gpusim/measurer.hpp"
+#include "hwspec/database.hpp"
+#include "searchspace/models.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/session_manager.hpp"
+#include "service/shard_ring.hpp"
+#include "tuning/session.hpp"
+
+namespace glimpse {
+namespace {
+
+using service::Client;
+using service::JobSpec;
+using service::JobSummary;
+using service::Request;
+using service::RequestHandler;
+using service::RequestType;
+using service::Response;
+using service::ResponseType;
+using service::Router;
+using service::RouterOptions;
+using service::Server;
+using service::ServerOptions;
+using service::SessionManager;
+using service::SessionManagerOptions;
+using service::ShardEndpoint;
+using service::ShardRing;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string short_sock_path(const std::string& tag) {
+  return "/tmp/glimpse_fleet_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+JobSpec job_spec(const std::string& gpu, std::uint64_t task,
+                 std::uint64_t seed, std::uint64_t max_trials = 16,
+                 const std::string& tuner = "random") {
+  JobSpec spec;
+  spec.tuner = tuner;
+  spec.model = "resnet18";
+  spec.task_index = task;
+  spec.gpu = gpu;
+  spec.seed = seed;
+  spec.max_trials = max_trials;
+  spec.batch_size = 8;
+  return spec;
+}
+
+const char* kGpus[] = {"Titan Xp", "RTX 2070 Super", "RTX 2080 Ti",
+                       "RTX 3090"};
+
+/// The 12-job mixed-priority acceptance workload: distinct (task, gpu)
+/// pairs so every job exercises its own cache entries, priorities cycling
+/// high/normal/low.
+std::vector<std::pair<std::int64_t, JobSpec>> fleet_workload() {
+  std::vector<std::pair<std::int64_t, JobSpec>> jobs;
+  for (std::uint64_t i = 0; i < 12; ++i)
+    jobs.emplace_back(static_cast<std::int64_t>(i % 3) - 1,
+                      job_spec(kGpus[i % 4], i % 6, 100 + i));
+  return jobs;
+}
+
+/// Ground truth: the identical job driven directly through run_session —
+/// no daemon, no router, no cache. Fleet decisions must match this
+/// bit-identically.
+tuning::Trace direct_trace(const JobSpec& spec) {
+  static searchspace::TaskSet tasks(searchspace::resnet18());
+  const searchspace::Task& task = tasks.task(spec.task_index);
+  const hwspec::GpuSpec* hw = hwspec::find_gpu(spec.gpu);
+  EXPECT_NE(hw, nullptr);
+  std::unique_ptr<tuning::Tuner> tuner;
+  if (spec.tuner == "autotvm")
+    tuner = std::make_unique<baselines::AutoTvmTuner>(task, *hw, spec.seed);
+  else
+    tuner = std::make_unique<baselines::RandomTuner>(task, *hw, spec.seed);
+  gpusim::SimMeasurer measurer;
+  tuning::SessionOptions opts;
+  opts.max_trials = spec.max_trials;
+  opts.batch_size = spec.batch_size;
+  opts.plateau_trials = spec.plateau_trials;
+  opts.seed = spec.seed;
+  return tuning::run_session(*tuner, task, *hw, measurer, opts);
+}
+
+void expect_summary_matches_trace(const JobSummary& summary,
+                                  const tuning::Trace& trace) {
+  EXPECT_EQ(summary.state, "done");
+  EXPECT_EQ(summary.trials, trace.trials.size());
+  EXPECT_EQ(summary.faulted, trace.num_faulted());
+  EXPECT_EQ(summary.best_gflops, trace.best_gflops());  // bit-identical
+}
+
+/// Decision fields only (what "bit-identical across deployments" means);
+/// job ids and elapsed seconds legitimately differ.
+void expect_same_decisions(const JobSummary& a, const JobSummary& b) {
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.best_gflops, b.best_gflops);  // double ==: bit-identical
+  EXPECT_EQ(a.best_config, b.best_config);
+}
+
+// ---------------------------------------------------------------------------
+// In-process fleet: Router + two real shard servers over unix sockets.
+// ---------------------------------------------------------------------------
+
+/// Two SessionManager shards served on unix sockets plus an in-process
+/// Router pointed at them. The Router is exercised directly through its
+/// RequestHandler interface (no third server needed).
+struct MiniFleet {
+  explicit MiniFleet(const std::string& tag,
+                     SessionManagerOptions mopts = {}) {
+    mopts.slots = 2;
+    if (mopts.cache.empty() && mopts.cache_shared_dir.empty())
+      mopts.cache = "mem";
+    for (int i = 0; i < 2; ++i) {
+      const std::string name = "s" + std::to_string(i);
+      socks.push_back(short_sock_path(tag + name));
+      SessionManagerOptions per = mopts;
+      if (!per.cache_shared_dir.empty()) per.shard_name = name;
+      managers.push_back(std::make_unique<SessionManager>(per));
+      servers.push_back(std::make_unique<Server>(
+          *managers.back(), ServerOptions{socks.back(), -1}));
+      servers.back()->start();
+      endpoints.push_back(ShardEndpoint{name, socks.back(), "", -1});
+    }
+    RouterOptions ropts;
+    ropts.shards = endpoints;
+    ropts.connect_retries = 2;
+    ropts.retry_delay_s = 0.05;
+    router = std::make_unique<Router>(ropts);
+  }
+
+  ~MiniFleet() {
+    router->stop();
+    for (auto& s : servers) s->stop();
+  }
+
+  /// Drive one request through the router, collecting every emitted
+  /// response (subscribe emits several).
+  std::vector<Response> call(const Request& req) {
+    std::vector<Response> out;
+    router->handle(req, [&](const Response& r) {
+      out.push_back(r);
+      return true;
+    });
+    return out;
+  }
+
+  Response call_one(const Request& req) {
+    std::vector<Response> out = call(req);
+    EXPECT_EQ(out.size(), 1u);
+    return out.empty() ? Response{} : out.back();
+  }
+
+  Response submit(const JobSpec& spec, std::int64_t priority = 0,
+                  const std::string& client = "fleet") {
+    Request req;
+    req.type = RequestType::kSubmit;
+    req.client = client;
+    req.priority = priority;
+    req.job = spec;
+    return call_one(req);
+  }
+
+  Response result_wait(std::uint64_t id) {
+    Request req;
+    req.type = RequestType::kResult;
+    req.job_id = id;
+    req.wait = true;
+    return call_one(req);
+  }
+
+  std::vector<std::string> socks;
+  std::vector<std::unique_ptr<SessionManager>> managers;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<ShardEndpoint> endpoints;
+  std::unique_ptr<Router> router;
+};
+
+TEST(FleetRouter, RoutesByRingAndRemapsJobIds) {
+  MiniFleet fleet("route");
+  ShardRing ring({"s0", "s1"});
+
+  // Enough distinct tasks to hit both shards.
+  std::vector<JobSpec> specs;
+  std::set<std::string> shards_used;
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    specs.push_back(job_spec(kGpus[t % 4], t, 500 + t, /*max_trials=*/8));
+    shards_used.insert(ring.node_for_job(specs.back()));
+  }
+  ASSERT_EQ(shards_used.size(), 2u) << "workload never crosses shards";
+
+  std::vector<std::uint64_t> ids;
+  for (const JobSpec& s : specs) {
+    Response r = fleet.submit(s);
+    ASSERT_EQ(r.type, ResponseType::kAccepted);
+    ids.push_back(r.job_id);
+  }
+  // Router ids are dense and router-owned: both shards number from 1, so
+  // without remapping six submits could not yield six distinct ids.
+  std::set<std::uint64_t> unique_ids(ids.begin(), ids.end());
+  EXPECT_EQ(unique_ids.size(), specs.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i + 1);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Response done = fleet.result_wait(ids[i]);
+    ASSERT_EQ(done.type, ResponseType::kResult);
+    EXPECT_EQ(done.summary.job_id, ids[i]) << "summary not remapped";
+    expect_summary_matches_trace(done.summary, direct_trace(specs[i]));
+  }
+
+  Request unknown;
+  unknown.type = RequestType::kStatus;
+  unknown.job_id = 999;
+  Response err = fleet.call_one(unknown);
+  EXPECT_EQ(err.type, ResponseType::kError);
+  EXPECT_EQ(err.reason, "unknown job_id");
+}
+
+TEST(FleetRouter, StatsAggregateAndDrainFansOut) {
+  MiniFleet fleet("stats");
+  Response a = fleet.submit(job_spec("Titan Xp", 1, 900, 8));
+  Response b = fleet.submit(job_spec("RTX 3090", 2, 901, 8));
+  ASSERT_EQ(a.type, ResponseType::kAccepted);
+  ASSERT_EQ(b.type, ResponseType::kAccepted);
+  fleet.result_wait(a.job_id);
+  fleet.result_wait(b.job_id);
+
+  Request sreq;
+  sreq.type = RequestType::kStats;
+  Response stats = fleet.call_one(sreq);
+  ASSERT_EQ(stats.type, ResponseType::kStats);
+  EXPECT_EQ(stats.stats.submitted, 2u);
+  EXPECT_EQ(stats.stats.completed, 2u);
+  EXPECT_EQ(stats.stats.slots, 4u) << "2 shards x 2 slots must sum";
+  EXPECT_TRUE(stats.stats.cache_enabled);
+
+  Request dreq;
+  dreq.type = RequestType::kDrain;
+  EXPECT_EQ(fleet.call_one(dreq).type, ResponseType::kOk);
+  // Draining is now true on every shard, and the aggregate ORs it.
+  stats = fleet.call_one(sreq);
+  ASSERT_EQ(stats.type, ResponseType::kStats);
+  EXPECT_TRUE(stats.stats.draining);
+  Response rejected = fleet.submit(job_spec("Titan Xp", 3, 902, 8));
+  EXPECT_EQ(rejected.type, ResponseType::kRejected);
+}
+
+TEST(FleetRouter, SubscribeStreamsThroughWithRouterIds) {
+  MiniFleet fleet("sub");
+  // autotvm refits its surrogate every batch, slow enough (hundreds of ms)
+  // that the subscription reliably attaches before the job settles.
+  const JobSpec spec = job_spec("RTX 2080 Ti", 1, 910, /*max_trials=*/120,
+                                /*tuner=*/"autotvm");
+  Response acc = fleet.submit(spec);
+  ASSERT_EQ(acc.type, ResponseType::kAccepted);
+
+  Request sub;
+  sub.type = RequestType::kSubscribe;
+  sub.job_id = acc.job_id;
+  std::vector<Response> stream = fleet.call(sub);
+  ASSERT_GE(stream.size(), 2u) << "expected >=1 interim push + final result";
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].type, ResponseType::kStatus);
+    EXPECT_EQ(stream[i].summary.job_id, acc.job_id) << "push not remapped";
+  }
+  ASSERT_EQ(stream.back().type, ResponseType::kResult);
+  EXPECT_EQ(stream.back().summary.job_id, acc.job_id);
+  expect_summary_matches_trace(stream.back().summary, direct_trace(spec));
+  // Trials grow monotonically along the stream.
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    EXPECT_GE(stream[i].summary.trials, stream[i - 1].summary.trials);
+
+  // Subscribing to an already-settled job pushes the final result at once.
+  std::vector<Response> again = fleet.call(sub);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again.back().type, ResponseType::kResult);
+}
+
+TEST(FleetRouter, ConstructorRejectsBadTopologies) {
+  RouterOptions empty;
+  EXPECT_THROW(Router{empty}, std::invalid_argument);
+  RouterOptions dup;
+  dup.shards = {ShardEndpoint{"s0", "/tmp/a.sock", "", -1},
+                ShardEndpoint{"s0", "/tmp/b.sock", "", -1}};
+  EXPECT_THROW(Router{dup}, std::invalid_argument);
+  RouterOptions addressless;
+  addressless.shards = {ShardEndpoint{"s0", "", "", -1}};
+  EXPECT_THROW(Router{addressless}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred hardening: auth and quotas.
+// ---------------------------------------------------------------------------
+
+TEST(FleetAuth, TokenGatesEveryRequestOnEveryListener) {
+  const std::string sock = short_sock_path("auth");
+  SessionManager manager{SessionManagerOptions{}};
+  ServerOptions sopts;
+  sopts.unix_path = sock;
+  sopts.auth_token = "fleet-secret";
+  Server server(manager, sopts);
+  server.start();
+
+  Client anon = Client::connect_unix(sock);
+  Response denied = anon.ping();
+  EXPECT_EQ(denied.type, ResponseType::kError);
+  EXPECT_EQ(denied.reason, "unauthorized");
+  // The connection stays open: a fixed client can retry with the token.
+  anon.set_auth("wrong-token");
+  EXPECT_EQ(anon.ping().type, ResponseType::kError);
+  anon.set_auth("fleet-secret");
+  EXPECT_EQ(anon.ping().type, ResponseType::kPong);
+  EXPECT_EQ(anon.stats().type, ResponseType::kStats);
+  server.stop();
+}
+
+TEST(FleetAuth, NonLoopbackTcpRefusedWithoutToken) {
+  SessionManager manager{SessionManagerOptions{}};
+  ServerOptions sopts;
+  sopts.tcp_port = 0;
+  sopts.tcp_bind_any = true;  // 0.0.0.0 without auth must be refused
+  Server server(manager, sopts);
+  EXPECT_THROW(server.start(), std::invalid_argument);
+
+  SessionManager manager2{SessionManagerOptions{}};
+  ServerOptions ok = sopts;
+  ok.auth_token = "secret";
+  Server server2(manager2, ok);
+  server2.start();  // with a token the wide bind is allowed
+  EXPECT_GT(server2.tcp_port(), 0);
+  server2.stop();
+}
+
+TEST(FleetQuota, PerClientSimulatedGpuSecondsQuota) {
+  SessionManagerOptions mopts;
+  mopts.slots = 1;
+  // One 16-trial job burns tens of simulated GPU-seconds, far beyond 1.0:
+  // the first job runs to completion, the second submit must be refused.
+  mopts.quota_gpu_s = 1.0;
+  SessionManager manager(mopts);
+
+  const JobSpec spec = job_spec("Titan Xp", 1, 920, /*max_trials=*/16);
+  Response first = manager.submit("heavy", 0, spec);
+  ASSERT_EQ(first.type, ResponseType::kAccepted);
+  Response done = manager.result(first.job_id, /*wait=*/true);
+  ASSERT_EQ(done.type, ResponseType::kResult);
+  EXPECT_EQ(done.summary.state, "done");
+  EXPECT_GT(done.summary.elapsed_s, mopts.quota_gpu_s);
+
+  Response refused = manager.submit("heavy", 0, spec);
+  EXPECT_EQ(refused.type, ResponseType::kRejected);
+  EXPECT_EQ(refused.reason, "quota_exhausted");
+  EXPECT_GT(refused.retry_after_s, 0.0);
+
+  // Quotas are per client: a different identity is admitted.
+  Response other = manager.submit("light", 0, spec);
+  EXPECT_EQ(other.type, ResponseType::kAccepted);
+  EXPECT_EQ(manager.result(other.job_id, true).summary.state, "done");
+
+  Response stats = manager.stats();
+  EXPECT_EQ(stats.stats.quota_rejections, 1u);
+  EXPECT_EQ(stats.stats.rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared result-cache tier: a hit on any shard eventually serves them all.
+// ---------------------------------------------------------------------------
+
+TEST(FleetSharedCache, WarmShardServesPeersAndRestarts) {
+  const std::string dir = tmp_path("fleet_shared_cache");
+  std::filesystem::remove_all(dir);
+  const JobSpec spec = job_spec("RTX 3090", 2, 930, /*max_trials=*/32);
+
+  SessionManagerOptions base;
+  base.slots = 1;
+  base.cache_shared_dir = dir;
+
+  SessionManagerOptions m0 = base;
+  m0.shard_name = "s0";
+  SessionManager s0(m0);
+  Response warm = s0.submit("warmup", 0, spec);
+  ASSERT_EQ(warm.type, ResponseType::kAccepted);
+  Response warm_done = s0.result(warm.job_id, true);
+  ASSERT_EQ(warm_done.summary.state, "done");
+  EXPECT_EQ(s0.stats().stats.cache_hits, 0u);
+  expect_summary_matches_trace(warm_done.summary, direct_trace(spec));
+
+  // A peer shard running the same task adopts s0's tier between rounds:
+  // later rounds of the very same job already hit, and the decisions stay
+  // bit-identical to the uncached run.
+  SessionManagerOptions m1 = base;
+  m1.shard_name = "s1";
+  SessionManager s1(m1);
+  Response peer = s1.submit("peer", 0, spec);
+  ASSERT_EQ(peer.type, ResponseType::kAccepted);
+  Response peer_done = s1.result(peer.job_id, true);
+  ASSERT_EQ(peer_done.summary.state, "done");
+  expect_summary_matches_trace(peer_done.summary, direct_trace(spec));
+  EXPECT_GT(s1.stats().stats.cache_hits, 0u)
+      << "peer tier never served this shard";
+
+  // A shard (re)started after the fleet warmed up syncs at construction
+  // and serves the whole job from cache.
+  SessionManagerOptions m2 = base;
+  m2.shard_name = "s2";
+  SessionManager s2(m2);
+  Response cold = s2.submit("restart", 0, spec);
+  ASSERT_EQ(cold.type, ResponseType::kAccepted);
+  Response cold_done = s2.result(cold.job_id, true);
+  ASSERT_EQ(cold_done.summary.state, "done");
+  expect_summary_matches_trace(cold_done.summary, direct_trace(spec));
+  EXPECT_EQ(s2.stats().stats.cache_hits, spec.max_trials)
+      << "a boot-time sync should serve every trial";
+
+  // Every shard appended only its own tier file.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/tier-s0.jsonl"));
+  for (const char* peer_tier : {"tier-s1.jsonl", "tier-s2.jsonl"}) {
+    // Peers measured nothing new for this job beyond their own misses.
+    const std::string p = dir + "/" + peer_tier;
+    if (std::filesystem::exists(p))
+      EXPECT_LT(std::filesystem::file_size(p),
+                std::filesystem::file_size(dir + "/tier-s0.jsonl"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real processes: 4 glimpsed shards behind a real glimpse_router.
+// ---------------------------------------------------------------------------
+
+class ChildProcess {
+ public:
+  ChildProcess(const char* bin, const std::vector<std::string>& args,
+               const std::string& trace_path = "") {
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      if (trace_path.empty())
+        ::unsetenv("GLIMPSE_TRACE");
+      else
+        ::setenv("GLIMPSE_TRACE", trace_path.c_str(), 1);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(bin));
+      for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(bin, argv.data());
+      std::_Exit(127);  // exec failed
+    }
+    ::close(out_pipe[1]);
+    out_fd_ = out_pipe[0];
+  }
+
+  ~ChildProcess() {
+    if (out_fd_ >= 0) ::close(out_fd_);
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  bool started() const { return pid_ > 0 && out_fd_ >= 0; }
+
+  std::string wait_ready() {
+    std::string line;
+    char c;
+    while (::read(out_fd_, &c, 1) == 1) {
+      if (c == '\n') return line;
+      line += c;
+    }
+    return "";
+  }
+
+  void kill_hard() {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  int wait_exit() {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+};
+
+constexpr const char* kFleetAuth = "fleet-secret";
+
+std::vector<std::string> shard_args(const std::string& sock,
+                                    const std::string& spool,
+                                    const std::string& name,
+                                    const std::string& cache_dir) {
+  return {"--unix",  sock,          "--spool",      spool,
+          "--slots", "2",           "--shard-name", name,
+          "--cache-shared", cache_dir, "--auth",    kFleetAuth};
+}
+
+/// Start shard `i` of a 4-shard fleet under `tag`, plus helpers to name
+/// its socket/spool/trace consistently across restarts.
+struct FleetPaths {
+  explicit FleetPaths(const std::string& tag) : tag(tag) {
+    cache_dir = tmp_path("fleet_" + tag + "_cache");
+    router_sock = short_sock_path(tag + "_router");
+    router_trace = tmp_path("fleet_" + tag + "_router_trace.jsonl");
+    for (int i = 0; i < 4; ++i) {
+      names.push_back("s" + std::to_string(i));
+      socks.push_back(short_sock_path(tag + names.back()));
+      spools.push_back(tmp_path("fleet_" + tag + "_spool" + names.back()));
+      traces.push_back(tmp_path("fleet_" + tag + "_trace_" + names.back() +
+                                ".jsonl"));
+      std::filesystem::remove_all(spools.back());
+      std::filesystem::remove(traces.back());
+    }
+    std::filesystem::remove_all(cache_dir);
+    std::filesystem::remove(router_trace);
+  }
+
+  std::unique_ptr<ChildProcess> start_shard(int i, bool traced) const {
+    return std::make_unique<ChildProcess>(
+        GLIMPSED_BIN, shard_args(socks[i], spools[i], names[i], cache_dir),
+        traced ? traces[i] : "");
+  }
+
+  std::unique_ptr<ChildProcess> start_router(bool traced,
+                                             const std::string& retries = "40",
+                                             const std::string& delay =
+                                                 "0.25") const {
+    std::vector<std::string> args = {"--unix",          router_sock,
+                                     "--upstream-auth", kFleetAuth,
+                                     "--retries",       retries,
+                                     "--retry-delay",   delay};
+    for (int i = 0; i < 4; ++i) {
+      args.push_back("--shard");
+      args.push_back(names[i] + "=unix:" + socks[i]);
+    }
+    return std::make_unique<ChildProcess>(GLIMPSE_ROUTER_BIN, args,
+                                          traced ? router_trace : "");
+  }
+
+  std::string tag, cache_dir, router_sock, router_trace;
+  std::vector<std::string> names, socks, spools, traces;
+};
+
+/// True if any line of `path` contains `needle`.
+bool file_contains(const std::string& path, const std::string& needle) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// The tentpole acceptance test: the 12-job mixed-priority workload against
+// 4 real glimpsed shards behind a real glimpse_router settles bit-identically
+// to the same workload against a single daemon, and every job's trace id
+// shows up in both the router's and exactly its own shard's trace export.
+TEST(FleetDaemons, TwelveJobsAcrossFourShardsMatchSingleDaemon) {
+  const std::vector<std::pair<std::int64_t, JobSpec>> workload =
+      fleet_workload();
+
+  // Reference run: one daemon, same workload, decisions keyed by seed.
+  std::map<std::uint64_t, JobSummary> single;
+  {
+    const std::string sock = short_sock_path("single");
+    const std::string spool = tmp_path("fleet_single_spool");
+    std::filesystem::remove_all(spool);
+    ChildProcess daemon(
+        GLIMPSED_BIN,
+        {"--unix", sock, "--spool", spool, "--slots", "2", "--cache", "mem"});
+    ASSERT_TRUE(daemon.started());
+    ASSERT_NE(daemon.wait_ready(), "");
+    Client client = Client::connect_unix(sock);
+    std::vector<std::uint64_t> ids;
+    for (const auto& [prio, spec] : workload) {
+      Response r = client.submit("accept", prio, spec);
+      ASSERT_EQ(r.type, ResponseType::kAccepted);
+      ids.push_back(r.job_id);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Response done = client.result(ids[i], /*wait=*/true);
+      ASSERT_EQ(done.type, ResponseType::kResult);
+      single[workload[i].second.seed] = done.summary;
+    }
+    EXPECT_EQ(client.shutdown().type, ResponseType::kOk);
+    int status = daemon.wait_exit();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Fleet run: 4 traced shards + traced router, traced client.
+  FleetPaths paths("accept");
+  std::vector<std::unique_ptr<ChildProcess>> shards;
+  for (int i = 0; i < 4; ++i) {
+    shards.push_back(paths.start_shard(i, /*traced=*/true));
+    ASSERT_TRUE(shards.back()->started());
+    ASSERT_NE(shards.back()->wait_ready(), "");
+  }
+  std::unique_ptr<ChildProcess> router = paths.start_router(/*traced=*/true);
+  ASSERT_TRUE(router->started());
+  ASSERT_NE(router->wait_ready(), "");
+
+  const bool was_tracing = telemetry::tracing_enabled();
+  telemetry::set_tracing_enabled(true);
+  telemetry::clear_events();
+  {
+    Client client = Client::connect_unix(paths.router_sock);
+    std::vector<std::uint64_t> ids;
+    for (const auto& [prio, spec] : workload) {
+      Response r = client.submit("accept", prio, spec);
+      ASSERT_EQ(r.type, ResponseType::kAccepted);
+      ids.push_back(r.job_id);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Response done = client.result(ids[i], /*wait=*/true);
+      ASSERT_EQ(done.type, ResponseType::kResult);
+      const JobSpec& spec = workload[i].second;
+      ASSERT_TRUE(single.count(spec.seed));
+      expect_same_decisions(done.summary, single[spec.seed]);
+      expect_summary_matches_trace(done.summary, direct_trace(spec));
+    }
+    // Clean shutdowns flush every process's trace export.
+    EXPECT_EQ(client.shutdown().type, ResponseType::kOk);
+    int status = router->wait_exit();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+    for (int i = 0; i < 4; ++i) {
+      Client direct = Client::connect_unix(paths.socks[i]);
+      direct.set_auth(kFleetAuth);
+      EXPECT_EQ(direct.shutdown().type, ResponseType::kOk);
+      int sstatus = shards[i]->wait_exit();
+      ASSERT_TRUE(WIFEXITED(sstatus));
+      ASSERT_EQ(WEXITSTATUS(sstatus), 0);
+    }
+  }
+  telemetry::set_tracing_enabled(was_tracing);
+
+  // Trace stitching: every submit's trace id must appear in the router
+  // export AND in exactly one shard export (the shard that ran the job).
+  std::vector<std::string> trace_hexes;
+  for (const telemetry::TraceEvent& e : telemetry::drain_events()) {
+    if (e.name == nullptr || std::strcmp(e.name, "client.request") != 0)
+      continue;
+    if (e.note == nullptr || std::strcmp(e.note, "submit") != 0) continue;
+    char hex[33];
+    std::snprintf(hex, sizeof hex, "%016llx%016llx",
+                  static_cast<unsigned long long>(e.trace_id_hi),
+                  static_cast<unsigned long long>(e.trace_id_lo));
+    trace_hexes.push_back(hex);
+  }
+  ASSERT_EQ(trace_hexes.size(), workload.size());
+  for (const std::string& hex : trace_hexes) {
+    const std::string needle = "\"trace_id\":\"" + hex + "\"";
+    EXPECT_TRUE(file_contains(paths.router_trace, needle))
+        << "router spans missing for trace " << hex;
+    int shards_with_trace = 0;
+    for (int i = 0; i < 4; ++i)
+      if (file_contains(paths.traces[i], needle)) ++shards_with_trace;
+    EXPECT_EQ(shards_with_trace, 1)
+        << "trace " << hex << " should live on exactly the owning shard";
+  }
+}
+
+// Failover: SIGKILL the shard that owns a long-running job. Jobs on the
+// other three shards complete undisturbed while it is down; once the shard
+// restarts (same name, same spool), the client's result(wait) — which rode
+// the router's retry loop the whole time — returns the job resumed from
+// its checkpoint, bit-identical to an uninterrupted run.
+TEST(FleetDaemons, SigkillShardFailsOverAndResumesBitIdentically) {
+  FleetPaths paths("kill");
+  ShardRing ring(paths.names);
+
+  // The victim job: slow enough (autotvm refits per batch) to be killed
+  // mid-run reliably.
+  const JobSpec slow = job_spec("Titan Xp", 1, 11, /*max_trials=*/160,
+                                /*tuner=*/"autotvm");
+  const std::string victim = ring.node_for_job(slow);
+  int victim_idx = -1;
+  for (int i = 0; i < 4; ++i)
+    if (paths.names[i] == victim) victim_idx = i;
+  ASSERT_GE(victim_idx, 0);
+
+  // One quick job pinned to every *other* shard, to prove they are
+  // unperturbed while the victim is down.
+  std::vector<JobSpec> quick;
+  std::set<std::string> covered;
+  for (std::uint64_t seed = 300; covered.size() < 3; ++seed) {
+    JobSpec q = job_spec(kGpus[seed % 4], seed % 6, seed, /*max_trials=*/12);
+    const std::string& shard = ring.node_for_job(q);
+    if (shard == victim || covered.count(shard)) continue;
+    covered.insert(shard);
+    quick.push_back(q);
+  }
+
+  std::vector<std::unique_ptr<ChildProcess>> shards;
+  for (int i = 0; i < 4; ++i) {
+    shards.push_back(paths.start_shard(i, /*traced=*/false));
+    ASSERT_TRUE(shards.back()->started());
+    ASSERT_NE(shards.back()->wait_ready(), "");
+  }
+  // Generous retry budget: the victim stays dead for a visible window.
+  std::unique_ptr<ChildProcess> router =
+      paths.start_router(/*traced=*/false, /*retries=*/"240", /*delay=*/"0.25");
+  ASSERT_TRUE(router->started());
+  ASSERT_NE(router->wait_ready(), "");
+
+  Client client = Client::connect_unix(paths.router_sock);
+  Response slow_acc = client.submit("failover", 1, slow);
+  ASSERT_EQ(slow_acc.type, ResponseType::kAccepted);
+  std::vector<std::uint64_t> quick_ids;
+  for (const JobSpec& q : quick) {
+    Response r = client.submit("failover", 0, q);
+    ASSERT_EQ(r.type, ResponseType::kAccepted);
+    quick_ids.push_back(r.job_id);
+  }
+
+  // Wait for visible progress on the victim job, then pull the plug.
+  while (true) {
+    Response s = client.status(slow_acc.job_id);
+    ASSERT_EQ(s.type, ResponseType::kStatus);
+    if (s.summary.trials >= 8) break;
+    std::this_thread::yield();
+  }
+  shards[victim_idx]->kill_hard();
+
+  // The rest of the fleet keeps settling jobs while the victim is gone.
+  for (std::size_t i = 0; i < quick.size(); ++i) {
+    Response done = client.result(quick_ids[i], /*wait=*/true);
+    ASSERT_EQ(done.type, ResponseType::kResult);
+    expect_summary_matches_trace(done.summary, direct_trace(quick[i]));
+  }
+
+  // Restart the victim under the same identity: its spool resumes the
+  // killed job, the router's pending retries reconnect, and the result is
+  // bit-identical to a run that was never interrupted.
+  shards[victim_idx] = paths.start_shard(victim_idx, /*traced=*/false);
+  ASSERT_TRUE(shards[victim_idx]->started());
+  const std::string ready = shards[victim_idx]->wait_ready();
+  ASSERT_NE(ready, "");
+  EXPECT_EQ(ready.find("resumed=0"), std::string::npos)
+      << "restarted shard resumed nothing: " << ready;
+
+  Response done = client.result(slow_acc.job_id, /*wait=*/true);
+  ASSERT_EQ(done.type, ResponseType::kResult);
+  expect_summary_matches_trace(done.summary, direct_trace(slow));
+
+  EXPECT_EQ(client.shutdown().type, ResponseType::kOk);
+  int status = router->wait_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+  for (int i = 0; i < 4; ++i) {
+    Client direct = Client::connect_unix(paths.socks[i]);
+    direct.set_auth(kFleetAuth);
+    EXPECT_EQ(direct.shutdown().type, ResponseType::kOk);
+    shards[i]->wait_exit();
+  }
+}
+
+}  // namespace
+}  // namespace glimpse

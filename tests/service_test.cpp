@@ -188,8 +188,9 @@ std::string any_traceparent(Rng& rng) {
 
 Request any_request(Rng& rng) {
   Request r;
-  r.type = static_cast<RequestType>(rng.uniform_int(0, 7));
+  r.type = static_cast<RequestType>(rng.uniform_int(0, 8));
   if (rng.chance(0.5)) r.traceparent = any_traceparent(rng);
+  if (rng.chance(0.3)) r.auth = nonempty_string(rng, 24);
   switch (r.type) {
     case RequestType::kSubmit:
       r.client = nonempty_string(rng, 32);
@@ -198,6 +199,7 @@ Request any_request(Rng& rng) {
       break;
     case RequestType::kStatus:
     case RequestType::kCancel:
+    case RequestType::kSubscribe:
       r.job_id = any_u64(rng);
       break;
     case RequestType::kResult:
@@ -257,6 +259,7 @@ Response any_response(Rng& rng) {
       s.cancelled = any_u64(rng);
       s.failed = any_u64(rng);
       s.rejected = any_u64(rng);
+      s.quota_rejections = any_u64(rng);
       s.resumed = any_u64(rng);
       s.slots = any_u64(rng);
       s.cache_enabled = rng.chance(0.5);
@@ -362,8 +365,11 @@ TEST(ServiceProtocol, StrictParserRejects) {
   EXPECT_FALSE(service::parse_request(R"({"v":1,"type":"ping","zap":1})", r, err));
   // Duplicate key.
   EXPECT_FALSE(service::parse_request(R"({"v":1,"v":1,"type":"ping"})", r, err));
-  // Wrong version (v1 and v2 are the live protocol; v3 does not exist).
-  EXPECT_FALSE(service::parse_request(R"({"v":3,"type":"ping"})", r, err));
+  // Wrong version (v1..v3 are the live protocol; v4 does not exist).
+  EXPECT_FALSE(service::parse_request(R"({"v":4,"type":"ping"})", r, err));
+  // subscribe is a v3 addition; older versions must not smuggle it in.
+  EXPECT_FALSE(
+      service::parse_request(R"({"v":2,"type":"subscribe","job_id":1})", r, err));
   // Missing version.
   EXPECT_FALSE(service::parse_request(R"({"type":"ping"})", r, err));
   // Unknown type.
@@ -452,6 +458,45 @@ TEST(ServiceProtocol, VersionCompatAndTraceparent) {
       service::parse_response(service::encode_response(echo), echo_back, err))
       << err;
   EXPECT_EQ(echo_back.traceparent, tp);
+}
+
+// Protocol v3 added the optional auth token, the subscribe request, and the
+// quota_rejections stats counter. v2 peers keep working; the v3 additions
+// round-trip; auth is version-agnostic (a v3 daemon demands it from every
+// peer, however old).
+TEST(ServiceProtocol, V3AuthSubscribeQuotaCompat) {
+  Request r;
+  std::string err;
+  // auth parses at any version and round-trips.
+  EXPECT_TRUE(service::parse_request(
+      R"({"v":1,"type":"ping","auth":"hunter2"})", r, err))
+      << err;
+  EXPECT_EQ(r.auth, "hunter2");
+  Request subr;
+  subr.type = service::RequestType::kSubscribe;
+  subr.job_id = 7;
+  subr.auth = "tok";
+  Request subr_back;
+  ASSERT_TRUE(
+      service::parse_request(service::encode_request(subr), subr_back, err))
+      << err;
+  EXPECT_EQ(subr_back, subr);
+  // Empty auth is a parse error, not an empty credential.
+  EXPECT_FALSE(
+      service::parse_request(R"({"v":3,"type":"ping","auth":""})", r, err));
+
+  // A v2 stats payload (no quota_rejections) parses; the counter defaults 0.
+  Response resp;
+  EXPECT_TRUE(service::parse_response(
+      R"({"v":2,"type":"stats","stats":{"queue_depth":0,"running":0,)"
+      R"("jobs_inflight":0,"admitted_prio_high":0,"admitted_prio_normal":0,)"
+      R"("admitted_prio_low":0,"submitted":0,"completed":0,"cancelled":0,)"
+      R"("failed":0,"rejected":5,"resumed":0,"slots":1,"cache_enabled":false,)"
+      R"("cache_hits":0,"cache_inserts":0,"shared_hits":0,"draining":false}})",
+      resp, err))
+      << err;
+  EXPECT_EQ(resp.stats.rejected, 5u);
+  EXPECT_EQ(resp.stats.quota_rejections, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,175 @@
+// ShardRing tests (ctest -L service): the consistent-hash ring that places
+// fleet jobs on shards. The contract under test: (1) stable_hash64 is a
+// cross-process constant — ring placement is part of the fleet's cache and
+// routing contract, so the goldens here must never change; (2) keys spread
+// within 2x of uniform across 4 shards; (3) membership changes remap only
+// the departed/arriving shard's range; (4) shard_key co-locates identical
+// tasks regardless of seed/tuner, so a shard's result cache stays hot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proptest_util.hpp"
+#include "service/protocol.hpp"
+#include "service/shard_ring.hpp"
+
+namespace glimpse {
+namespace {
+
+using service::JobSpec;
+using service::shard_key;
+using service::ShardRing;
+using service::stable_hash64;
+
+const std::vector<std::string> kFour = {"s0", "s1", "s2", "s3"};
+
+/// key -> owning shard (alias keeps template commas out of CHECK_PROP).
+using Placement = std::map<std::uint64_t, std::string>;
+
+JobSpec job(const std::string& model, const std::string& gpu,
+            std::uint64_t task_index) {
+  JobSpec j;
+  j.tuner = "random";
+  j.model = model;
+  j.gpu = gpu;
+  j.task_index = task_index;
+  j.seed = 1;
+  j.max_trials = 8;
+  return j;
+}
+
+// Goldens computed from an independent implementation of FNV-1a +
+// SplitMix64. If one of these fires, the hash changed — which silently
+// reshuffles every deployed fleet's placement. Don't "fix" the test.
+TEST(ShardRing, StableHashGoldens) {
+  EXPECT_EQ(stable_hash64(""), 0xc3817c016ba4ff30ull);
+  EXPECT_EQ(stable_hash64("glimpse"), 0x6cfc9ca88b3d114full);
+  EXPECT_EQ(stable_hash64("shard-0#0"), 0x2af707225215261bull);
+  EXPECT_EQ(shard_key(job("resnet18", "Titan Xp", 1)), 0x39b07061d4e18209ull);
+}
+
+TEST(ShardRing, PlacementIgnoresInsertionOrder) {
+  ShardRing fwd(kFour);
+  ShardRing rev({"s3", "s2", "s1", "s0"});
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = stable_hash64("key-" + std::to_string(i));
+    EXPECT_EQ(fwd.node_for(key), rev.node_for(key));
+  }
+}
+
+// Satellite requirement: across 4 shards, every shard's share of keys is
+// within 2x of uniform (between N/8 and N/2 of N keys).
+TEST(ShardRing, DistributionWithinTwiceUniform) {
+  ShardRing ring(kFour);
+  const int kKeys = 20000;
+  std::map<std::string, int> counts;
+  for (int i = 0; i < kKeys; ++i)
+    ++counts[ring.node_for(stable_hash64("job-" + std::to_string(i)))];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, n] : counts) {
+    EXPECT_GE(n, kKeys / 8) << shard << " is starved: " << n << "/" << kKeys;
+    EXPECT_LE(n, kKeys / 2) << shard << " is hot: " << n << "/" << kKeys;
+  }
+}
+
+// Satellite requirement: removing one shard remaps at most that shard's
+// range — every key that lived on a survivor stays exactly where it was.
+TEST(ShardRing, RemoveRemapsOnlyTheDepartedShardsRange) {
+  CHECK_PROP(0x5eb1ce10, 20, [](Rng& rng) {
+    ShardRing ring(kFour);
+    const std::string victim = kFour[rng.index(4)];
+    Placement before;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = static_cast<std::uint64_t>(
+          rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+      before[key] = ring.node_for(key);
+    }
+    ring.remove(victim);
+    for (const auto& [key, shard] : before) {
+      const std::string& now = ring.node_for(key);
+      if (shard != victim && now != shard) return false;  // survivor moved
+      if (shard == victim && now == victim) return false;  // not evacuated
+    }
+    return true;
+  });
+}
+
+// The mirror property: adding a shard only pulls keys onto the newcomer;
+// no key moves between pre-existing shards.
+TEST(ShardRing, AddRemapsOnlyOntoTheNewShard) {
+  CHECK_PROP(0x5eb1ce11, 20, [](Rng& rng) {
+    ShardRing ring({"s0", "s1", "s2"});
+    Placement before;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = static_cast<std::uint64_t>(
+          rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+      before[key] = ring.node_for(key);
+    }
+    ring.add("s3");
+    for (const auto& [key, shard] : before) {
+      const std::string& now = ring.node_for(key);
+      if (now != shard && now != "s3") return false;
+    }
+    return true;
+  });
+}
+
+// Remove + re-add restores the exact original placement (vnode points are
+// pure functions of the shard name), so a restarted shard owns its old keys.
+TEST(ShardRing, RemoveThenReAddRestoresPlacement) {
+  ShardRing ring(kFour);
+  Placement before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = stable_hash64("k" + std::to_string(i));
+    before[key] = ring.node_for(key);
+  }
+  ring.remove("s2");
+  ring.add("s2");
+  for (const auto& [key, shard] : before) EXPECT_EQ(ring.node_for(key), shard);
+}
+
+TEST(ShardRing, MembershipEdgeCases) {
+  ShardRing ring(kFour);
+  EXPECT_EQ(ring.size(), 4u);
+  ring.add("s0");  // duplicate add is a no-op
+  EXPECT_EQ(ring.size(), 4u);
+  ring.remove("nope");  // unknown remove is a no-op
+  EXPECT_EQ(ring.size(), 4u);
+  for (const std::string& s : kFour) ring.remove(s);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.nodes().size(), 0u);
+}
+
+// shard_key hashes the task/hardware axes only: two submissions of the same
+// task with different seeds/tuners/budgets land on the same shard (and thus
+// the same result-cache tier); changing any task axis may move it.
+TEST(ShardRing, ShardKeyColocatesIdenticalTasks) {
+  JobSpec a = job("resnet18", "RTX 3090", 5);
+  JobSpec b = a;
+  b.seed = 999;
+  b.tuner = "autotvm";
+  b.max_trials = 4000;
+  b.batch_size = 64;
+  b.plateau_trials = 12;
+  b.time_budget_s = 3.5;
+  EXPECT_EQ(shard_key(a), shard_key(b));
+  JobSpec other_task = a;
+  other_task.task_index = 6;
+  JobSpec other_gpu = a;
+  other_gpu.gpu = "Titan Xp";
+  JobSpec other_model = a;
+  other_model.model = "vgg16";
+  EXPECT_NE(shard_key(a), shard_key(other_task));
+  EXPECT_NE(shard_key(a), shard_key(other_gpu));
+  EXPECT_NE(shard_key(a), shard_key(other_model));
+  // Separator discipline: moving a character across the model/gpu boundary
+  // must change the key.
+  EXPECT_NE(shard_key(job("ab", "c", 0)), shard_key(job("a", "bc", 0)));
+}
+
+}  // namespace
+}  // namespace glimpse

@@ -37,6 +37,14 @@ Checks three file shapes, selected by content sniffing (or forced with
                      "results_identical", ...}, ...]};
                   admission must account exactly (accepted + rejected ==
                   submitted, completed + cancelled <= accepted)
+  * fleet      -- BENCH_fleet.json from bench/micro_fleet.cpp:
+                  {"hardware_concurrency", "jobs", "max_trials",
+                   "points": [{"daemons", "wall_ms", "jobs_per_s",
+                    "completed", "cache_hits", "per_shard": [...]}, ...],
+                   "scaling_4v1", "decisions_identical"};
+                  every point must complete every job, per-shard counts
+                  must sum to the point totals, and decisions_identical
+                  must be true (sharding must never change results)
 
 With --check-speedup, bench files are additionally gated against per-path
 parallel speedup floors (the perf regression gate for the thread-pool /
@@ -45,9 +53,16 @@ cannot express that parallelism (hardware_concurrency < threads_parallel,
 or fewer than 4 parallel threads), the gate skips with a warning instead
 of failing, so laptops and 1-core CI shells don't produce false alarms.
 
+With --check-fleet-scaling, fleet files are gated against the aggregate
+jobs/sec scaling floor at the largest shard count (scaling_4v1 >= 3.0).
+Like the speedup gate it skips, with a warning, on machines with fewer
+cores than the largest shard count — the bit-identity requirement is
+still enforced unconditionally by the plain fleet validation.
+
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
   tools/check_bench_json.py --check-speedup BENCH_parallel.json
+  tools/check_bench_json.py --check-fleet-scaling BENCH_fleet.json
   tools/check_bench_json.py --selftest
 
 Standard library only; exit status 0 iff every file validates.
@@ -243,6 +258,83 @@ def check_service(doc: object, name: str) -> int:
     return len(doc["scenarios"])
 
 
+def check_fleet(doc: object, name: str) -> int:
+    _require_keys(doc, {"hardware_concurrency": int, "jobs": int,
+                        "max_trials": int, "points": list,
+                        "scaling_4v1": NUMBER}, name)
+    _require(doc["hardware_concurrency"] >= 0,
+             f"{name}: negative hardware_concurrency")
+    _require(doc["jobs"] >= 1, f"{name}: jobs < 1")
+    _require(doc["scaling_4v1"] >= 0, f"{name}: negative scaling_4v1")
+    _require(isinstance(doc.get("decisions_identical"), bool),
+             f"{name}: key 'decisions_identical' must be a boolean")
+    _require(doc["decisions_identical"],
+             f"{name}: decisions_identical is false — sharding changed "
+             f"tuning results (this is a correctness bug, never skipped)")
+    _require(len(doc["points"]) > 0, f"{name}: empty points list")
+    prev_daemons = 0
+    for i, p in enumerate(doc["points"]):
+        where = f"{name}: points[{i}]"
+        _require_keys(p, {"daemons": int, "wall_ms": NUMBER,
+                          "jobs_per_s": NUMBER, "completed": int,
+                          "cache_hits": int, "per_shard": list}, where)
+        _require(p["daemons"] > prev_daemons,
+                 f"{where}: daemons must be strictly increasing")
+        prev_daemons = p["daemons"]
+        _require(p["wall_ms"] >= 0, f"{where}: negative wall_ms")
+        _require(p["jobs_per_s"] >= 0, f"{where}: negative jobs_per_s")
+        _require(p["completed"] == doc["jobs"],
+                 f"{where}: completed {p['completed']} != jobs "
+                 f"{doc['jobs']} (every point must settle every job)")
+        _require(len(p["per_shard"]) == p["daemons"],
+                 f"{where}: per_shard has {len(p['per_shard'])} entries "
+                 f"for {p['daemons']} daemon(s)")
+        completed_sum = 0
+        hits_sum = 0
+        for j, s in enumerate(p["per_shard"]):
+            swhere = f"{where}: per_shard[{j}]"
+            _require_keys(s, {"shard": str, "completed": int,
+                              "cache_hits": int}, swhere)
+            completed_sum += s["completed"]
+            hits_sum += s["cache_hits"]
+        _require(completed_sum == p["completed"],
+                 f"{where}: per-shard completed sums to {completed_sum}, "
+                 f"point says {p['completed']}")
+        _require(hits_sum == p["cache_hits"],
+                 f"{where}: per-shard cache_hits sums to {hits_sum}, "
+                 f"point says {p['cache_hits']}")
+    return len(doc["points"])
+
+
+# Aggregate jobs/sec scaling floor at the largest shard count, enforced by
+# --check-fleet-scaling on hosts with at least that many cores. Cache-warm
+# serving is almost pure orchestration, so 4 shards should deliver close
+# to 4x one shard; 3.0 leaves room for protocol and scheduler overhead.
+FLEET_SCALING_FLOOR = 3.0
+
+
+def check_fleet_scaling(doc: object, name: str,
+                        floor: float = FLEET_SCALING_FLOOR) -> str:
+    """Gate a validated fleet doc against the 4-vs-1 scaling floor.
+
+    Returns a human-readable summary; raises ValidationError on regression.
+    """
+    check_fleet(doc, name)
+    hc = doc["hardware_concurrency"]
+    max_daemons = max(p["daemons"] for p in doc["points"])
+    if 0 < hc < max_daemons:
+        return (f"fleet scaling gate SKIPPED: hardware_concurrency {hc} < "
+                f"{max_daemons} daemon(s); machine cannot express the "
+                f"parallelism being gated")
+    scaling = doc["scaling_4v1"]
+    _require(scaling >= floor,
+             f"{name}: scaling_4v1 {scaling:.2f}x is below the "
+             f"{floor:.2f}x floor at {max_daemons} daemons on {hc} cores "
+             f"(fleet scaling regression)")
+    return (f"fleet scaling gate passed: {scaling:.2f}x >= {floor:.2f}x "
+            f"at {max_daemons} daemons")
+
+
 def check_journal_lines(lines: list[str], name: str) -> int:
     errors = {"none", "transient", "timeout", "corrupt"}
     n = 0
@@ -414,10 +506,13 @@ def sniff_kind(text: str) -> str:
         return "cache"
     if isinstance(doc, dict) and "scenarios" in doc:
         return "service"
+    if isinstance(doc, dict) and "scaling_4v1" in doc:
+        return "fleet"
     return "bench"
 
 
-def check_file(path: Path, kind: str | None, gate_speedup: bool = False) -> str:
+def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
+               gate_fleet: bool = False) -> str:
     text = path.read_text()
     kind = kind or sniff_kind(text)
     if gate_speedup:
@@ -425,6 +520,11 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False) -> str:
                  f"{path}: --check-speedup only applies to bench json "
                  f"(sniffed '{kind}')")
         return check_speedup(json.loads(text), str(path))
+    if gate_fleet:
+        _require(kind == "fleet",
+                 f"{path}: --check-fleet-scaling only applies to fleet json "
+                 f"(sniffed '{kind}')")
+        return check_fleet_scaling(json.loads(text), str(path))
     if kind == "bench":
         n = check_bench(json.loads(text), str(path))
         return f"bench json, {n} path(s)"
@@ -453,6 +553,9 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False) -> str:
     if kind == "service":
         n = check_service(json.loads(text), str(path))
         return f"service json, {n} scenario(s)"
+    if kind == "fleet":
+        n = check_fleet(json.loads(text), str(path))
+        return f"fleet json, {n} point(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -560,6 +663,26 @@ VALID_SERVICE = {
          "trials_total": 0, "cache_hits": 0, "results_identical": True,
          "wall_ms": 6.2},
     ],
+}
+
+VALID_FLEET = {
+    "hardware_concurrency": 8,
+    "jobs": 48,
+    "max_trials": 16,
+    "points": [
+        {"daemons": 1, "wall_ms": 40.0, "jobs_per_s": 1200.0,
+         "completed": 48, "cache_hits": 768,
+         "per_shard": [{"shard": "s0", "completed": 48, "cache_hits": 768}]},
+        {"daemons": 4, "wall_ms": 12.0, "jobs_per_s": 4000.0,
+         "completed": 48, "cache_hits": 768,
+         "per_shard": [
+             {"shard": "s0", "completed": 8, "cache_hits": 128},
+             {"shard": "s1", "completed": 8, "cache_hits": 128},
+             {"shard": "s2", "completed": 24, "cache_hits": 384},
+             {"shard": "s3", "completed": 8, "cache_hits": 128}]},
+    ],
+    "scaling_4v1": 3.33,
+    "decisions_identical": True,
 }
 
 VALID_METRICS = "\n".join([
@@ -681,6 +804,31 @@ def selftest() -> int:
              GATED_BENCH["paths"][1], GATED_BENCH["paths"][2]])), True),
         ("speedup gate rejects non-bench input", "speedup",
          json.dumps(VALID_TRACE), False),
+        ("valid fleet sniffs without forced kind", None,
+         json.dumps(VALID_FLEET), True),
+        ("fleet point missing a job", "fleet",
+         json.dumps(dict(VALID_FLEET, points=[
+             VALID_FLEET["points"][0],
+             dict(VALID_FLEET["points"][1], completed=47)])), False),
+        ("fleet decisions not identical", "fleet",
+         json.dumps(dict(VALID_FLEET, decisions_identical=False)), False),
+        ("fleet per-shard counts do not sum", "fleet",
+         json.dumps(dict(VALID_FLEET, points=[
+             VALID_FLEET["points"][0],
+             dict(VALID_FLEET["points"][1], cache_hits=1)])), False),
+        ("fleet daemons not increasing", "fleet",
+         json.dumps(dict(VALID_FLEET, points=[
+             VALID_FLEET["points"][1],
+             VALID_FLEET["points"][0]])), False),
+        ("fleet scaling gate passes on capable hardware", "fleet-scaling",
+         json.dumps(VALID_FLEET), True),
+        ("fleet scaling gate catches a regression", "fleet-scaling",
+         json.dumps(dict(VALID_FLEET, scaling_4v1=1.2)), False),
+        ("fleet scaling gate skips on too-narrow hardware", "fleet-scaling",
+         json.dumps(dict(VALID_FLEET, hardware_concurrency=1,
+                         scaling_4v1=0.4)), True),
+        ("fleet scaling gate rejects non-fleet input", "fleet-scaling",
+         json.dumps(VALID_SERVICE), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -690,6 +838,8 @@ def selftest() -> int:
             try:
                 if kind == "speedup":
                     check_file(path, None, gate_speedup=True)
+                elif kind == "fleet-scaling":
+                    check_file(path, None, gate_fleet=True)
                 else:
                     check_file(path, kind)
                 passed = True
@@ -713,13 +863,17 @@ def main(argv: list[str]) -> int:
                         help="files to validate")
     parser.add_argument("--kind",
                         choices=["bench", "trace", "metrics", "faults",
-                                 "journal", "cache", "service"],
+                                 "journal", "cache", "service", "fleet"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
     parser.add_argument("--check-speedup", action="store_true",
                         help="gate bench files against per-path parallel "
                              "speedup floors (perf regression gate)")
+    parser.add_argument("--check-fleet-scaling", action="store_true",
+                        help="gate fleet files against the aggregate "
+                             "jobs/sec scaling floor (skips on hosts with "
+                             "fewer cores than the largest shard count)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -731,7 +885,7 @@ def main(argv: list[str]) -> int:
     for path in args.files:
         try:
             print(f"[ok] {path}: "
-                  f"{check_file(path, args.kind, args.check_speedup)}")
+                  f"{check_file(path, args.kind, args.check_speedup, args.check_fleet_scaling)}")
         except FileNotFoundError:
             print(f"[FAIL] {path}: no such file", file=sys.stderr)
             status = 1

@@ -25,7 +25,10 @@ namespace {
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "glimpse_client: " << error << "\n";
   std::cerr <<
-      "usage: glimpse_client (--unix PATH | --tcp [HOST:]PORT) COMMAND\n"
+      "usage: glimpse_client (--unix PATH | --tcp [HOST:]PORT)"
+      " [--auth TOKEN] COMMAND\n"
+      "  --auth TOKEN   shared-secret for daemons started with --auth\n"
+      "                 (default: GLIMPSE_AUTH environment variable)\n"
       "commands:\n"
       "  ping\n"
       "  submit --client NAME [--priority P] [--tuner T] [--model M]\n"
@@ -33,6 +36,7 @@ namespace {
       "         [--batch N] [--plateau N] [--time-budget S] [--wait]\n"
       "  status JOB_ID\n"
       "  result JOB_ID [--wait]\n"
+      "  subscribe JOB_ID   (stream status pushes until the job settles)\n"
       "  cancel JOB_ID\n"
       "  stats | drain | shutdown\n";
   std::exit(2);
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
   std::string unix_path;
   std::string tcp_host = "127.0.0.1";
   int tcp_port = -1;
+  std::string auth;
+  if (const char* env = std::getenv("GLIMPSE_AUTH")) auth = env;
   int i = 1;
   auto next = [&](const std::string& flag) -> std::string {
     if (i + 1 >= argc) usage(flag + " needs a value");
@@ -111,6 +117,8 @@ int main(int argc, char** argv) {
       }
       tcp_port = std::atoi(v.c_str());
       if (tcp_port <= 0) usage("bad --tcp port");
+    } else if (arg == "--auth") {
+      auth = next(arg);
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -124,6 +132,7 @@ int main(int argc, char** argv) {
   try {
     Client client = unix_path.empty() ? Client::connect_tcp(tcp_host, tcp_port)
                                       : Client::connect_unix(unix_path);
+    client.set_auth(auth);
 
     if (command == "ping") return print_and_exit_code(client.ping());
     if (command == "stats") {
@@ -145,6 +154,16 @@ int main(int argc, char** argv) {
       if (command == "status") return print_and_exit_code(client.status(id));
       if (command == "cancel") return print_and_exit_code(client.cancel(id));
       return print_and_exit_code(client.result(id, wait));
+    }
+
+    if (command == "subscribe") {
+      if (i >= argc) usage("subscribe needs a JOB_ID");
+      std::uint64_t id = parse_id(argv[i++]);
+      if (i < argc) usage(std::string("unexpected argument ") + argv[i]);
+      Response final_resp = client.subscribe(id, [](const Response& interim) {
+        std::cout << encode_response(interim) << std::endl;
+      });
+      return print_and_exit_code(final_resp);
     }
 
     if (command == "submit") {

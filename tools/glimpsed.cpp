@@ -26,6 +26,20 @@
 //   --max-queue N      admission bound on queued jobs (default 64)
 //   --max-per-client N per-client admission bound (default 0 = none)
 //
+// Fleet flags (multi-daemon deployments behind a ShardRing / glimpse-router):
+//   --shard-name NAME  this daemon's identity on the consistent-hash ring;
+//                      required with --cache-shared
+//   --cache-shared DIR shared result-cache directory: this shard appends to
+//                      DIR/tier-NAME.jsonl and merges every peer tier, so a
+//                      hit on any shard eventually serves all shards
+//                      (overrides --cache)
+//   --auth TOKEN       shared-secret: refuse any request whose "auth" field
+//                      does not match (default: GLIMPSE_AUTH, else open)
+//   --tcp-any          bind --tcp on 0.0.0.0 instead of loopback; refused
+//                      unless an auth token is set
+//   --quota-gpu-s S    per-client simulated-GPU-seconds budget; submissions
+//                      beyond it are rejected (0 = unlimited)
+//
 // On successful startup one ready line is printed to stdout:
 //   glimpsed ready unix=<path|-> tcp=<port|-> spool=<dir|-> resumed=<n>
 // Tests and wrappers block on that line before connecting. SIGINT/SIGTERM
@@ -60,7 +74,8 @@ void on_signal(int) {
   std::cerr << "usage: " << argv0
             << " [--unix PATH] [--tcp PORT] [--spool DIR] [--spool-retain N]"
                " [--slots N] [--cache off|mem|PATH] [--max-queue N]"
-               " [--max-per-client N]\n";
+               " [--max-per-client N] [--shard-name NAME] [--cache-shared DIR]"
+               " [--auth TOKEN] [--tcp-any] [--quota-gpu-s S]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -75,6 +90,7 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("GLIMPSE_RESULT_CACHE"))
     mopts.cache = env;
   service::ServerOptions sopts;
+  if (const char* env = std::getenv("GLIMPSE_AUTH")) sopts.auth_token = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +122,18 @@ int main(int argc, char** argv) {
       int v = std::atoi(next().c_str());
       if (v < 0) usage(argv[0], "--max-per-client must be >= 0");
       mopts.queue.max_per_client = static_cast<std::size_t>(v);
+    } else if (arg == "--shard-name") {
+      mopts.shard_name = next();
+    } else if (arg == "--cache-shared") {
+      mopts.cache_shared_dir = next();
+    } else if (arg == "--auth") {
+      sopts.auth_token = next();
+      if (sopts.auth_token.empty()) usage(argv[0], "--auth token is empty");
+    } else if (arg == "--tcp-any") {
+      sopts.tcp_bind_any = true;
+    } else if (arg == "--quota-gpu-s") {
+      mopts.quota_gpu_s = std::atof(next().c_str());
+      if (mopts.quota_gpu_s < 0.0) usage(argv[0], "--quota-gpu-s must be >= 0");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -114,6 +142,8 @@ int main(int argc, char** argv) {
   }
   if (sopts.unix_path.empty() && sopts.tcp_port < 0)
     sopts.unix_path = "glimpsed.sock";
+  if (!mopts.cache_shared_dir.empty() && mopts.shard_name.empty())
+    usage(argv[0], "--cache-shared requires --shard-name");
 
   try {
     service::SessionManager manager(mopts);
@@ -135,7 +165,9 @@ int main(int argc, char** argv) {
               << (sopts.unix_path.empty() ? "-" : sopts.unix_path)
               << " tcp=" << server.tcp_port() << " spool="
               << (mopts.spool_dir.empty() ? "-" : mopts.spool_dir)
-              << " resumed=" << manager.recovered() << std::endl;
+              << " resumed=" << manager.recovered()
+              << " shard=" << (mopts.shard_name.empty() ? "-" : mopts.shard_name)
+              << std::endl;
 
     server.wait_shutdown();
     server.stop();
