@@ -87,16 +87,73 @@ double AutoTvmTuner::score(const tuning::Config& c) const {
   return transfer_model_->predict(tl_features(task_, c));
 }
 
+void AutoTvmTuner::set_warm_start(const std::vector<tuning::Config>& configs,
+                                  const std::vector<double>& scores) {
+  GLIMPSE_CHECK(configs.size() == scores.size());
+  // Advisory only before the first proposal: a resumed session restores its
+  // checkpointed warm state and must not adopt whatever the (since-grown)
+  // tiers would suggest today — that would diverge from the uninterrupted run.
+  if (proposed_any_) return;
+  warm_configs_.clear();
+  warm_scores_.clear();
+  warm_proposed_ = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!task_.space().contains(configs[i])) continue;  // foreign-task seed
+    bool dup = false;
+    for (const auto& c : warm_configs_)
+      if (c == configs[i]) {
+        dup = true;
+        break;
+      }
+    if (dup) continue;
+    warm_configs_.push_back(configs[i]);
+    warm_scores_.push_back(std::clamp(scores[i], 0.0, 1.0));
+  }
+}
+
+void AutoTvmTuner::warm_fill(std::vector<tuning::Config>& out, std::size_t n) {
+  while (warm_proposed_ < warm_configs_.size() && out.size() < n) {
+    const tuning::Config& c = warm_configs_[warm_proposed_++];
+    if (is_visited(c)) continue;  // already measured; no need to repropose
+    mark_visited(c);
+    out.push_back(c);
+  }
+}
+
+std::vector<tuning::Config> AutoTvmTuner::sa_init() const {
+  std::vector<tuning::Config> init;
+  if (!best_config_.empty()) init.push_back(best_config_);
+  // Warm seeds stay SA chain starts for the whole session: even after the
+  // local model takes over, the donor's good region remains a basin worth
+  // descending from.
+  for (const auto& c : warm_configs_) init.push_back(c);
+  return init;
+}
+
 void AutoTvmTuner::maybe_refit() {
-  if (!needs_refit_ || num_valid_measured() < options_.min_data_to_fit) return;
+  if (!needs_refit_) return;
+  // Warm seeds count toward the fit threshold: each carries a donor-measured
+  // prior score, so the surrogate can come online rounds earlier than a cold
+  // run. At least one local measurement is still required — the first fit
+  // must be anchored to this device's truth (and best_gflops_ > 0 needs it).
+  const std::size_t valid = num_valid_measured();
+  if (valid == 0 || valid + warm_configs_.size() < options_.min_data_to_fit)
+    return;
   std::vector<linalg::Vector> rows;
   linalg::Vector y;
-  rows.reserve(measured_configs_.size());
+  rows.reserve(measured_configs_.size() + warm_configs_.size());
   for (std::size_t i = 0; i < measured_configs_.size(); ++i) {
     rows.push_back(config_features(task_, measured_configs_[i]));
     y.push_back((measured_results_[i].valid && best_gflops_ > 0.0)
                     ? measured_results_[i].gflops / best_gflops_
                     : 0.0);
+  }
+  // Prior rows: donor-relative scores for the warm seeds. Where a seed has
+  // also been measured locally the two rows disagree by exactly the transfer
+  // error, and the growing local history outvotes the fixed prior over time.
+  for (std::size_t i = 0; i < warm_configs_.size(); ++i) {
+    rows.push_back(config_features(task_, warm_configs_[i]));
+    y.push_back(warm_scores_[i]);
   }
   local_model_.fit(linalg::Matrix::from_rows(rows), y, rng_);
   local_fitted_ = true;
@@ -104,12 +161,15 @@ void AutoTvmTuner::maybe_refit() {
 }
 
 std::vector<tuning::Config> AutoTvmTuner::propose(std::size_t n) {
+  proposed_any_ = true;
   maybe_refit();
   std::vector<tuning::Config> out;
+  warm_fill(out, n);  // seeds first: measure the donors' winners immediately
+  if (out.size() >= n) return out;
 
   if (!model_ready()) {
     // Cold start: pure random until the first model fit is possible.
-    for (std::size_t i = 0; i < n; ++i) {
+    while (out.size() < n) {
       tuning::Config c;
       if (!random_unvisited(c)) break;
       mark_visited(c);
@@ -119,18 +179,19 @@ std::vector<tuning::Config> AutoTvmTuner::propose(std::size_t n) {
   }
 
   // Plan candidates by simulated annealing over the model, seeding chains
-  // with the best measured configs.
-  std::vector<tuning::Config> init;
-  if (!best_config_.empty()) init.push_back(best_config_);
+  // with the best measured configs and the warm seeds.
   tuning::SaResult sa = tuning::simulated_annealing(
       task_.space(), [this](const tuning::Config& c) { return score(c); },
-      options_.plan_size, rng_, options_.sa, std::move(init));
+      options_.plan_size, rng_, options_.sa, sa_init());
 
-  // Epsilon-greedy batch: top-scoring unvisited candidates plus random picks.
-  std::size_t n_random = static_cast<std::size_t>(options_.epsilon * n + 0.5);
-  std::size_t n_top = n - std::min(n, n_random);
+  // Epsilon-greedy batch over the remaining capacity: top-scoring unvisited
+  // candidates plus random picks.
+  const std::size_t want = n - out.size();
+  std::size_t n_random = static_cast<std::size_t>(options_.epsilon * want + 0.5);
+  std::size_t n_top = want - std::min(want, n_random);
+  const std::size_t top_goal = out.size() + n_top;
   for (const auto& c : sa.configs) {
-    if (out.size() >= n_top) break;
+    if (out.size() >= top_goal) break;
     if (is_visited(c)) continue;
     mark_visited(c);
     out.push_back(c);
@@ -151,17 +212,38 @@ void AutoTvmTuner::update(const std::vector<tuning::Config>& configs,
 }
 
 void AutoTvmTuner::save(TextWriter& w) const {
-  w.tag("autotvm_v1");
+  w.tag("autotvm_v2");
   TunerBase::save(w);
   w.scalar_u(needs_refit_ ? 1 : 0);
   w.scalar_u(local_fitted_ ? 1 : 0);
+  // Warm-start state: the seeds are part of the search trajectory (SA init,
+  // prior fit rows, proposal queue), so resume must restore exactly what the
+  // session started with — not re-ask the advisor, whose answer changes as
+  // the fleet's tiers grow.
+  w.scalar_u(warm_configs_.size());
+  for (std::size_t i = 0; i < warm_configs_.size(); ++i) {
+    tuning::write_config(w, warm_configs_[i]);
+    w.scalar(warm_scores_[i]);
+  }
+  w.scalar_u(warm_proposed_);
+  w.scalar_u(proposed_any_ ? 1 : 0);
 }
 
 void AutoTvmTuner::load(TextReader& r) {
-  r.expect("autotvm_v1");
+  r.expect("autotvm_v2");
   TunerBase::load(r);
   needs_refit_ = r.scalar_u() != 0;
   bool had_fit = r.scalar_u() != 0;
+  const std::size_t nw = r.scalar_u();
+  GLIMPSE_CHECK(nw <= 4096) << "implausible warm-seed count " << nw;
+  warm_configs_.clear();
+  warm_scores_.clear();
+  for (std::size_t i = 0; i < nw; ++i) {
+    warm_configs_.push_back(tuning::read_config(r));
+    warm_scores_.push_back(r.scalar());
+  }
+  warm_proposed_ = r.scalar_u();
+  proposed_any_ = r.scalar_u() != 0;
   // The model weights are not in the snapshot; force a deterministic lazy
   // refit from the restored history + rng. Session snapshots are always
   // taken right after update(), so the uninterrupted run refits at the same

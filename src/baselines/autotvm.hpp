@@ -45,11 +45,22 @@ class AutoTvmTuner : public tuning::TunerBase {
   void update(const std::vector<tuning::Config>& configs,
               const std::vector<tuning::MeasureResult>& results) override;
 
-  /// Checkpoints chain TunerBase state plus the fit flags. The GBT model
-  /// itself is not serialized: snapshots are written right after update()
-  /// (which marks the model dirty), so a resumed tuner lazily refits from
-  /// the restored history and rng at its next propose() — the same fit, at
-  /// the same point, from the same rng state as the uninterrupted run.
+  /// Warm start (tuning/warmstart.hpp): the seeds are proposed first — ahead
+  /// of cold-start random — so the donor-measured winners enter the history
+  /// immediately; they also join the SA init chains and enter the GBT fit as
+  /// prior rows that count toward min_data_to_fit, so the surrogate comes
+  /// online rounds earlier than a cold run. Ignored after the first
+  /// propose() (a resumed session must keep its checkpointed warm state, not
+  /// whatever the advisor would compute today).
+  void set_warm_start(const std::vector<tuning::Config>& configs,
+                      const std::vector<double>& scores) override;
+
+  /// Checkpoints chain TunerBase state plus the fit flags and warm-start
+  /// state. The GBT model itself is not serialized: snapshots are written
+  /// right after update() (which marks the model dirty), so a resumed tuner
+  /// lazily refits from the restored history and rng at its next propose() —
+  /// the same fit, at the same point, from the same rng state as the
+  /// uninterrupted run.
   void save(TextWriter& w) const override;
   void load(TextReader& r) override;
 
@@ -60,11 +71,24 @@ class AutoTvmTuner : public tuning::TunerBase {
   void maybe_refit();
   std::size_t num_valid_measured() const;
 
+  /// Emit not-yet-proposed warm seeds into `out` (up to `n` total entries),
+  /// marking them visited. Called at the top of every propose() path,
+  /// including ChameleonTuner's.
+  void warm_fill(std::vector<tuning::Config>& out, std::size_t n);
+  /// SA chain seeds: best measured config plus the warm seeds.
+  std::vector<tuning::Config> sa_init() const;
+
   AutoTvmOptions options_;
   std::shared_ptr<const ml::GbtRegressor> transfer_model_;
   ml::GbtRegressor local_model_;
   bool needs_refit_ = true;
   bool local_fitted_ = false;
+
+  // Warm-start state (checkpointed; see set_warm_start).
+  std::vector<tuning::Config> warm_configs_;
+  std::vector<double> warm_scores_;
+  std::size_t warm_proposed_ = 0;  ///< seeds already emitted by warm_fill
+  bool proposed_any_ = false;      ///< set_warm_start is a no-op once true
 };
 
 tuning::TunerFactory autotvm_factory(

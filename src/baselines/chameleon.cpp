@@ -34,23 +34,29 @@ tuning::Config ChameleonTuner::synthesize(
 
 std::vector<tuning::Config> ChameleonTuner::propose(std::size_t n) {
   maybe_refit();
-  if (!model_ready()) return AutoTvmTuner::propose(n);
+  if (!model_ready()) return AutoTvmTuner::propose(n);  // warm_fill inside
 
-  // Adaptive Exploration: anneal with the current (decayed) step budget.
+  // Warm seeds first, even on the adaptive path: a late-arriving model must
+  // not strand unproposed donor winners.
+  std::vector<tuning::Config> warm;
+  warm_fill(warm, n);
+  if (warm.size() >= n) return warm;
+  const std::size_t rem = n - warm.size();
+
+  // Adaptive Exploration: anneal with the current (decayed) step budget,
+  // chains seeded with the best measured config plus the warm seeds.
   tuning::SaOptions sa_opts = copts_.base.sa;
   sa_opts.num_steps = sa_steps_;
-  std::vector<tuning::Config> init;
-  if (!best_config_.empty()) init.push_back(best_config_);
   tuning::SaResult sa = tuning::simulated_annealing(
       task_.space(), [this](const tuning::Config& c) { return score(c); },
-      copts_.candidate_pool, rng_, sa_opts, std::move(init));
+      copts_.candidate_pool, rng_, sa_opts, sa_init());
 
   // Keep unvisited candidates only.
   std::vector<const tuning::Config*> pool;
   for (const auto& c : sa.configs)
     if (!is_visited(c)) pool.push_back(&c);
-  if (pool.size() <= n) {
-    std::vector<tuning::Config> out;
+  if (pool.size() <= rem) {
+    std::vector<tuning::Config> out = std::move(warm);
     for (const auto* c : pool) {
       mark_visited(*c);
       out.push_back(*c);
@@ -70,13 +76,13 @@ std::vector<tuning::Config> ChameleonTuner::propose(std::size_t n) {
   // fewer real measurements per round than AutoTVM. Each cluster
   // contributes its best-scoring member, unless the synthesized per-knob
   // mode config scores higher (Chameleon's "sample synthesis").
-  std::size_t k = std::max<std::size_t>(2, n * 3 / 4);
+  std::size_t k = std::max<std::size_t>(2, rem * 3 / 4);
   std::vector<linalg::Vector> rows;
   rows.reserve(pool.size());
   for (const auto* c : pool) rows.push_back(config_features(task_, *c));
   ml::KMeansResult km = ml::kmeans(linalg::Matrix::from_rows(rows), k, rng_);
 
-  std::vector<tuning::Config> out;
+  std::vector<tuning::Config> out = std::move(warm);
   for (std::size_t j = 0; j < k; ++j) {
     std::vector<const tuning::Config*> members;
     for (std::size_t i = 0; i < pool.size(); ++i)
@@ -99,6 +105,12 @@ std::vector<tuning::Config> ChameleonTuner::propose(std::size_t n) {
     if (is_visited(chosen)) continue;
     mark_visited(chosen);
     out.push_back(std::move(chosen));
+    // k = max(2, ...) can exceed what the batch has room for once warm
+    // seeds occupy part of it (and on a 1-trial tail batch). Overshooting
+    // breaks the session's max_trials accounting — and with it checkpoint
+    // batch boundaries, so a killed-and-resumed run would walk a different
+    // trajectory than the uninterrupted one.
+    if (out.size() >= n) break;
   }
   if (out.empty()) {  // degenerate round: fall back to one random probe
     tuning::Config c;
@@ -125,14 +137,14 @@ void ChameleonTuner::update(const std::vector<tuning::Config>& configs,
 }
 
 void ChameleonTuner::save(TextWriter& w) const {
-  w.tag("chameleon_v1");
+  w.tag("chameleon_v2");  // chains autotvm_v2 (warm-start state)
   AutoTvmTuner::save(w);
   w.scalar_u(static_cast<std::size_t>(sa_steps_));
   w.scalar(last_round_best_);
 }
 
 void ChameleonTuner::load(TextReader& r) {
-  r.expect("chameleon_v1");
+  r.expect("chameleon_v2");
   AutoTvmTuner::load(r);
   sa_steps_ = static_cast<int>(r.scalar_u());
   last_round_best_ = r.scalar();

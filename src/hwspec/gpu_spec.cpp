@@ -54,6 +54,8 @@ const std::vector<std::string>& GpuSpec::feature_names() {
   return names;
 }
 
-std::uint64_t GpuSpec::seed() const { return fnv1a(name); }
+std::uint64_t GpuSpec::seed() const {
+  return quirk_seed != 0 ? quirk_seed : fnv1a(name);
+}
 
 }  // namespace glimpse::hwspec

@@ -51,14 +51,24 @@ struct GpuSpec {
 
   int tdp_watts = 0;
 
+  /// Per-device quirk identity. The datasheet numbers above describe the
+  /// *model*; two physical boards of the same model can still differ (binning,
+  /// thermal paste, firmware revisions), which the simulator models as a
+  /// quirk factor keyed off seed(). 0 means "derive from the name" — the
+  /// common one-board-per-model case; tests and fleet configs set it to give
+  /// a board an identity distinct from its datasheet twin.
+  std::uint64_t quirk_seed = 0;
+
   /// Numeric datasheet feature vector (the raw input to the Blueprint
-  /// embedding). Order matches feature_names().
+  /// embedding). Order matches feature_names(). Deliberately excludes
+  /// quirk_seed: the Blueprint is datasheet-only (paper §3.1).
   linalg::Vector to_features() const;
 
   /// Names of the entries of to_features(), in order.
   static const std::vector<std::string>& feature_names();
 
-  /// Deterministic seed derived from the GPU name (for simulator noise).
+  /// Deterministic seed for the simulator's per-device quirk/noise streams:
+  /// quirk_seed if set, else derived from the GPU name.
   std::uint64_t seed() const;
 };
 

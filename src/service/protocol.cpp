@@ -498,7 +498,7 @@ bool parse_job_spec(const JsonValue& obj, JobSpec& out, std::string& error) {
   }
   if (!check_keys(obj,
                   {"tuner", "model", "task", "gpu", "seed", "max_trials",
-                   "batch_size", "plateau", "time_budget_s"},
+                   "batch_size", "plateau", "time_budget_s", "warmstart"},
                   error))
     return false;
   JobSpec spec;
@@ -512,6 +512,7 @@ bool parse_job_spec(const JsonValue& obj, JobSpec& out, std::string& error) {
   if (!get_u64(obj, "plateau", spec.plateau_trials, 0, 1000000, error)) return false;
   if (!get_nonneg_double(obj, "time_budget_s", spec.time_budget_s, error))
     return false;
+  if (!get_bool(obj, "warmstart", spec.warmstart, error, false)) return false;
   out = std::move(spec);
   return true;
 }
@@ -527,6 +528,8 @@ void write_job_spec(JsonWriter& w, const JobSpec& spec) {
   w.kv("batch_size", spec.batch_size);
   w.kv("plateau", spec.plateau_trials);
   w.kv("time_budget_s", spec.time_budget_s);
+  // Omitted when true (the default) so old peers never see the key.
+  if (!spec.warmstart) w.kv("warmstart", spec.warmstart);
   w.end_object();
 }
 

@@ -75,6 +75,11 @@ struct JobSpec {
   std::uint64_t batch_size = 8;
   std::uint64_t plateau_trials = 0;  ///< 0 disables plateau stopping
   double time_budget_s = 0.0;        ///< simulated seconds; 0 = unlimited
+  /// Let the daemon seed this job from its warm-start advisor (ignored by
+  /// daemons started without --warmstart). Default true; encoded on the
+  /// wire only when false, so every pre-warmstart message still parses and
+  /// old daemons never see the key.
+  bool warmstart = true;
 
   friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };

@@ -22,6 +22,7 @@
 #include "tuning/checkpoint.hpp"
 #include "tuning/result_cache.hpp"
 #include "tuning/scheduler.hpp"
+#include "tuning/warmstart.hpp"
 
 namespace glimpse::service {
 
@@ -81,6 +82,24 @@ SessionManager::SessionManager(SessionManagerOptions options)
     tuning::ResultCacheOptions copts;
     if (options_.cache != "mem") copts.path = options_.cache;
     cache_ = std::make_unique<tuning::ResultCache>(copts);
+  }
+  if (options_.warmstart) {
+    tuning::WarmStartOptions wopts;
+    wopts.shared_dir = options_.cache_shared_dir;
+    if (!options_.warmstart_predictor.empty()) {
+      try {
+        predictor_ = std::make_unique<tuning::ConfigPredictor>(
+            tuning::ConfigPredictor::load_file(options_.warmstart_predictor));
+        if (!predictor_->fitted())
+          throw std::runtime_error("predictor file holds an unfitted model");
+        wopts.predictor = predictor_.get();
+      } catch (const std::exception& e) {
+        LOG_WARN << "warm-start predictor " << options_.warmstart_predictor
+                 << " unusable (" << e.what() << "); continuing without it";
+        predictor_.reset();
+      }
+    }
+    advisor_ = std::make_unique<tuning::WarmStartAdvisor>(std::move(wopts));
   }
   scheduler_ = std::make_unique<tuning::Scheduler>(
       tuning::SchedulerOptions{options_.slots});
@@ -205,6 +224,14 @@ void SessionManager::build_runtime(JobRecord& rec) {
     // keep whatever it decided.
     sess.resume_from = rec.sess.resume_from;
   }
+  if (advisor_ && rec.spec.warmstart && rec.spec.tuner != "random") {
+    // Seeds reach the tuner via Scheduler::add_job *before* any checkpoint
+    // restore, so a resumed job keeps its serialized warm state (part of
+    // the recorded search trajectory) instead of today's advice.
+    tuning::WarmStart ws = advisor_->advise(*rec.task, *rec.hw);
+    sess.warm_configs = std::move(ws.configs);
+    sess.warm_scores = std::move(ws.scores);
+  }
   rec.sess = std::move(sess);
 }
 
@@ -250,14 +277,16 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
     auto spent = quota_spent_.find(client);
     if (spent != quota_spent_.end() && spent->second >= options_.quota_gpu_s) {
       // Queue slots bound concurrency; this bounds total simulated GPU time
-      // a client can burn. The rejection is advisory-retryable: running
-      // jobs never stop charging, but an operator can restart or raise the
-      // quota, so a retry hint beats a hard error.
+      // a client can burn. Quotas never replenish within a daemon lifetime —
+      // spent time only grows — so a retry hint would send clients into an
+      // infinite retry loop. retry_after_s = 0 means "terminal: don't
+      // retry"; only an operator restarting the daemon or raising the quota
+      // can clear it.
       ++rejected_;
       ++quota_rejections_;
       r.type = ResponseType::kRejected;
       r.reason = "quota_exhausted";
-      r.retry_after_s = options_.queue.retry_after_s;
+      r.retry_after_s = 0.0;
       return r;
     }
   }

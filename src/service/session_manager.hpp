@@ -41,8 +41,10 @@ namespace glimpse::searchspace {
 class TaskSet;
 }
 namespace glimpse::tuning {
+class ConfigPredictor;
 class ResultCache;
 class Scheduler;
+class WarmStartAdvisor;
 }
 
 namespace glimpse::service {
@@ -73,6 +75,17 @@ struct SessionManagerOptions {
   double quota_gpu_s = 0.0;
   /// Session checkpoint cadence, in batches (spooled daemons only).
   std::size_t checkpoint_every_batches = 1;
+  /// Warm-start advisor (tuning/warmstart.hpp): before an autotvm/chameleon
+  /// job's first proposal, mine the shared cache tiers for same-task donor
+  /// entries, weight them by Blueprint distance, and seed the tuner with the
+  /// top-k. Off by default — cold start is byte-for-byte the pre-warmstart
+  /// behaviour. Clients can opt a single job out (JobSpec::warmstart).
+  bool warmstart = false;
+  /// Optional learned ConfigPredictor file (train with glimpse_warmstart)
+  /// blended into the advisor's donor scores and used for predictor-only
+  /// seeding when the tiers hold no donor. An unreadable or unfitted file
+  /// logs a warning and is ignored — it never takes the daemon down.
+  std::string warmstart_predictor;
   /// Settled jobs kept in the spool across restarts. recover_spool()
   /// garbage-collects all but the newest `spool_retain` settled entries
   /// (their spec/result files are deleted and they are not reloaded), so
@@ -186,6 +199,8 @@ class SessionManager : public RequestHandler {
   std::unique_ptr<tuning::Scheduler> scheduler_;
 
   std::unique_ptr<tuning::ResultCache> cache_;
+  std::unique_ptr<tuning::ConfigPredictor> predictor_;
+  std::unique_ptr<tuning::WarmStartAdvisor> advisor_;
   std::map<std::string, std::unique_ptr<searchspace::TaskSet>> task_sets_;
   std::mutex task_sets_mu_;
 

@@ -35,6 +35,7 @@ void write_cache_line(std::ostream& os, const CacheKey& key,
                       const gpusim::MeasureResult& r) {
   JsonWriter w(os, /*indent=*/0);
   w.begin_object();
+  w.kv("fpv", kCacheLineFpVersion);
   w.kv("task_fp", hex_u64(key.task_fp));
   w.kv("hw_fp", hex_u64(key.hw_fp));
   w.key("config");
@@ -157,14 +158,28 @@ class LineScanner {
   const char* end_;
 };
 
-/// Parse one entry line. Returns false when the line is not syntactically an
-/// entry (rejected). On success, `stale` flags entries that parse but carry
-/// impossible payloads — they must not be served.
+}  // namespace
+
+// Declared in the header (warm-start reads tier lines directly); the writer
+// above stays file-local so every line flows through the cache.
 bool parse_cache_line(const std::string& line, CacheKey& key,
                       gpusim::MeasureResult& r, bool& stale) {
   LineScanner s(line);
   std::uint64_t reason = 0, error = 0, attempts = 0;
-  if (!s.lit("{\"task_fp\":") || !s.quoted_hex(key.task_fp)) return false;
+  // "fpv" was introduced with fingerprint scheme 2. Older lines lack it;
+  // they still parse (lit() consumes nothing on a failed match, so the probe
+  // is a pure peek) but classify stale below — their fingerprints were
+  // computed without the per-device quirk seed, so serving them could hand a
+  // quirked board its datasheet twin's costs.
+  std::uint64_t fpv = 0;
+  bool have_fpv = false;
+  if (s.lit("{\"fpv\":")) {
+    if (!s.uint_val(fpv) || !s.lit(",\"task_fp\":")) return false;
+    have_fpv = true;
+  } else if (!s.lit("{\"task_fp\":")) {
+    return false;
+  }
+  if (!s.quoted_hex(key.task_fp)) return false;
   if (!s.lit(",\"hw_fp\":") || !s.quoted_hex(key.hw_fp)) return false;
   if (!s.lit(",\"config\":") || !s.config(key.config)) return false;
   if (!s.lit(",\"valid\":") || !s.boolean(r.valid)) return false;
@@ -182,7 +197,10 @@ bool parse_cache_line(const std::string& line, CacheKey& key,
 
   // Semantic validation: the payload must be a result this codebase could
   // have produced. Anything else is stale — parseable, but not servable.
-  stale = reason > static_cast<std::uint64_t>(gpusim::InvalidReason::kLaunchFailed) ||
+  // A missing or foreign "fpv" is stale for the same reason: the line's
+  // fingerprints came from different math than the ones we look up with.
+  stale = !have_fpv || fpv != kCacheLineFpVersion ||
+          reason > static_cast<std::uint64_t>(gpusim::InvalidReason::kLaunchFailed) ||
           error != 0 ||  // only settled results are ever written
           attempts < 1 || attempts > 1000 || key.config.empty() ||
           !std::isfinite(r.cost_s) || r.cost_s < 0.0 ||
@@ -191,8 +209,6 @@ bool parse_cache_line(const std::string& line, CacheKey& key,
           (!r.valid && (r.latency_s != 0.0 || r.gflops != 0.0));
   return true;
 }
-
-}  // namespace
 
 std::uint64_t task_fingerprint(const searchspace::Task& task) {
   std::uint64_t h = fnv1a(task.name());
@@ -210,6 +226,11 @@ std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw) {
   linalg::Vector f = hw.to_features();
   h = hash_combine(h, f.size());
   for (double v : f) h = hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  // The per-device quirk identity. The simulator's quirk factor is keyed off
+  // hw.seed(), so two boards with identical datasheets but different quirk
+  // seeds measure different costs — they must never share cache entries.
+  // (Scheme version kCacheLineFpVersion = 2; bump it if this changes again.)
+  h = hash_combine(h, hw.seed());
   return h;
 }
 
@@ -411,6 +432,7 @@ std::size_t ResultCache::sync_peers() {
       const std::string line = chunk.substr(start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;
+      ++stats_.peer_lines_parsed;
       CacheKey key;
       gpusim::MeasureResult r;
       bool stale = false;

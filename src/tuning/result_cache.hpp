@@ -65,9 +65,19 @@ namespace glimpse::tuning {
 /// and nominal FLOPs. Stable across processes.
 std::uint64_t task_fingerprint(const searchspace::Task& task);
 
-/// Digest of the hardware side: GPU name plus the full datasheet feature
-/// vector (bit-exact), so edited specs invalidate old entries.
+/// Digest of the hardware side: GPU name, the full datasheet feature vector
+/// (bit-exact), and the per-device quirk seed. The quirk seed matters: two
+/// boards with identical datasheets but different quirk factors measure
+/// different costs, so sharing cache entries between them would serve wrong
+/// results. Bumping the scheme requires bumping kCacheLineFpVersion so old
+/// tier lines classify stale instead of colliding.
 std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw);
+
+/// Version of the fingerprint scheme embedded in disk-tier lines ("fpv").
+/// Lines written under a different scheme — or before the field existed —
+/// parse but classify stale: their fingerprints were computed by different
+/// math, so serving them would attribute results to the wrong device.
+inline constexpr std::uint64_t kCacheLineFpVersion = 2;
 
 struct CacheKey {
   std::uint64_t task_fp = 0;
@@ -84,6 +94,14 @@ struct CacheKeyHash {
     return static_cast<std::size_t>(h);
   }
 };
+
+/// Parse one disk-tier JSONL line. Returns false when the line is not
+/// syntactically an entry (rejected). On success, `stale` flags entries that
+/// must not be served: impossible payloads, or fingerprints from an old
+/// scheme (missing/mismatched "fpv"). Exposed for the warm-start donor
+/// reader, which scans tier files without materializing a ResultCache.
+bool parse_cache_line(const std::string& line, CacheKey& key,
+                      gpusim::MeasureResult& r, bool& stale);
 
 struct ResultCacheOptions {
   /// In-memory LRU capacity (entries). Must be >= 1.
@@ -110,6 +128,11 @@ struct ResultCacheStats {
   std::uint64_t compact_merged = 0;
   /// Entries adopted from peer shards' tiers by sync_peers().
   std::uint64_t peer_merged = 0;
+  /// Non-empty peer tier lines run through the parser by sync_peers().
+  /// Adoption is incremental (per-file byte offsets), so across a cache's
+  /// lifetime each peer line is parsed at most once unless a peer compacts
+  /// underneath us (which rewinds that peer's offset). Regression-tested.
+  std::uint64_t peer_lines_parsed = 0;
 };
 
 class ResultCache {

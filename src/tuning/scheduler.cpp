@@ -88,6 +88,16 @@ std::size_t Scheduler::add_job(ScheduledJob job) {
   s.hw_fp = hardware_fingerprint(*job.hw);
   s.st.task_name = job.task->name();
   s.st.hw_name = job.hw->name;
+  // Warm-start seeds go in before any checkpoint restore: load() overwrites
+  // the tuner's warm state with what the interrupted session actually
+  // started with, which is the bit-identical-resume contract (the advisor's
+  // answer drifts as the fleet's tiers grow).
+  if (!job.options.warm_configs.empty()) {
+    GLIMPSE_CHECK(job.options.warm_configs.size() ==
+                  job.options.warm_scores.size())
+        << "warm_configs/warm_scores misaligned for job " << j;
+    job.tuner->set_warm_start(job.options.warm_configs, job.options.warm_scores);
+  }
   if (!job.options.resume_from.empty()) {
     load_checkpoint(job.options.resume_from, s.st, *job.tuner, *job.measurer);
     GLIMPSE_CHECK(s.st.task_name == checkpoint_word(job.task->name()) &&

@@ -100,6 +100,14 @@ struct SessionOptions {
   /// them with trace_decisions_identical, not operator==.
   ResultCache* result_cache = nullptr;
 
+  /// Warm-start seeds (tuning/warmstart.hpp), applied to the tuner via
+  /// Tuner::set_warm_start at job admission — before any checkpoint
+  /// restore, so a resumed session's serialized warm state (part of the
+  /// search trajectory) overrides whatever the advisor computes today.
+  /// Empty = cold start, byte-for-byte today's behaviour.
+  std::vector<Config> warm_configs;
+  std::vector<double> warm_scores;  ///< aligned with warm_configs, in [0, 1]
+
   /// Distributed-trace identity for this session's spans (service jobs: the
   /// job's root span). Telemetry only — never read by tuning decisions, so
   /// traced and untraced sessions stay bit-identical. Invalid = untraced.

@@ -29,6 +29,22 @@ class Tuner {
   virtual void update(const std::vector<Config>& configs,
                       const std::vector<MeasureResult>& results) = 0;
 
+  /// Warm-start hint from the warm-start advisor (tuning/warmstart.hpp):
+  /// candidate configs ordered best-first with prior scores in (0, 1]
+  /// (relative quality on the donor device / under the predictor — higher is
+  /// better). Purely advisory: the default implementation ignores it, and a
+  /// tuner that honors it must (a) still measure the seeds before trusting
+  /// them (the per-device quirk factor makes transfer imperfect by design)
+  /// and (b) serialize whatever warm state it keeps, so a resumed session
+  /// continues bit-identically even if the advisor would compute different
+  /// seeds today. Call before the first propose(); later calls are ignored
+  /// by honoring tuners.
+  virtual void set_warm_start(const std::vector<Config>& configs,
+                              const std::vector<double>& scores) {
+    (void)configs;
+    (void)scores;
+  }
+
   /// Crash-safe session checkpoints (tuning/checkpoint.hpp) snapshot the
   /// tuner between batches. A checkpointable tuner restored with load()
   /// must continue bit-identically to one that was never snapshotted.

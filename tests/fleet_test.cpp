@@ -393,7 +393,10 @@ TEST(FleetQuota, PerClientSimulatedGpuSecondsQuota) {
   Response refused = manager.submit("heavy", 0, spec);
   EXPECT_EQ(refused.type, ResponseType::kRejected);
   EXPECT_EQ(refused.reason, "quota_exhausted");
-  EXPECT_GT(refused.retry_after_s, 0.0);
+  // Quotas never replenish within a daemon lifetime, so the rejection is
+  // terminal: retry_after_s must be 0 ("don't retry"), not a hint that
+  // sends clients into an infinite retry loop.
+  EXPECT_EQ(refused.retry_after_s, 0.0);
 
   // Quotas are per client: a different identity is admitted.
   Response other = manager.submit("light", 0, spec);

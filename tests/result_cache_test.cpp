@@ -6,12 +6,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "gpusim/faulty_measurer.hpp"
 #include "gpusim/measurer.hpp"
+#include "hwspec/database.hpp"
 #include "proptest_util.hpp"
 #include "test_util.hpp"
 #include "tuning/measure.hpp"
@@ -66,6 +68,123 @@ TEST(ResultCacheTest, FingerprintsAreStableAndDiscriminating) {
   hwspec::GpuSpec edited = titan_xp();
   edited.mem_bandwidth_gbs += 1.0;
   EXPECT_NE(hardware_fingerprint(titan_xp()), hardware_fingerprint(edited));
+}
+
+TEST(ResultCacheTest, HardwareFingerprintGolden) {
+  // Golden values pin fingerprint scheme 2 (name + datasheet + quirk seed).
+  // If this test fails, the scheme changed: bump kCacheLineFpVersion so old
+  // tier lines classify stale, then update these constants.
+  const hwspec::GpuSpec* db_titan = hwspec::find_gpu("Titan Xp");
+  ASSERT_NE(db_titan, nullptr);
+  EXPECT_EQ(hardware_fingerprint(*db_titan), 0x2c2a7becbec77657ull);
+
+  // The per-device quirk seed is part of the identity: two boards with
+  // identical datasheets but different quirks measure different costs, so
+  // they must never share cache entries.
+  hwspec::GpuSpec quirked = *db_titan;
+  quirked.quirk_seed = 0xdeadbeef;
+  EXPECT_EQ(hardware_fingerprint(quirked), 0xe570f8ee0c5409e2ull);
+  EXPECT_NE(hardware_fingerprint(quirked), hardware_fingerprint(*db_titan));
+
+  // quirk_seed = 0 means "derive from the name", so setting it explicitly
+  // to that derivation is the same device.
+  hwspec::GpuSpec explicit_seed = *db_titan;
+  explicit_seed.quirk_seed = db_titan->seed();
+  EXPECT_EQ(hardware_fingerprint(explicit_seed),
+            hardware_fingerprint(*db_titan));
+}
+
+TEST(ResultCacheTest, MissingOrForeignFpvClassifiesStale) {
+  // A well-formed current line is served; the same line with the "fpv"
+  // field stripped (pre-scheme-2 writer) or rewritten to a foreign version
+  // parses but classifies stale — its fingerprints came from different math.
+  std::string path = tmp_path("cache_fpv.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCacheOptions opts;
+    opts.path = path;
+    ResultCache cache(opts);
+    cache.insert(key_for(7), valid_result(123.0));
+  }
+  std::string line;
+  {
+    std::ifstream is(path);
+    ASSERT_TRUE(std::getline(is, line));
+  }
+  std::remove(path.c_str());
+  const std::string current = "\"fpv\":2,";
+  ASSERT_NE(line.find(current), std::string::npos);
+
+  CacheKey key;
+  MeasureResult r;
+  bool stale = true;
+  ASSERT_TRUE(parse_cache_line(line, key, r, stale));
+  EXPECT_FALSE(stale);
+
+  std::string no_fpv = line;
+  no_fpv.erase(no_fpv.find(current), current.size());
+  ASSERT_TRUE(parse_cache_line(no_fpv, key, r, stale));
+  EXPECT_TRUE(stale);
+
+  std::string old_fpv = line;
+  old_fpv.replace(old_fpv.find("\"fpv\":2"), 8, "\"fpv\":1,");
+  ASSERT_TRUE(parse_cache_line(old_fpv, key, r, stale));
+  EXPECT_TRUE(stale);
+
+  // And a cache opened over a foreign-fpv tier drops the line as stale.
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << old_fpv << '\n';
+  }
+  ResultCacheOptions opts;
+  opts.path = path;
+  ResultCache cache(opts);
+  EXPECT_EQ(cache.stats().stale, 1u);
+  EXPECT_EQ(cache.stats().loaded, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, PeerTierLinesParsedAtMostOnce) {
+  // Regression for the peer-adoption hot path: sync_peers() must resume
+  // from per-file byte offsets, so a line that was already adopted is never
+  // run through the parser again on later syncs.
+  namespace fs = std::filesystem;
+  const std::string dir = tmp_path("cache_peer_once");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ResultCacheOptions mine;
+  mine.path = dir + "/tier-a.jsonl";
+  mine.shared_dir = dir;
+  ResultCache cache(mine);
+
+  {
+    ResultCacheOptions peer;
+    peer.path = dir + "/tier-b.jsonl";
+    peer.shared_dir = dir;
+    ResultCache other(peer);
+    for (std::uint32_t i = 0; i < 6; ++i)
+      other.insert(key_for(i), valid_result(10.0 + i));
+  }
+  EXPECT_EQ(cache.sync_peers(), 6u);
+  EXPECT_EQ(cache.stats().peer_lines_parsed, 6u);
+  EXPECT_EQ(cache.stats().peer_merged, 6u);
+
+  // Nothing new: no line may be re-parsed.
+  EXPECT_EQ(cache.sync_peers(), 0u);
+  EXPECT_EQ(cache.stats().peer_lines_parsed, 6u);
+
+  // One appended entry costs exactly one parse.
+  {
+    ResultCacheOptions peer;
+    peer.path = dir + "/tier-b.jsonl";
+    peer.shared_dir = dir;
+    ResultCache other(peer);
+    other.insert(key_for(99), valid_result(99.0));
+  }
+  EXPECT_EQ(cache.sync_peers(), 1u);
+  EXPECT_EQ(cache.stats().peer_lines_parsed, 7u);
+  fs::remove_all(dir);
 }
 
 TEST(ResultCacheTest, InsertLookupRoundTrip) {

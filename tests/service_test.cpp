@@ -172,6 +172,7 @@ JobSpec any_job_spec(Rng& rng) {
   spec.batch_size = static_cast<std::uint64_t>(rng.uniform_int(1, 4096));
   spec.plateau_trials = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
   spec.time_budget_s = nonneg_finite(rng);
+  spec.warmstart = rng.chance(0.5);  // exercises the omitted-when-true wire form
   return spec;
 }
 
@@ -290,6 +291,33 @@ TEST(ServiceProtocol, RequestRoundTrip) {
     }
     return back == r;
   });
+}
+
+TEST(ServiceProtocol, WarmstartFlagIsOmittedWhenDefault) {
+  // warmstart=true (the default) must stay off the wire so pre-warmstart
+  // daemons never see an unknown key; warmstart=false must round-trip.
+  Request r;
+  r.type = RequestType::kSubmit;
+  r.client = "compat";
+  r.job.tuner = "autotvm";
+  r.job.model = "resnet18";
+  r.job.gpu = "Titan Xp";
+  std::string line = service::encode_request(r);
+  EXPECT_EQ(line.find("warmstart"), std::string::npos);
+
+  r.job.warmstart = false;
+  line = service::encode_request(r);
+  EXPECT_NE(line.find("\"warmstart\":false"), std::string::npos);
+  Request back;
+  std::string err;
+  ASSERT_TRUE(service::parse_request(line, back, err)) << err;
+  EXPECT_FALSE(back.job.warmstart);
+
+  // A line written before the field existed parses as warmstart=true.
+  r.job.warmstart = true;
+  ASSERT_TRUE(service::parse_request(service::encode_request(r), back, err))
+      << err;
+  EXPECT_TRUE(back.job.warmstart);
 }
 
 TEST(ServiceProtocol, ResponseRoundTrip) {

@@ -37,6 +37,14 @@ Checks three file shapes, selected by content sniffing (or forced with
                      "results_identical", ...}, ...]};
                   admission must account exactly (accepted + rejected ==
                   submitted, completed + cancelled <= accepted)
+  * warmstart  -- BENCH_warmstart.json from bench/micro_warmstart.cpp:
+                  {"donor_trials", "max_trials", "batch_size", "top_k",
+                   "arms": [{"name", "warm_seeds", "donor_entries",
+                    "donor_devices", "cold_best_gflops", "warm_best_gflops",
+                    "parity_gflops", "cold_invocations", "warm_invocations",
+                    "reduction", "quality_held", "decisions_identical",
+                    ...}, ...]};
+                  reduction must be consistent with the invocation counts
   * fleet      -- BENCH_fleet.json from bench/micro_fleet.cpp:
                   {"hardware_concurrency", "jobs", "max_trials",
                    "points": [{"daemons", "wall_ms", "jobs_per_s",
@@ -59,10 +67,18 @@ Like the speedup gate it skips, with a warning, on machines with fewer
 cores than the largest shard count — the bit-identity requirement is
 still enforced unconditionally by the plain fleet validation.
 
+With --check-warmstart, warmstart files are gated per arm: warm-start
+must reach the cold run's converged quality (quality_held) with at least
+50 % fewer measurer invocations (reduction >= 2.0), and the warm run's
+decisions must be bit-identical across thread counts. This gate never
+skips — the measurer is simulated, so the numbers do not depend on host
+hardware.
+
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
   tools/check_bench_json.py --check-speedup BENCH_parallel.json
   tools/check_bench_json.py --check-fleet-scaling BENCH_fleet.json
+  tools/check_bench_json.py --check-warmstart BENCH_warmstart.json
   tools/check_bench_json.py --selftest
 
 Standard library only; exit status 0 iff every file validates.
@@ -335,6 +351,86 @@ def check_fleet_scaling(doc: object, name: str,
             f"at {max_daemons} daemons")
 
 
+def check_warmstart(doc: object, name: str) -> int:
+    _require_keys(doc, {"donor_trials": int, "max_trials": int,
+                        "batch_size": int, "top_k": int, "arms": list}, name)
+    _require(doc["donor_trials"] >= 1, f"{name}: donor_trials < 1")
+    _require(doc["max_trials"] >= 1, f"{name}: max_trials < 1")
+    _require(doc["top_k"] >= 1, f"{name}: top_k < 1")
+    _require(len(doc["arms"]) > 0, f"{name}: empty arms list")
+    for i, a in enumerate(doc["arms"]):
+        where = f"{name}: arms[{i}]"
+        _require_keys(a, {"name": str, "warm_seeds": int,
+                          "donor_entries": int, "donor_devices": int,
+                          "cold_best_gflops": NUMBER,
+                          "warm_best_gflops": NUMBER,
+                          "parity_gflops": NUMBER, "cold_invocations": int,
+                          "warm_invocations": int, "reduction": NUMBER,
+                          "wall_ms": NUMBER}, where)
+        for key in ("quality_held", "decisions_identical"):
+            _require(isinstance(a.get(key), bool),
+                     f"{where}: key '{key}' must be a boolean")
+        _require(a["warm_seeds"] <= doc["top_k"],
+                 f"{where}: more warm seeds than top_k")
+        _require(a["donor_devices"] <= a["donor_entries"],
+                 f"{where}: more donor devices than donor entries")
+        _require(a["cold_best_gflops"] >= 0,
+                 f"{where}: negative cold_best_gflops")
+        _require(a["warm_best_gflops"] >= 0,
+                 f"{where}: negative warm_best_gflops")
+        _require(a["parity_gflops"] <= a["cold_best_gflops"],
+                 f"{where}: parity bar above the cold run's best")
+        _require(a["cold_invocations"] <= doc["max_trials"],
+                 f"{where}: cold_invocations above the trial budget")
+        _require(a["warm_invocations"] <= doc["max_trials"],
+                 f"{where}: warm_invocations above the trial budget")
+        _require(a["wall_ms"] >= 0, f"{where}: negative wall_ms")
+        if a["warm_invocations"] > 0:
+            ratio = a["cold_invocations"] / a["warm_invocations"]
+            _require(abs(a["reduction"] - ratio) <= 0.05 * max(1.0, ratio),
+                     f"{where}: reduction {a['reduction']} inconsistent with "
+                     f"invocation counts (expected ~{ratio:.2f})")
+        else:
+            _require(a["reduction"] == 0,
+                     f"{where}: nonzero reduction but the warm run never "
+                     f"reached parity")
+    return len(doc["arms"])
+
+
+# Per-arm invocation-reduction floor enforced by --check-warmstart: seeding
+# from donor tiers must at least halve the trials needed to reach the cold
+# search's converged quality ("50 % fewer measurer invocations to the same
+# best-cost"). Never skipped: the measurer is simulated, so the curve is a
+# property of the algorithm, not of the host.
+WARMSTART_REDUCTION_FLOOR = 2.0
+
+
+def check_warmstart_gate(doc: object, name: str,
+                         floor: float = WARMSTART_REDUCTION_FLOOR) -> str:
+    """Gate a validated warmstart doc: every arm must hold quality, stay
+    deterministic across thread counts, and beat the reduction floor.
+
+    Returns a human-readable summary; raises ValidationError on regression.
+    """
+    check_warmstart(doc, name)
+    parts = []
+    for i, a in enumerate(doc["arms"]):
+        where = f"{name}: arms[{i}] ('{a['name']}')"
+        _require(a["decisions_identical"],
+                 f"{where}: warm-start decisions differ across thread "
+                 f"counts (this is a correctness bug, never skipped)")
+        _require(a["quality_held"],
+                 f"{where}: warm run's final best {a['warm_best_gflops']} "
+                 f"fell short of the {a['parity_gflops']} parity bar")
+        _require(a["warm_invocations"] > 0,
+                 f"{where}: warm run never reached parity")
+        _require(a["reduction"] >= floor,
+                 f"{where}: reduction {a['reduction']:.2f}x is below the "
+                 f"{floor:.2f}x floor (warm-start regression)")
+        parts.append(f"{a['name']} {a['reduction']:.2f}x >= {floor:.2f}x")
+    return "warmstart gate passed: " + ", ".join(parts)
+
+
 def check_journal_lines(lines: list[str], name: str) -> int:
     errors = {"none", "transient", "timeout", "corrupt"}
     n = 0
@@ -508,11 +604,13 @@ def sniff_kind(text: str) -> str:
         return "service"
     if isinstance(doc, dict) and "scaling_4v1" in doc:
         return "fleet"
+    if isinstance(doc, dict) and "arms" in doc:
+        return "warmstart"
     return "bench"
 
 
 def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
-               gate_fleet: bool = False) -> str:
+               gate_fleet: bool = False, gate_warmstart: bool = False) -> str:
     text = path.read_text()
     kind = kind or sniff_kind(text)
     if gate_speedup:
@@ -525,6 +623,11 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
                  f"{path}: --check-fleet-scaling only applies to fleet json "
                  f"(sniffed '{kind}')")
         return check_fleet_scaling(json.loads(text), str(path))
+    if gate_warmstart:
+        _require(kind == "warmstart",
+                 f"{path}: --check-warmstart only applies to warmstart json "
+                 f"(sniffed '{kind}')")
+        return check_warmstart_gate(json.loads(text), str(path))
     if kind == "bench":
         n = check_bench(json.loads(text), str(path))
         return f"bench json, {n} path(s)"
@@ -556,6 +659,9 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
     if kind == "fleet":
         n = check_fleet(json.loads(text), str(path))
         return f"fleet json, {n} point(s)"
+    if kind == "warmstart":
+        n = check_warmstart(json.loads(text), str(path))
+        return f"warmstart json, {n} arm(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -683,6 +789,27 @@ VALID_FLEET = {
     ],
     "scaling_4v1": 3.33,
     "decisions_identical": True,
+}
+
+VALID_WARMSTART = {
+    "donor_trials": 256,
+    "max_trials": 128,
+    "batch_size": 8,
+    "top_k": 16,
+    "arms": [
+        {"name": "autotvm", "warm_seeds": 16, "donor_entries": 953,
+         "donor_devices": 5, "cold_best_gflops": 2338.5,
+         "warm_best_gflops": 2856.6, "parity_gflops": 2221.58,
+         "cold_invocations": 113, "warm_invocations": 11,
+         "reduction": 10.27, "quality_held": True,
+         "decisions_identical": True, "wall_ms": 1178.5},
+        {"name": "chameleon", "warm_seeds": 16, "donor_entries": 953,
+         "donor_devices": 5, "cold_best_gflops": 2883.4,
+         "warm_best_gflops": 2856.6, "parity_gflops": 2739.23,
+         "cold_invocations": 92, "warm_invocations": 11,
+         "reduction": 8.36, "quality_held": True,
+         "decisions_identical": True, "wall_ms": 1258.0},
+    ],
 }
 
 VALID_METRICS = "\n".join([
@@ -829,6 +956,38 @@ def selftest() -> int:
                          scaling_4v1=0.4)), True),
         ("fleet scaling gate rejects non-fleet input", "fleet-scaling",
          json.dumps(VALID_SERVICE), False),
+        ("valid warmstart sniffs without forced kind", None,
+         json.dumps(VALID_WARMSTART), True),
+        ("warmstart reduction inconsistent", "warmstart",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             dict(VALID_WARMSTART["arms"][0], reduction=3.0)])), False),
+        ("warmstart parity above cold best", "warmstart",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             dict(VALID_WARMSTART["arms"][0], parity_gflops=9000.0)])),
+         False),
+        ("warmstart missing decisions_identical", "warmstart",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             {k: v for k, v in VALID_WARMSTART["arms"][0].items()
+              if k != "decisions_identical"}])), False),
+        ("warmstart never-reached-parity must report zero", "warmstart",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             dict(VALID_WARMSTART["arms"][0], warm_invocations=0)])), False),
+        ("warmstart gate passes", "warmstart-gate",
+         json.dumps(VALID_WARMSTART), True),
+        ("warmstart gate catches a weak reduction", "warmstart-gate",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             VALID_WARMSTART["arms"][0],
+             dict(VALID_WARMSTART["arms"][1], cold_invocations=13,
+                  reduction=1.18)])), False),
+        ("warmstart gate catches a quality miss", "warmstart-gate",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             dict(VALID_WARMSTART["arms"][0], quality_held=False)])), False),
+        ("warmstart gate catches nondeterminism", "warmstart-gate",
+         json.dumps(dict(VALID_WARMSTART, arms=[
+             dict(VALID_WARMSTART["arms"][0],
+                  decisions_identical=False)])), False),
+        ("warmstart gate rejects non-warmstart input", "warmstart-gate",
+         json.dumps(VALID_FLEET), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -840,6 +999,8 @@ def selftest() -> int:
                     check_file(path, None, gate_speedup=True)
                 elif kind == "fleet-scaling":
                     check_file(path, None, gate_fleet=True)
+                elif kind == "warmstart-gate":
+                    check_file(path, None, gate_warmstart=True)
                 else:
                     check_file(path, kind)
                 passed = True
@@ -863,7 +1024,8 @@ def main(argv: list[str]) -> int:
                         help="files to validate")
     parser.add_argument("--kind",
                         choices=["bench", "trace", "metrics", "faults",
-                                 "journal", "cache", "service", "fleet"],
+                                 "journal", "cache", "service", "fleet",
+                                 "warmstart"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
@@ -874,6 +1036,11 @@ def main(argv: list[str]) -> int:
                         help="gate fleet files against the aggregate "
                              "jobs/sec scaling floor (skips on hosts with "
                              "fewer cores than the largest shard count)")
+    parser.add_argument("--check-warmstart", action="store_true",
+                        help="gate warmstart files: every arm must hold "
+                             "cold-run quality with >= 50%% fewer measurer "
+                             "invocations and thread-count-identical "
+                             "decisions (never skipped)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -885,7 +1052,7 @@ def main(argv: list[str]) -> int:
     for path in args.files:
         try:
             print(f"[ok] {path}: "
-                  f"{check_file(path, args.kind, args.check_speedup, args.check_fleet_scaling)}")
+                  f"{check_file(path, args.kind, args.check_speedup, args.check_fleet_scaling, args.check_warmstart)}")
         except FileNotFoundError:
             print(f"[FAIL] {path}: no such file", file=sys.stderr)
             status = 1

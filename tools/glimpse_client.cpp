@@ -33,7 +33,10 @@ namespace {
       "  ping\n"
       "  submit --client NAME [--priority P] [--tuner T] [--model M]\n"
       "         [--task I] [--gpu NAME] [--seed S] [--max-trials N]\n"
-      "         [--batch N] [--plateau N] [--time-budget S] [--wait]\n"
+      "         [--batch N] [--plateau N] [--time-budget S]\n"
+      "         [--no-warmstart] [--wait]\n"
+      "         (--no-warmstart: run this job cold even on a daemon\n"
+      "          started with --warmstart)\n"
       "  status JOB_ID\n"
       "  result JOB_ID [--wait]\n"
       "  subscribe JOB_ID   (stream status pushes until the job settles)\n"
@@ -63,8 +66,30 @@ int exit_code(const glimpse::service::Response& r) {
   return 0;
 }
 
+/// Rejections get a human explanation on stderr (stdout stays one
+/// scriptable JSON line). retry_after_s == 0 on a rejection is the daemon
+/// saying "terminal — retrying cannot succeed": quota_exhausted in
+/// particular never clears within a daemon lifetime, so looping on it just
+/// burns connections.
+void explain_rejection(const glimpse::service::Response& r) {
+  if (r.type != glimpse::service::ResponseType::kRejected) return;
+  if (r.reason == "quota_exhausted") {
+    std::cerr << "glimpse_client: rejected: simulated GPU-second quota "
+                 "exhausted; quotas never replenish while the daemon runs, "
+                 "so do not retry — ask the operator to raise --quota-gpu-s "
+                 "or restart the daemon\n";
+  } else if (r.retry_after_s > 0.0) {
+    std::cerr << "glimpse_client: rejected (" << r.reason << "); retry after "
+              << r.retry_after_s << "s\n";
+  } else {
+    std::cerr << "glimpse_client: rejected (" << r.reason
+              << "); terminal, do not retry\n";
+  }
+}
+
 int print_and_exit_code(const glimpse::service::Response& r) {
   std::cout << glimpse::service::encode_response(r) << std::endl;
+  explain_rejection(r);
   return exit_code(r);
 }
 
@@ -184,11 +209,13 @@ int main(int argc, char** argv) {
         else if (arg == "--batch") spec.batch_size = parse_id(next(arg));
         else if (arg == "--plateau") spec.plateau_trials = parse_id(next(arg));
         else if (arg == "--time-budget") spec.time_budget_s = std::atof(next(arg).c_str());
+        else if (arg == "--no-warmstart") spec.warmstart = false;
         else if (arg == "--wait") wait = true;
         else usage("unknown submit flag " + arg);
       }
       Response r = client.submit(name, priority, spec);
       std::cout << encode_response(r) << std::endl;
+      explain_rejection(r);
       if (r.type != ResponseType::kAccepted || !wait) return exit_code(r);
       return print_and_exit_code(client.result(r.job_id, /*wait=*/true));
     }

@@ -39,6 +39,14 @@
 //                      unless an auth token is set
 //   --quota-gpu-s S    per-client simulated-GPU-seconds budget; submissions
 //                      beyond it are rejected (0 = unlimited)
+//   --warmstart        seed autotvm/chameleon jobs from the shared cache
+//                      tiers (donor entries for the same task, weighted by
+//                      Blueprint distance) before their first proposal;
+//                      clients can opt a job out at submit time
+//   --warmstart-predictor PATH
+//                      learned config predictor (train with
+//                      glimpse_warmstart) blended into the warm-start
+//                      ranking; implies --warmstart
 //
 // On successful startup one ready line is printed to stdout:
 //   glimpsed ready unix=<path|-> tcp=<port|-> spool=<dir|-> resumed=<n>
@@ -75,7 +83,8 @@ void on_signal(int) {
             << " [--unix PATH] [--tcp PORT] [--spool DIR] [--spool-retain N]"
                " [--slots N] [--cache off|mem|PATH] [--max-queue N]"
                " [--max-per-client N] [--shard-name NAME] [--cache-shared DIR]"
-               " [--auth TOKEN] [--tcp-any] [--quota-gpu-s S]\n";
+               " [--auth TOKEN] [--tcp-any] [--quota-gpu-s S] [--warmstart]"
+               " [--warmstart-predictor PATH]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -134,6 +143,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--quota-gpu-s") {
       mopts.quota_gpu_s = std::atof(next().c_str());
       if (mopts.quota_gpu_s < 0.0) usage(argv[0], "--quota-gpu-s must be >= 0");
+    } else if (arg == "--warmstart") {
+      mopts.warmstart = true;
+    } else if (arg == "--warmstart-predictor") {
+      mopts.warmstart_predictor = next();
+      mopts.warmstart = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
