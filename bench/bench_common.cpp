@@ -32,11 +32,15 @@ std::vector<const searchspace::Task*> Setup::representative_tasks(
     const searchspace::TaskSet& model) const {
   using searchspace::TemplateKind;
   std::vector<const searchspace::Task*> out;
-  // First and last direct conv, middle winograd, first dense.
+  // First and last direct conv, middle winograd, first dense, and the first
+  // task of each scenario kind (attention/depthwise/reduction).
   const searchspace::Task* first_conv = nullptr;
   const searchspace::Task* last_conv = nullptr;
   std::vector<const searchspace::Task*> winos;
   const searchspace::Task* dense = nullptr;
+  const searchspace::Task* attention = nullptr;
+  const searchspace::Task* depthwise = nullptr;
+  const searchspace::Task* reduction = nullptr;
   for (const auto& t : model.tasks()) {
     switch (t.kind()) {
       case TemplateKind::kConv2d:
@@ -47,12 +51,24 @@ std::vector<const searchspace::Task*> Setup::representative_tasks(
       case TemplateKind::kDense:
         if (!dense) dense = &t;
         break;
+      case TemplateKind::kAttention:
+        if (!attention) attention = &t;
+        break;
+      case TemplateKind::kDepthwiseConv2d:
+        if (!depthwise) depthwise = &t;
+        break;
+      case TemplateKind::kReduction:
+        if (!reduction) reduction = &t;
+        break;
     }
   }
   if (first_conv) out.push_back(first_conv);
   if (last_conv && last_conv != first_conv) out.push_back(last_conv);
   if (!winos.empty()) out.push_back(winos[winos.size() / 2]);
   if (dense) out.push_back(dense);
+  if (attention) out.push_back(attention);
+  if (depthwise) out.push_back(depthwise);
+  if (reduction) out.push_back(reduction);
   return out;
 }
 

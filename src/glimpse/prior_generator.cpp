@@ -21,11 +21,13 @@ using searchspace::Knob;
 //              part is determined by extent / inner)
 //   [150, 153) auto_unroll_max_step option index
 //   [153, 155) unroll_explicit flag
+//   [155, 157) use_tensor_core flag (tensor-core-capable templates only)
 constexpr std::size_t kDataBase = 0;
 constexpr std::size_t kReduceBase = kDataSplitSlots * 4 * kLog2Buckets;
 constexpr std::size_t kUnrollBase = kReduceBase + kReduceSplitSlots * kLog2Buckets;
 constexpr std::size_t kExplicitBase = kUnrollBase + 3;
-constexpr std::size_t kHeadDim = kExplicitBase + 2;
+constexpr std::size_t kTensorCoreBase = kExplicitBase + 2;
+constexpr std::size_t kHeadDim = kTensorCoreBase + 2;
 
 /// One (head, class-extraction) rule for a knob.
 struct HeadBinding {
@@ -58,6 +60,9 @@ std::vector<std::vector<HeadBinding>> bind_heads(const ConfigSpace& space) {
     } else if (knob.name() == "unroll_explicit") {
       GLIMPSE_CHECK(knob.num_options() == 2);
       out[k].push_back({kExplicitBase, 2, -1});
+    } else if (knob.name() == searchspace::kTensorCoreKnob) {
+      GLIMPSE_CHECK(knob.num_options() == 2);
+      out[k].push_back({kTensorCoreBase, 2, -1});
     } else {
       GLIMPSE_CHECK(false) << "unbindable knob " << knob.name();
     }

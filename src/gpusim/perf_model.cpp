@@ -19,6 +19,26 @@ double occupancy_efficiency(double occupancy) {
   return (1.0 - std::exp(-occupancy / 0.35)) / (1.0 - std::exp(-1.0 / 0.35));
 }
 
+/// Tensor-core occupancy curve: MMA pipes saturate with far fewer resident
+/// warps than scalar FMA (each mma op retires a whole tile), so the curve
+/// rises earlier — but it never quite reaches the scalar ceiling because the
+/// epilogue and operand staging stay on the vector units.
+double tc_occupancy_efficiency(double occupancy) {
+  return 0.95 * (1.0 - std::exp(-occupancy / 0.15)) / (1.0 - std::exp(-1.0 / 0.15));
+}
+
+/// Fraction of issued MMA lanes doing useful work: the per-block output tile
+/// is covered by 16x16 MMA shapes, so ragged tiles pad out to the next
+/// multiple and waste throughput (the Bolt paper's alignment rule).
+double mma_alignment_efficiency(long long tile_rows, long long tile_cols) {
+  auto ceil16 = [](long long v) { return ((std::max<long long>(1, v) + 15) / 16) * 16; };
+  double useful = static_cast<double>(std::max<long long>(1, tile_rows)) *
+                  static_cast<double>(std::max<long long>(1, tile_cols));
+  double issued = static_cast<double>(ceil16(tile_rows)) *
+                  static_cast<double>(ceil16(tile_cols));
+  return useful / issued;
+}
+
 /// Gaussian bump in log2 space: 1.0 at `opt`, decaying with `width`,
 /// floored at `floor_v`.
 double log2_bump(double value, double opt, double width, double floor_v) {
@@ -106,6 +126,7 @@ double device_quirk(const DerivedConfig& d, const hwspec::GpuSpec& hw) {
   sig = hash_combine(sig, bucket(static_cast<double>(d.work_per_thread)));
   sig = hash_combine(sig, bucket(d.shared_bytes / 1024.0 + 1.0));
   sig = hash_combine(sig, static_cast<std::uint64_t>(d.inner_x));
+  sig = hash_combine(sig, static_cast<std::uint64_t>(d.use_tensor_core ? 1 : 0));
   double u = static_cast<double>(sig % 10000) / 10000.0;
   return 0.80 + 0.40 * u;  // +/-20 % around 1.0
 }
@@ -146,13 +167,27 @@ PerfEstimate estimate(const searchspace::Task& task, const searchspace::Config& 
   }
 
   // --- Compute roofline ---
-  double peak_flops = hw.fp32_gflops * 1e9;
-  double eff = occupancy_efficiency(usage.occupancy) *
-               ilp_efficiency(d.work_per_thread, hw) *
-               block_size_efficiency(d.threads_per_block, hw) *
-               warp_efficiency(d.threads_per_block, hw.warp_size) *
-               vthread_factor(d.vthreads, hw) * bank_conflict_factor(d) *
-               arch_affinity(d, hw);
+  // The tensor-core template option swaps in the tensor peak with its own
+  // occupancy and alignment rules (check_resources already rejected it on
+  // Blueprints without tensor cores, so the peak here is always > 0).
+  double peak_flops;
+  double eff;
+  if (d.use_tensor_core) {
+    peak_flops = hw.tensor_fp16_gflops * 1e9;
+    eff = tc_occupancy_efficiency(usage.occupancy) *
+          mma_alignment_efficiency(d.tile_rows, d.tile_cols) *
+          block_size_efficiency(d.threads_per_block, hw) *
+          vthread_factor(d.vthreads, hw) * bank_conflict_factor(d) *
+          arch_affinity(d, hw);
+  } else {
+    peak_flops = hw.fp32_gflops * 1e9;
+    eff = occupancy_efficiency(usage.occupancy) *
+          ilp_efficiency(d.work_per_thread, hw) *
+          block_size_efficiency(d.threads_per_block, hw) *
+          warp_efficiency(d.threads_per_block, hw.warp_size) *
+          vthread_factor(d.vthreads, hw) * bank_conflict_factor(d) *
+          arch_affinity(d, hw);
+  }
 
   // Loop unrolling trims loop overhead when the body fits under the step
   // budget; explicit unrolling of big bodies costs instruction-cache misses.

@@ -14,6 +14,7 @@ const char* to_string(InvalidReason reason) {
     case InvalidReason::kTooManyVThreads: return "too_many_vthreads";
     case InvalidReason::kCompileTimeout: return "compile_timeout";
     case InvalidReason::kLaunchFailed: return "launch_failed";
+    case InvalidReason::kTensorCoreUnavailable: return "tensor_core_unavailable";
   }
   return "?";
 }
@@ -25,6 +26,22 @@ bool detected_at_compile(InvalidReason reason) {
 ResourceUsage check_resources(const searchspace::DerivedConfig& d,
                               const hwspec::GpuSpec& hw, long long num_blocks) {
   ResourceUsage u;
+  // The Blueprint gates the Bolt-style fast path, and it is checked first:
+  // on silicon without tensor cores (or without a published tensor peak) the
+  // mma ops don't exist for any launch geometry — infeasible before any
+  // per-block limit, and never NaN GFLOPS from a zero peak.
+  if (d.use_tensor_core) {
+    if (hw.tensor_cores <= 0 || hw.tensor_fp16_gflops <= 0.0) {
+      u.reason = InvalidReason::kTensorCoreUnavailable;
+      return u;
+    }
+    // MMA operands are warp-cooperative: a block that isn't a whole number
+    // of warps has no warp to issue the fragments from.
+    if (d.threads_per_block % hw.warp_size != 0) {
+      u.reason = InvalidReason::kTensorCoreUnavailable;
+      return u;
+    }
+  }
   if (d.threads_per_block > hw.max_threads_per_block) {
     u.reason = InvalidReason::kTooManyThreads;
     return u;
@@ -61,7 +78,11 @@ ResourceUsage check_resources(const searchspace::DerivedConfig& d,
                     ? static_cast<int>(hw.registers_per_sm / u.regs_per_block)
                     : hw.max_blocks_per_sm;
   int bps = std::min({hw.max_blocks_per_sm, by_threads, by_smem, by_regs});
-  if (bps < 1) {
+  // Degenerate grids and rows whose per-SM budgets fit zero blocks (the edge
+  // part's 64 KB SM under a 48+ KB block, say) fail launch; every divisor
+  // below is then > 0, so occupancy/waves/tail are finite — never NaN.
+  if (bps < 1 || d.threads_per_block < 1 || num_blocks < 1 || hw.num_sms < 1 ||
+      hw.max_threads_per_sm < 1) {
     u.reason = InvalidReason::kLaunchFailed;
     return u;
   }

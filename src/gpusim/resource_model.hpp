@@ -20,6 +20,9 @@ enum class InvalidReason {
   kTooManyVThreads,   ///< virtual-thread explosion (compile-time)
   kCompileTimeout,    ///< unroller blow-up, nvcc never returns
   kLaunchFailed,      ///< compiles, but zero blocks fit on an SM (run-time)
+  kTensorCoreUnavailable, ///< tensor-core template option on silicon without
+                          ///< tensor cores, or a block shape MMA can't issue
+                          ///< from (compile-time: ptxas rejects the mma op)
 };
 
 const char* to_string(InvalidReason reason);

@@ -1,6 +1,9 @@
 #include "hwspec/database.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <set>
+#include <stdexcept>
 
 #include "common/logging.hpp"
 
@@ -14,7 +17,8 @@ namespace {
 GpuSpec make(std::string name, Architecture arch, int cc, int sms, int cores,
              int base_mhz, int boost_mhz, double gflops, int mem_mhz, int bus_bits,
              double bw_gbs, double mem_gb, int l2_kb, int smem_sm_kb, int smem_blk_kb,
-             int max_thr_sm, int tdp) {
+             int max_thr_sm, int tdp, int tensor_cores = 0,
+             double tensor_fp16_gflops = 0.0) {
   GpuSpec g;
   g.name = std::move(name);
   g.arch = arch;
@@ -33,6 +37,8 @@ GpuSpec make(std::string name, Architecture arch, int cc, int sms, int cores,
   g.max_shared_mem_per_block_kb = smem_blk_kb;
   g.max_threads_per_sm = max_thr_sm;
   g.tdp_watts = tdp;
+  g.tensor_cores = tensor_cores;
+  g.tensor_fp16_gflops = tensor_fp16_gflops;
   g.max_blocks_per_sm = (arch == Architecture::kTuring) ? 16 : 32;
   return g;
 }
@@ -67,40 +73,87 @@ std::vector<GpuSpec> build_database() {
                     11400, 384, 547.6, 12, 3072, 96, 48, 2048, 250));
   // ---- Volta (sm_70) ----
   db.push_back(make("Titan V", Architecture::kVolta, 70, 80, 5120, 1200, 1455, 14899,
-                    1700, 3072, 652.8, 12, 4608, 96, 96, 2048, 250));
+                    1700, 3072, 652.8, 12, 4608, 96, 96, 2048, 250, 640, 110000));
   db.push_back(make("Tesla V100", Architecture::kVolta, 70, 80, 5120, 1230, 1380, 14131,
-                    1752, 4096, 897.0, 16, 6144, 96, 96, 2048, 300));
+                    1752, 4096, 897.0, 16, 6144, 96, 96, 2048, 300, 640, 112000));
   // ---- Turing (sm_75) ----
   db.push_back(make("GTX 1660 Ti", Architecture::kTuring, 75, 24, 1536, 1500, 1770,
                     5437, 12000, 192, 288.0, 6, 1536, 64, 64, 1024, 120));
   db.push_back(make("RTX 2060", Architecture::kTuring, 75, 30, 1920, 1365, 1680, 6451,
-                    14000, 192, 336.0, 6, 3072, 64, 64, 1024, 160));
+                    14000, 192, 336.0, 6, 3072, 64, 64, 1024, 160, 240, 51600));
   db.push_back(make("RTX 2070", Architecture::kTuring, 75, 36, 2304, 1410, 1620, 7465,
-                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 175));
+                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 175, 288, 59700));
   db.push_back(make("RTX 2070 Super", Architecture::kTuring, 75, 40, 2560, 1605, 1770,
-                    9062, 14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215));
+                    9062, 14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215, 320, 72500));
   db.push_back(make("RTX 2080", Architecture::kTuring, 75, 46, 2944, 1515, 1710, 10068,
-                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215));
+                    14000, 256, 448.0, 8, 4096, 64, 64, 1024, 215, 368, 80500));
   db.push_back(make("RTX 2080 Ti", Architecture::kTuring, 75, 68, 4352, 1350, 1545,
-                    13450, 14000, 352, 616.0, 11, 5632, 64, 64, 1024, 250));
+                    13450, 14000, 352, 616.0, 11, 5632, 64, 64, 1024, 250, 544, 107600));
   db.push_back(make("Titan RTX", Architecture::kTuring, 75, 72, 4608, 1350, 1770, 16312,
-                    14000, 384, 672.0, 24, 6144, 64, 64, 1024, 280));
+                    14000, 384, 672.0, 24, 6144, 64, 64, 1024, 280, 576, 130500));
   // ---- Ampere (sm_86) ----
   db.push_back(make("RTX 3060 Ti", Architecture::kAmpere, 86, 38, 4864, 1410, 1665,
-                    16197, 14000, 256, 448.0, 8, 4096, 128, 100, 1536, 200));
+                    16197, 14000, 256, 448.0, 8, 4096, 128, 100, 1536, 200, 152, 64800));
   db.push_back(make("RTX 3070", Architecture::kAmpere, 86, 46, 5888, 1500, 1725, 20314,
-                    14000, 256, 448.0, 8, 4096, 128, 100, 1536, 220));
+                    14000, 256, 448.0, 8, 4096, 128, 100, 1536, 220, 184, 81300));
   db.push_back(make("RTX 3080", Architecture::kAmpere, 86, 68, 8704, 1440, 1710, 29768,
-                    19000, 320, 760.3, 10, 5120, 128, 100, 1536, 320));
+                    19000, 320, 760.3, 10, 5120, 128, 100, 1536, 320, 272, 119100));
   db.push_back(make("RTX 3090", Architecture::kAmpere, 86, 82, 10496, 1395, 1695,
-                    35581, 19500, 384, 936.2, 24, 6144, 128, 100, 1536, 350));
+                    35581, 19500, 384, 936.2, 24, 6144, 128, 100, 1536, 350, 328, 142300));
+  // ---- Datacenter parts (sm_80 Ampere, sm_90 Hopper) ----
+  db.push_back(make("A100 PCIe", Architecture::kAmpere, 80, 108, 6912, 765, 1410,
+                    19492, 2430, 5120, 1555.0, 40, 40960, 164, 163, 2048, 250,
+                    432, 311900));
+  db.push_back(make("H100 PCIe", Architecture::kHopper, 90, 114, 14592, 1095, 1755,
+                    51218, 3200, 5120, 2000.0, 80, 51200, 228, 227, 2048, 350,
+                    456, 756400));
+  // ---- Edge (Maxwell-era Tegra, sm_53): 1 SM, narrow LPDDR4 bus, small
+  // shared memory, no tensor cores — the row the occupancy guards are
+  // exercised against.
+  db.push_back(make("Jetson Nano", Architecture::kMaxwell, 53, 1, 128, 640, 921,
+                    236, 1600, 64, 25.6, 4, 256, 64, 48, 2048, 10));
   return db;
+}
+
+/// Case-folded, separator-free form used for near-miss matching.
+std::string canonical_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    if (ch == ' ' || ch == '-' || ch == '_') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  return out;
+}
+
+/// Levenshtein distance; small strings only, O(a*b) is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
 }
 
 }  // namespace
 
 const std::vector<GpuSpec>& gpu_database() {
-  static const std::vector<GpuSpec> db = build_database();
+  static const std::vector<GpuSpec> db = [] {
+    std::vector<GpuSpec> d = build_database();
+    // Duplicate-name guard: lookups, cache fingerprints and shard keys are
+    // all name-keyed, so a duplicate row would silently alias devices.
+    std::set<std::string> seen;
+    for (const auto& g : d)
+      GLIMPSE_CHECK(seen.insert(g.name).second)
+          << "duplicate GPU database entry '" << g.name << "'";
+    return d;
+  }();
   return db;
 }
 
@@ -129,6 +182,54 @@ const GpuSpec* find_gpu(const std::string& name) {
   for (const auto& g : gpu_database())
     if (g.name == name) return &g;
   return nullptr;
+}
+
+std::vector<std::string> suggest_gpus(const std::string& name, std::size_t max_hits) {
+  const std::string want = canonical_name(name);
+  struct Scored {
+    std::size_t dist;
+    const std::string* name;
+  };
+  std::vector<Scored> scored;
+  for (const auto& g : gpu_database()) {
+    const std::string have = canonical_name(g.name);
+    std::size_t d = edit_distance(want, have);
+    // Substring matches ("2080" -> "RTX 2080 Ti") count as near misses even
+    // when the raw edit distance is large.
+    if (!want.empty() && have.find(want) != std::string::npos)
+      d = std::min<std::size_t>(d, 2);
+    scored.push_back({d, &g.name});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.dist < b.dist; });
+  std::vector<std::string> out;
+  for (const auto& s : scored) {
+    if (out.size() >= max_hits) break;
+    // Only offer plausible candidates: within a third of the query length
+    // (rounded up), or a substring hit.
+    if (s.dist > std::max<std::size_t>(2, (want.size() + 2) / 3)) break;
+    out.push_back(*s.name);
+  }
+  return out;
+}
+
+std::string unknown_gpu_message(const std::string& name) {
+  std::string msg = "unknown gpu '" + name + "'";
+  auto hits = suggest_gpus(name);
+  if (!hits.empty()) {
+    msg += "; did you mean: ";
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += hits[i];
+    }
+  }
+  return msg;
+}
+
+const GpuSpec& find_gpu_or_throw(const std::string& name) {
+  const GpuSpec* g = find_gpu(name);
+  if (g == nullptr) throw std::out_of_range(unknown_gpu_message(name));
+  return *g;
 }
 
 linalg::Matrix feature_matrix() {

@@ -14,7 +14,9 @@
 
 namespace glimpse::hwspec {
 
-/// All GPUs known to this build (25 entries, Maxwell through Ampere).
+/// All GPUs known to this build (28 entries, Maxwell through Hopper plus an
+/// edge Tegra part). Names are checked unique on first access — lookups,
+/// cache fingerprints and shard keys all key on them.
 const std::vector<GpuSpec>& gpu_database();
 
 /// The four evaluation GPUs of the paper, in Table 1 order:
@@ -27,6 +29,19 @@ std::vector<const GpuSpec*> training_gpus(const std::vector<std::string>& exclud
 
 /// Find a GPU by exact name; nullptr when absent.
 const GpuSpec* find_gpu(const std::string& name);
+
+/// Database names closest to `name` (case/separator-insensitive edit
+/// distance, substring hits included), nearest first; empty when nothing is
+/// plausibly close. For "unknown gpu" diagnostics as the DB grows.
+std::vector<std::string> suggest_gpus(const std::string& name,
+                                      std::size_t max_hits = 3);
+
+/// "unknown gpu 'x'; did you mean: ..." message for lookup failures.
+std::string unknown_gpu_message(const std::string& name);
+
+/// Exact-name lookup that throws std::out_of_range with near-miss
+/// candidates in the message when absent.
+const GpuSpec& find_gpu_or_throw(const std::string& name);
 
 /// Matrix whose rows are to_features() of every database GPU
 /// (input to the Blueprint PCA).

@@ -11,6 +11,7 @@ const char* to_string(Architecture arch) {
     case Architecture::kVolta: return "Volta";
     case Architecture::kTuring: return "Turing";
     case Architecture::kAmpere: return "Ampere";
+    case Architecture::kHopper: return "Hopper";
   }
   return "?";
 }
@@ -35,6 +36,8 @@ linalg::Vector GpuSpec::to_features() const {
       static_cast<double>(max_threads_per_block),
       static_cast<double>(max_blocks_per_sm),
       static_cast<double>(warp_size),
+      static_cast<double>(tensor_cores),
+      tensor_fp16_gflops,
       static_cast<double>(tdp_watts),
       // Derived ratios the datasheet implies; they expose the balance points
       // (FLOP/byte, parallelism per SM) that drive tuning decisions.
@@ -49,8 +52,8 @@ const std::vector<std::string>& GpuSpec::feature_names() {
       "boost_clock_mhz", "fp32_gflops", "mem_clock_mhz", "mem_bus_bits",
       "mem_bandwidth_gbs", "mem_size_gb", "l2_cache_kb", "shared_mem_per_sm_kb",
       "max_shared_mem_per_block_kb", "registers_per_sm", "max_threads_per_sm",
-      "max_threads_per_block", "max_blocks_per_sm", "warp_size", "tdp_watts",
-      "flops_per_byte", "cores_per_sm"};
+      "max_threads_per_block", "max_blocks_per_sm", "warp_size", "tensor_cores",
+      "tensor_fp16_gflops", "tdp_watts", "flops_per_byte", "cores_per_sm"};
   return names;
 }
 

@@ -15,7 +15,7 @@
 
 namespace glimpse::hwspec {
 
-enum class Architecture { kMaxwell, kPascal, kVolta, kTuring, kAmpere };
+enum class Architecture { kMaxwell, kPascal, kVolta, kTuring, kAmpere, kHopper };
 
 const char* to_string(Architecture arch);
 
@@ -48,6 +48,12 @@ struct GpuSpec {
   int max_threads_per_block = 1024;
   int max_blocks_per_sm = 32;
   int warp_size = 32;
+
+  // Matrix-math units (datasheet-public since Volta). Zero on silicon
+  // without them — the Blueprint entry the tensor-core template option is
+  // gated on (Bolt-style "hardware-native" templates, PAPERS.md).
+  int tensor_cores = 0;              ///< total tensor cores across the chip
+  double tensor_fp16_gflops = 0.0;   ///< peak dense FP16 tensor throughput
 
   int tdp_watts = 0;
 

@@ -51,6 +51,8 @@ DerivedConfig derive_conv2d(const Task& task, const Config& c) {
                       static_cast<long long>(f.v) * y.v * x.v;
   d.inner_x = x.i;
   d.thread_x = x.t;
+  d.tile_rows = f.span();
+  d.tile_cols = static_cast<long long>(y.span()) * x.span();
 
   // Staging buffers per reduction step (rci channels, ryi x rxi kernel rows).
   double y_span = (static_cast<double>(y.span()) - 1.0) * shape.stride + ry.inner;
@@ -97,6 +99,8 @@ DerivedConfig derive_winograd(const Task& task, const Config& c) {
                       static_cast<long long>(b.v) * y.v * x.v;
   d.inner_x = x.i;
   d.thread_x = x.t;
+  d.tile_rows = y.span();
+  d.tile_cols = x.span();
 
   // GEMM staging: an A tile (y_span x rci) and a B tile (rci x x_span) per
   // batch element handled by the block.
@@ -121,6 +125,161 @@ DerivedConfig derive_winograd(const Task& task, const Config& c) {
   return d;
 }
 
+DerivedConfig derive_attention(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const AttentionShape& shape = task.attention_shape();
+  Split4 b = split4(s, c, "tile_b");
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  Split2 k = split2(s, c, "tile_k");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+  bool tc = s.option_of(c, kTensorCoreKnob)[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(b.t) * y.t * x.t;
+  d.num_blocks = static_cast<long long>(b.b) * y.b * x.b;
+  d.vthreads = static_cast<long long>(b.v) * y.v * x.v;
+  d.work_per_thread = static_cast<long long>(b.i) * y.i * x.i *
+                      static_cast<long long>(b.v) * y.v * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+  d.use_tensor_core = tc;
+  d.tile_rows = y.span();
+  d.tile_cols = x.span();
+
+  // Fused-attention staging per (batch,head) element the block owns: a Q
+  // tile (y_span x ki), a K tile (ki x x_span) and the score tile
+  // (y_span x x_span) held for the softmax + AV stage.
+  double score_tile = static_cast<double>(y.span()) * x.span();
+  double smem = ((static_cast<double>(y.span()) + x.span()) * k.inner + score_tile) *
+                4.0 * static_cast<double>(b.span());
+  // The tensor-core variant stages operands in FP16: half the bytes.
+  if (tc) smem = 0.5 * smem + score_tile * 4.0 * b.span() * 0.5;
+  d.shared_bytes = smem;
+
+  // Two chained GEMMs share the staged score tile; reduction loops run once
+  // over head_dim (QK^T) and once over seq_len (AV) in x-sized steps.
+  d.reduce_steps =
+      k.outer + (shape.seq_len + std::max(1, x.span()) - 1) / std::max(1, x.span());
+  double elem_bytes = tc ? 2.0 : 4.0;
+  double qkv_bytes = 3.0 * shape.batch * shape.heads *
+                     static_cast<double>(shape.seq_len) * shape.head_dim * elem_bytes;
+  d.global_bytes = qkv_bytes +
+                   smem * static_cast<double>(d.reduce_steps) *
+                       static_cast<double>(d.num_blocks) * 0.1 +
+                   static_cast<double>(shape.batch) * shape.heads * shape.seq_len *
+                       shape.head_dim * 4.0;  // output, FP32 accumulated
+
+  long long accum = static_cast<long long>(b.i) * y.i * x.i;
+  d.unrolled_body = accum * k.inner;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  // MMA fragments live in registers: the tensor path carries the score tile
+  // per warp on top of the usual accumulators.
+  d.regs_per_thread = (tc ? 34.0 : 26.0) + 1.5 * static_cast<double>(accum) +
+                      0.3 * k.inner + unroll_pressure + (uexp ? 4.0 : 0.0);
+  return d;
+}
+
+DerivedConfig derive_depthwise(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const DepthwiseShape& shape = task.depthwise_shape();
+  Split4 ch = split4(s, c, "tile_c");
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  Split2 ry = split2(s, c, "tile_ry");
+  Split2 rx = split2(s, c, "tile_rx");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(ch.t) * y.t * x.t;
+  d.num_blocks = static_cast<long long>(ch.b) * y.b * x.b * shape.n;
+  d.vthreads = static_cast<long long>(ch.v) * y.v * x.v;
+  d.work_per_thread = static_cast<long long>(ch.i) * y.i * x.i *
+                      static_cast<long long>(ch.v) * y.v * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+  d.tile_rows = y.span();
+  d.tile_cols = x.span();
+
+  // Input halo tile per channel the block covers; weights are tiny (one
+  // kh x kw filter per channel) but staged alongside.
+  double y_span = (static_cast<double>(y.span()) - 1.0) * shape.stride + ry.inner;
+  double x_span = (static_cast<double>(x.span()) - 1.0) * shape.stride + rx.inner;
+  double smem_input = y_span * x_span * static_cast<double>(ch.span()) * 4.0;
+  double smem_weight = static_cast<double>(ch.span()) * ry.inner * rx.inner * 4.0;
+  d.shared_bytes = smem_input + smem_weight;
+
+  d.reduce_steps = static_cast<long long>(ry.outer) * rx.outer;
+  d.global_bytes = (smem_input + smem_weight) * static_cast<double>(d.reduce_steps) *
+                       static_cast<double>(d.num_blocks) +
+                   static_cast<double>(shape.n) * shape.c * shape.oh() * shape.ow() *
+                       4.0;  // output writes
+
+  long long accum = static_cast<long long>(ch.i) * y.i * x.i;
+  d.unrolled_body = accum * ry.inner * rx.inner;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  d.regs_per_thread = 20.0 + 1.5 * static_cast<double>(accum) +
+                      0.3 * ry.inner * rx.inner + unroll_pressure + (uexp ? 4.0 : 0.0);
+  return d;
+}
+
+DerivedConfig derive_reduction(const Task& task, const Config& c) {
+  const ConfigSpace& s = task.space();
+  const ReductionShape& shape = task.reduction_shape();
+  Split4 y = split4(s, c, "tile_y");
+  Split4 x = split4(s, c, "tile_x");
+  int unroll = s.option_of(c, "auto_unroll_max_step")[0];
+  bool uexp = s.option_of(c, "unroll_explicit")[0] != 0;
+
+  DerivedConfig d;
+  d.threads_per_block = static_cast<long long>(y.t) * x.t;
+  // The "block" part of tile_x is split-K: partial sums per column chunk,
+  // combined by a second lightweight pass.
+  d.num_blocks = static_cast<long long>(y.b) * x.b;
+  d.vthreads = static_cast<long long>(y.v) * x.v;
+  d.work_per_thread = static_cast<long long>(y.i) * x.i *
+                      static_cast<long long>(y.v) * x.v;
+  d.inner_x = x.i;
+  d.thread_x = x.t;
+  d.tile_rows = y.span();
+  d.tile_cols = x.span();
+
+  // Tree-reduction scratch: one partial per thread, plus the per-row result
+  // slots of the block.
+  d.shared_bytes = static_cast<double>(d.threads_per_block) * 4.0 +
+                   static_cast<double>(y.span()) * 4.0;
+
+  // Barriers: log2 of the cooperating threads along x, plus the split-K
+  // combine pass when tile_x is block-split.
+  long long tree_steps = 1;
+  for (long long t = x.t; t > 1; t /= 2) ++tree_steps;
+  d.reduce_steps = tree_steps + (x.b > 1 ? 1 : 0);
+
+  d.global_bytes = static_cast<double>(shape.rows) * shape.cols * 4.0 +
+                   static_cast<double>(shape.rows) * x.b * 4.0 * 2.0;  // partials
+
+  long long accum = static_cast<long long>(y.i) * x.i;
+  d.unrolled_body = accum;
+  d.unroll_step = unroll;
+  d.unroll_explicit = uexp;
+  double unroll_pressure =
+      (unroll > 0) ? std::min<double>(static_cast<double>(d.unrolled_body), unroll) * 0.08
+                   : 0.0;
+  d.regs_per_thread = 16.0 + 1.2 * static_cast<double>(accum) + unroll_pressure +
+                      (uexp ? 4.0 : 0.0);
+  return d;
+}
+
 DerivedConfig derive_dense(const Task& task, const Config& c) {
   const ConfigSpace& s = task.space();
   const DenseShape& shape = task.dense_shape();
@@ -138,6 +297,8 @@ DerivedConfig derive_dense(const Task& task, const Config& c) {
                       static_cast<long long>(y.v) * x.v;
   d.inner_x = x.i;
   d.thread_x = x.t;
+  d.tile_rows = y.span();
+  d.tile_cols = x.span();
 
   double smem = (static_cast<double>(y.span()) + x.span()) * k.inner * 4.0;
   d.shared_bytes = smem;
@@ -167,6 +328,9 @@ DerivedConfig derive(const Task& task, const Config& config) {
     case TemplateKind::kConv2d: return derive_conv2d(task, config);
     case TemplateKind::kConv2dWinograd: return derive_winograd(task, config);
     case TemplateKind::kDense: return derive_dense(task, config);
+    case TemplateKind::kAttention: return derive_attention(task, config);
+    case TemplateKind::kDepthwiseConv2d: return derive_depthwise(task, config);
+    case TemplateKind::kReduction: return derive_reduction(task, config);
   }
   throw std::logic_error("unreachable template kind");
 }
@@ -226,10 +390,11 @@ linalg::Vector derived_config_features(const Task& task, const Config& config) {
   f.push_back(log2p(static_cast<double>(d.unrolled_body)));
   f.push_back(d.unroll_step > 0 ? 1.0 : 0.0);
   f.push_back(d.unroll_explicit ? 1.0 : 0.0);
+  f.push_back(d.use_tensor_core ? 1.0 : 0.0);
   return f;
 }
 
-std::size_t derived_config_feature_dim() { return 13; }
+std::size_t derived_config_feature_dim() { return 14; }
 
 std::size_t config_feature_dim(const Task& task) {
   const ConfigSpace& s = task.space();

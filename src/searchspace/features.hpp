@@ -33,6 +33,15 @@ struct DerivedConfig {
   int unroll_step = 0;         ///< auto_unroll_max_step value
   bool unroll_explicit = false;
   long long unrolled_body = 1; ///< work the unroller must expand (compile cost)
+
+  // Tensor-core template option (Bolt-style). When set, the kernel issues
+  // MMA tiles instead of scalar FMAs; the gpusim resource model rejects it
+  // on Blueprints without tensor cores, and the perf model swaps in the
+  // tensor peak with its own occupancy/alignment rules. tile_rows/tile_cols
+  // are the per-block output tile the MMA shapes must cover.
+  bool use_tensor_core = false;
+  long long tile_rows = 1;
+  long long tile_cols = 1;
 };
 
 /// Compute the derived quantities of `config` for `task`'s template.

@@ -86,6 +86,46 @@ Model vgg16() {
 
 std::vector<Model> evaluation_models() { return {alexnet(), resnet18(), vgg16()}; }
 
+Model transformer_block() {
+  Model m;
+  m.name = "TransformerBlock";
+  // BERT-base geometry: hidden 768, 12 heads of 64, sequence 128. One
+  // encoder block; the attention task fuses QK^T/softmax/AV, the matmuls
+  // are dense tasks (QKV+output projections share the 768x768 shape), and
+  // LayerNorm's mean/variance pass is the row reduction.
+  m.attentions = {{AttentionShape{1, 12, 128, 64}, 1}};
+  m.denses = {
+      {DenseShape{128, 768, 768}, 4},    // Q/K/V/output projections
+      {DenseShape{128, 768, 3072}, 1},   // MLP up
+      {DenseShape{128, 3072, 768}, 1},   // MLP down
+  };
+  m.reductions = {{ReductionShape{128, 768}, 2}};  // two LayerNorms
+  return m;
+}
+
+Model mobilenet_edge() {
+  Model m;
+  m.name = "MobileNetEdge";
+  // MobileNetV1-style separable blocks at 3 scales: each depthwise 3x3 is
+  // paired with its 1x1 pointwise conv (a direct-conv task), ending in a
+  // global average pool (row reduction over C x (H*W)) and the classifier.
+  m.convs = {
+      {conv(32, 112, 64, 1, 1, 0), 1},    // pointwise after dw1
+      {conv(128, 56, 128, 1, 1, 0), 2},   // mid pointwise
+      {conv(256, 14, 256, 1, 1, 0), 2},   // late pointwise
+  };
+  m.depthwises = {
+      {DepthwiseShape{1, 32, 112, 112, 3, 3, 1, 1}, 1},
+      {DepthwiseShape{1, 128, 56, 56, 3, 3, 1, 1}, 2},
+      {DepthwiseShape{1, 256, 14, 14, 3, 3, 1, 1}, 2},
+  };
+  m.reductions = {{ReductionShape{256, 196}, 1}};  // global average pool
+  m.denses = {{DenseShape{1, 256, 1000}, 1}};      // classifier
+  return m;
+}
+
+std::vector<Model> scenario_models() { return {transformer_block(), mobilenet_edge()}; }
+
 TaskSet::TaskSet(Model model) : model_(std::move(model)) {
   // Direct conv tasks in network order; remember each layer's task index.
   std::vector<std::size_t> direct_idx(model_.convs.size());
@@ -111,6 +151,29 @@ TaskSet::TaskSet(Model model) : model_(std::move(model)) {
     tasks_.emplace_back(strformat("%s.T%02zu.dense", model_.name.c_str(), tasks_.size() + 1),
                         model_.denses[i].shape);
   }
+  // Scenario-diversity tasks, appended after the paper's ordering so the
+  // 1-based task indices of conv/winograd/dense tasks never move.
+  std::vector<std::size_t> attn_idx(model_.attentions.size());
+  for (std::size_t i = 0; i < model_.attentions.size(); ++i) {
+    attn_idx[i] = tasks_.size();
+    tasks_.emplace_back(
+        strformat("%s.T%02zu.attention", model_.name.c_str(), tasks_.size() + 1),
+        model_.attentions[i].shape);
+  }
+  std::vector<std::size_t> dw_idx(model_.depthwises.size());
+  for (std::size_t i = 0; i < model_.depthwises.size(); ++i) {
+    dw_idx[i] = tasks_.size();
+    tasks_.emplace_back(
+        strformat("%s.T%02zu.depthwise", model_.name.c_str(), tasks_.size() + 1),
+        model_.depthwises[i].shape);
+  }
+  std::vector<std::size_t> red_idx(model_.reductions.size());
+  for (std::size_t i = 0; i < model_.reductions.size(); ++i) {
+    red_idx[i] = tasks_.size();
+    tasks_.emplace_back(
+        strformat("%s.T%02zu.reduce", model_.name.c_str(), tasks_.size() + 1),
+        model_.reductions[i].shape);
+  }
 
   for (std::size_t i = 0; i < model_.convs.size(); ++i) {
     LayerImpl impl;
@@ -123,6 +186,12 @@ TaskSet::TaskSet(Model model) : model_(std::move(model)) {
   for (std::size_t i = 0; i < model_.denses.size(); ++i) {
     layers_.push_back(LayerImpl{{dense_idx[i]}, model_.denses[i].count});
   }
+  for (std::size_t i = 0; i < model_.attentions.size(); ++i)
+    layers_.push_back(LayerImpl{{attn_idx[i]}, model_.attentions[i].count});
+  for (std::size_t i = 0; i < model_.depthwises.size(); ++i)
+    layers_.push_back(LayerImpl{{dw_idx[i]}, model_.depthwises[i].count});
+  for (std::size_t i = 0; i < model_.reductions.size(); ++i)
+    layers_.push_back(LayerImpl{{red_idx[i]}, model_.reductions[i].count});
 }
 
 double TaskSet::end_to_end_latency(const std::vector<double>& best) const {

@@ -30,10 +30,33 @@ struct DenseWorkload {
   int count = 1;
 };
 
+/// A unique attention workload and its occurrence count.
+struct AttentionWorkload {
+  AttentionShape shape;
+  int count = 1;
+};
+
+/// A unique depthwise-conv workload and its occurrence count.
+struct DepthwiseWorkload {
+  DepthwiseShape shape;
+  int count = 1;
+};
+
+/// A unique reduction workload and its occurrence count.
+struct ReductionWorkload {
+  ReductionShape shape;
+  int count = 1;
+};
+
 struct Model {
   std::string name;
   std::vector<ConvWorkload> convs;    ///< unique shapes, network order
   std::vector<DenseWorkload> denses;  ///< unique shapes, network order
+  // Scenario-diversity workloads (empty for the paper's three models, so
+  // their Table 1 task extraction is untouched).
+  std::vector<AttentionWorkload> attentions;
+  std::vector<DepthwiseWorkload> depthwises;
+  std::vector<ReductionWorkload> reductions;
 };
 
 Model alexnet();
@@ -41,6 +64,17 @@ Model resnet18();
 Model vgg16();
 /// The three evaluation models, in paper order.
 std::vector<Model> evaluation_models();
+
+/// A BERT-base-like transformer encoder block: multi-head self-attention,
+/// the two MLP matmuls, and the LayerNorm reduction over hidden states.
+Model transformer_block();
+/// A MobileNet-style edge vision model: depthwise separable blocks
+/// (depthwise + pointwise conv pairs), a global-pool reduction, and the
+/// classifier matmul.
+Model mobilenet_edge();
+/// The scenario-diversity models (transformer_block, mobilenet_edge) —
+/// every new template kind appears at least once across them.
+std::vector<Model> scenario_models();
 
 /// A model's tuning tasks plus the bookkeeping needed to assemble an
 /// end-to-end inference latency from per-task tuning results.

@@ -18,12 +18,21 @@ class Task {
   Task(std::string name, TemplateKind kind, const ConvShape& shape);
   /// Dense task.
   Task(std::string name, const DenseShape& shape);
+  /// Attention task.
+  Task(std::string name, const AttentionShape& shape);
+  /// Depthwise conv2d task.
+  Task(std::string name, const DepthwiseShape& shape);
+  /// Row-reduction task.
+  Task(std::string name, const ReductionShape& shape);
 
   const std::string& name() const { return name_; }
   TemplateKind kind() const { return kind_; }
   const ConfigSpace& space() const { return space_; }
   const ConvShape& conv_shape() const;
   const DenseShape& dense_shape() const;
+  const AttentionShape& attention_shape() const;
+  const DepthwiseShape& depthwise_shape() const;
+  const ReductionShape& reduction_shape() const;
 
   /// Nominal FLOPs used to report GFLOPS. For Winograd we follow TVM and
   /// report against the *direct-conv* FLOP count so GFLOPS of the two
@@ -49,6 +58,9 @@ class Task {
   TemplateKind kind_;
   ConvShape conv_{};
   DenseShape dense_{};
+  AttentionShape attention_{};
+  DepthwiseShape depthwise_{};
+  ReductionShape reduction_{};
   double flops_ = 0.0;
   ConfigSpace space_;
 };

@@ -1,17 +1,30 @@
 #include "searchspace/templates.hpp"
 
+#include <stdexcept>
+
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
 
 namespace glimpse::searchspace {
 
 const char* to_string(TemplateKind kind) {
+  // Exhaustive: -Wswitch flags a missing kind, and there is deliberately no
+  // fallback return — a new kind can never silently serialize as another.
   switch (kind) {
     case TemplateKind::kConv2d: return "conv2d";
     case TemplateKind::kConv2dWinograd: return "winograd_conv2d";
     case TemplateKind::kDense: return "dense";
+    case TemplateKind::kAttention: return "attention";
+    case TemplateKind::kDepthwiseConv2d: return "depthwise_conv2d";
+    case TemplateKind::kReduction: return "reduction";
   }
-  return "?";
+  throw std::logic_error("invalid TemplateKind value");
+}
+
+std::optional<TemplateKind> parse_template_kind(std::string_view name) {
+  for (TemplateKind k : kAllTemplateKinds)
+    if (name == to_string(k)) return k;
+  return std::nullopt;
 }
 
 double ConvShape::flops() const {
@@ -29,6 +42,28 @@ std::string ConvShape::to_string() const {
 
 std::string DenseShape::to_string() const {
   return strformat("dense(B%d %d -> %d)", batch, in_dim, out_dim);
+}
+
+double AttentionShape::flops() const {
+  double scores = static_cast<double>(batch) * heads * seq_len * seq_len;
+  return 4.0 * scores * head_dim + 5.0 * scores;
+}
+
+std::string AttentionShape::to_string() const {
+  return strformat("attention(B%d H%d S%d D%d)", batch, heads, seq_len, head_dim);
+}
+
+double DepthwiseShape::flops() const {
+  return 2.0 * n * c * oh() * ow() * kh * kw;
+}
+
+std::string DepthwiseShape::to_string() const {
+  return strformat("depthwise(N%d C%d %dx%d k%dx%d s%d p%d)", n, c, h, w, kh, kw,
+                   stride, pad);
+}
+
+std::string ReductionShape::to_string() const {
+  return strformat("reduce(%dx%d)", rows, cols);
 }
 
 WinogradGemm winograd_gemm(const ConvShape& shape) {
@@ -77,6 +112,46 @@ ConfigSpace dense_space(const DenseShape& shape) {
   knobs.push_back(Knob::split("tile_y", shape.out_dim, 4));
   knobs.push_back(Knob::split("tile_x", shape.batch, 4));
   knobs.push_back(Knob::split("tile_k", shape.in_dim, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace attention_space(const AttentionShape& shape) {
+  GLIMPSE_CHECK(shape.batch > 0 && shape.heads > 0 && shape.seq_len > 0 &&
+                shape.head_dim > 0)
+      << "bad attention shape " << shape.to_string();
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_b", shape.batch * shape.heads, 4));
+  knobs.push_back(Knob::split("tile_y", shape.seq_len, 4));
+  knobs.push_back(Knob::split("tile_x", shape.seq_len, 4));
+  knobs.push_back(Knob::split("tile_k", shape.head_dim, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  knobs.push_back(Knob::categorical(kTensorCoreKnob, {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace depthwise_space(const DepthwiseShape& shape) {
+  GLIMPSE_CHECK(shape.c > 0 && shape.oh() > 0 && shape.ow() > 0)
+      << "bad depthwise shape " << shape.to_string();
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_c", shape.c, 4));
+  knobs.push_back(Knob::split("tile_y", shape.oh(), 4));
+  knobs.push_back(Knob::split("tile_x", shape.ow(), 4));
+  knobs.push_back(Knob::split("tile_ry", shape.kh, 2));
+  knobs.push_back(Knob::split("tile_rx", shape.kw, 2));
+  knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace reduction_space(const ReductionShape& shape) {
+  GLIMPSE_CHECK(shape.rows > 0 && shape.cols > 0)
+      << "bad reduction shape " << shape.to_string();
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_y", shape.rows, 4));
+  knobs.push_back(Knob::split("tile_x", shape.cols, 4));
   knobs.push_back(Knob::categorical("auto_unroll_max_step", {0, 512, 1500}));
   knobs.push_back(Knob::categorical("unroll_explicit", {0, 1}));
   return ConfigSpace(std::move(knobs));

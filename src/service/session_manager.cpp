@@ -146,6 +146,8 @@ searchspace::Model model_by_name(const std::string& name) {
   if (name == "alexnet") return searchspace::alexnet();
   if (name == "resnet18") return searchspace::resnet18();
   if (name == "vgg16") return searchspace::vgg16();
+  if (name == "transformer") return searchspace::transformer_block();
+  if (name == "mobilenet_edge") return searchspace::mobilenet_edge();
   throw std::invalid_argument("unknown model '" + name + "'");
 }
 
@@ -192,7 +194,7 @@ void SessionManager::build_runtime(JobRecord& rec) {
   rec.task = &ts.task(rec.spec.task_index);
   rec.hw = hwspec::find_gpu(rec.spec.gpu);
   if (rec.hw == nullptr)
-    throw std::invalid_argument("unknown gpu '" + rec.spec.gpu + "'");
+    throw std::invalid_argument(hwspec::unknown_gpu_message(rec.spec.gpu));
 
   if (rec.spec.tuner == "random") {
     rec.tuner = std::make_unique<baselines::RandomTuner>(*rec.task, *rec.hw,
@@ -246,7 +248,7 @@ Response SessionManager::submit(const std::string& client, std::int64_t priority
     return error_response("unknown tuner '" + spec.tuner + "'");
   }
   if (hwspec::find_gpu(spec.gpu) == nullptr)
-    return error_response("unknown gpu '" + spec.gpu + "'");
+    return error_response(hwspec::unknown_gpu_message(spec.gpu));
   std::size_t num_tasks = 0;
   try {
     num_tasks = task_set(spec.model).num_tasks();

@@ -200,7 +200,8 @@ bool parse_cache_line(const std::string& line, CacheKey& key,
   // A missing or foreign "fpv" is stale for the same reason: the line's
   // fingerprints came from different math than the ones we look up with.
   stale = !have_fpv || fpv != kCacheLineFpVersion ||
-          reason > static_cast<std::uint64_t>(gpusim::InvalidReason::kLaunchFailed) ||
+          reason > static_cast<std::uint64_t>(
+                       gpusim::InvalidReason::kTensorCoreUnavailable) ||
           error != 0 ||  // only settled results are ever written
           attempts < 1 || attempts > 1000 || key.config.empty() ||
           !std::isfinite(r.cost_s) || r.cost_s < 0.0 ||
@@ -229,7 +230,8 @@ std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw) {
   // The per-device quirk identity. The simulator's quirk factor is keyed off
   // hw.seed(), so two boards with identical datasheets but different quirk
   // seeds measure different costs — they must never share cache entries.
-  // (Scheme version kCacheLineFpVersion = 2; bump it if this changes again.)
+  // (Scheme version kCacheLineFpVersion = 3 — v3 added the tensor-core
+  // datasheet fields to to_features(); bump it if this changes again.)
   h = hash_combine(h, hw.seed());
   return h;
 }

@@ -77,7 +77,7 @@ std::uint64_t hardware_fingerprint(const hwspec::GpuSpec& hw);
 /// Lines written under a different scheme — or before the field existed —
 /// parse but classify stale: their fingerprints were computed by different
 /// math, so serving them would attribute results to the wrong device.
-inline constexpr std::uint64_t kCacheLineFpVersion = 2;
+inline constexpr std::uint64_t kCacheLineFpVersion = 3;
 
 struct CacheKey {
   std::uint64_t task_fp = 0;

@@ -38,9 +38,20 @@ TEST(BlueprintTest, DecodeApproximatesDatasheet) {
   auto back = enc.decode(enc.encode(gpu));
   ASSERT_EQ(back.size(), features.size());
   // High-dimensional embedding should reconstruct within a few percent of
-  // each feature's scale.
+  // each feature's scale. "Scale" is the feature's largest magnitude across
+  // the whole database, not this GPU's value: features that are zero here
+  // but large elsewhere (tensor-core columns on pre-Volta parts) still
+  // reconstruct to small-relative-to-scale, not small-absolute, values.
+  std::vector<double> scale(features.size(), 0.0);
+  for (const auto& g : hwspec::gpu_database()) {
+    auto f = g.to_features();
+    for (std::size_t i = 0; i < f.size(); ++i)
+      scale[i] = std::max(scale[i], std::abs(f[i]));
+  }
   for (std::size_t i = 0; i < features.size(); ++i)
-    EXPECT_NEAR(back[i], features[i], 0.15 * std::abs(features[i]) + 1.0) << i;
+    EXPECT_NEAR(back[i], features[i],
+                0.15 * std::abs(features[i]) + 0.02 * scale[i] + 1.0)
+        << i;
 }
 
 TEST(BlueprintTest, DseLossIsMonotoneNonIncreasing) {

@@ -17,6 +17,18 @@ const Task& task_by_kind(TemplateKind k) {
     case TemplateKind::kConv2d: return small_conv_task();
     case TemplateKind::kConv2dWinograd: return small_winograd_task();
     case TemplateKind::kDense: return small_dense_task();
+    case TemplateKind::kAttention: {
+      static const Task t("test.attention", AttentionShape{1, 2, 32, 16});
+      return t;
+    }
+    case TemplateKind::kDepthwiseConv2d: {
+      static const Task t("test.depthwise", DepthwiseShape{1, 8, 16, 16, 3, 3, 1, 1});
+      return t;
+    }
+    case TemplateKind::kReduction: {
+      static const Task t("test.reduce", ReductionShape{32, 64});
+      return t;
+    }
   }
   throw std::logic_error("bad kind");
 }
@@ -56,9 +68,7 @@ TEST_P(FeatureDimTest, DerivedQuantitiesArePositive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTemplates, FeatureDimTest,
-                         ::testing::Values(TemplateKind::kConv2d,
-                                           TemplateKind::kConv2dWinograd,
-                                           TemplateKind::kDense),
+                         ::testing::ValuesIn(kAllTemplateKinds),
                          [](const auto& info) { return to_string(info.param); });
 
 TEST(DeriveTest, ConvThreadGeometryMatchesSplits) {

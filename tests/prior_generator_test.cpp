@@ -175,8 +175,9 @@ TEST_F(TrainedPriorTest, TopConfigsMatchExhaustiveEnumerationOnSmallSpace) {
 }
 
 TEST(PriorGeneratorTest, HeadDimMatchesLayout) {
-  // 3 data slots x 4 parts x 10 buckets + 3 reduce slots x 10 + 3 + 2.
-  EXPECT_EQ(PriorGenerator::head_output_dim(), 3 * 4 * 10 + 3 * 10 + 3 + 2);
+  // 3 data slots x 4 parts x 10 buckets + 3 reduce slots x 10
+  // + 3 (auto_unroll) + 2 (unroll_explicit) + 2 (use_tensor_core).
+  EXPECT_EQ(PriorGenerator::head_output_dim(), 3 * 4 * 10 + 3 * 10 + 3 + 2 + 2);
 }
 
 }  // namespace

@@ -71,19 +71,20 @@ TEST(ResultCacheTest, FingerprintsAreStableAndDiscriminating) {
 }
 
 TEST(ResultCacheTest, HardwareFingerprintGolden) {
-  // Golden values pin fingerprint scheme 2 (name + datasheet + quirk seed).
-  // If this test fails, the scheme changed: bump kCacheLineFpVersion so old
-  // tier lines classify stale, then update these constants.
+  // Golden values pin fingerprint scheme 3 (name + datasheet incl. the
+  // tensor-core columns + quirk seed). If this test fails, the scheme
+  // changed: bump kCacheLineFpVersion so old tier lines classify stale,
+  // then update these constants.
   const hwspec::GpuSpec* db_titan = hwspec::find_gpu("Titan Xp");
   ASSERT_NE(db_titan, nullptr);
-  EXPECT_EQ(hardware_fingerprint(*db_titan), 0x2c2a7becbec77657ull);
+  EXPECT_EQ(hardware_fingerprint(*db_titan), 0xf17de7d51c4e9963ull);
 
   // The per-device quirk seed is part of the identity: two boards with
   // identical datasheets but different quirks measure different costs, so
   // they must never share cache entries.
   hwspec::GpuSpec quirked = *db_titan;
   quirked.quirk_seed = 0xdeadbeef;
-  EXPECT_EQ(hardware_fingerprint(quirked), 0xe570f8ee0c5409e2ull);
+  EXPECT_EQ(hardware_fingerprint(quirked), 0x4cd725b08c759af3ull);
   EXPECT_NE(hardware_fingerprint(quirked), hardware_fingerprint(*db_titan));
 
   // quirk_seed = 0 means "derive from the name", so setting it explicitly
@@ -112,7 +113,8 @@ TEST(ResultCacheTest, MissingOrForeignFpvClassifiesStale) {
     ASSERT_TRUE(std::getline(is, line));
   }
   std::remove(path.c_str());
-  const std::string current = "\"fpv\":2,";
+  const std::string current =
+      "\"fpv\":" + std::to_string(kCacheLineFpVersion) + ",";
   ASSERT_NE(line.find(current), std::string::npos);
 
   CacheKey key;
@@ -127,7 +129,7 @@ TEST(ResultCacheTest, MissingOrForeignFpvClassifiesStale) {
   EXPECT_TRUE(stale);
 
   std::string old_fpv = line;
-  old_fpv.replace(old_fpv.find("\"fpv\":2"), 8, "\"fpv\":1,");
+  old_fpv.replace(old_fpv.find(current), current.size(), "\"fpv\":1,");
   ASSERT_TRUE(parse_cache_line(old_fpv, key, r, stale));
   EXPECT_TRUE(stale);
 

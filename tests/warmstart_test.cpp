@@ -198,7 +198,8 @@ TEST(WarmStartAdvisorTest, StaleAndForeignLinesAreNeverDonors) {
     // An old-scheme line (no "fpv") and one from an unknown device: both
     // must be skipped, not adopted under a wrong identity.
     std::string line = slurp(dir + "/tier-ok.jsonl");
-    const std::string fpv = "\"fpv\":2,";
+    const std::string fpv =
+        "\"fpv\":" + std::to_string(tuning::kCacheLineFpVersion) + ",";
     line.erase(line.find(fpv), fpv.size());
     std::ofstream os(dir + "/tier-old.jsonl", std::ios::trunc);
     os << line;

@@ -45,6 +45,13 @@ Checks three file shapes, selected by content sniffing (or forced with
                     "reduction", "quality_held", "decisions_identical",
                     ...}, ...]};
                   reduction must be consistent with the invocation counts
+  * scenarios  -- BENCH_scenarios.json from bench/micro_scenarios.cpp:
+                  {"max_trials", "batch_size", "scenario_sweeps": [
+                    {"kind", "task", "distinct_best_configs", "cells": [
+                      {"gpu", "tensor_cores", "best_gflops", "best_config",
+                       "tc_selected", "valid_frac", "decisions_identical",
+                       ...}, ...]}, ...], "acceptance": {...}};
+                  tc_selected must be false wherever tensor_cores == 0
   * fleet      -- BENCH_fleet.json from bench/micro_fleet.cpp:
                   {"hardware_concurrency", "jobs", "max_trials",
                    "points": [{"daemons", "wall_ms", "jobs_per_s",
@@ -74,11 +81,20 @@ decisions must be bit-identical across thread counts. This gate never
 skips — the measurer is simulated, so the numbers do not depend on host
 hardware.
 
+With --check-scenarios, scenario files are gated: per template kind the
+tuned optimum must differ on at least 3 Blueprints (hardware moves the
+optimum), the tensor-core template option must win on at least one
+tensor-core Blueprint and must never be selected on silicon without
+tensor cores, and every cell's decisions must be bit-identical across
+thread counts. This gate never skips — the measurer is simulated, so
+the numbers do not depend on host hardware.
+
 Usage:
   tools/check_bench_json.py FILE [FILE ...]
   tools/check_bench_json.py --check-speedup BENCH_parallel.json
   tools/check_bench_json.py --check-fleet-scaling BENCH_fleet.json
   tools/check_bench_json.py --check-warmstart BENCH_warmstart.json
+  tools/check_bench_json.py --check-scenarios BENCH_scenarios.json
   tools/check_bench_json.py --selftest
 
 Standard library only; exit status 0 iff every file validates.
@@ -431,6 +447,88 @@ def check_warmstart_gate(doc: object, name: str,
     return "warmstart gate passed: " + ", ".join(parts)
 
 
+def check_scenarios(doc: object, name: str) -> int:
+    _require_keys(doc, {"max_trials": int, "batch_size": int,
+                        "scenario_sweeps": list, "acceptance": dict}, name)
+    _require(doc["max_trials"] >= 1, f"{name}: max_trials < 1")
+    _require(doc["batch_size"] >= 1, f"{name}: batch_size < 1")
+    _require(len(doc["scenario_sweeps"]) > 0, f"{name}: empty scenario_sweeps")
+    for i, s in enumerate(doc["scenario_sweeps"]):
+        where = f"{name}: scenario_sweeps[{i}]"
+        _require_keys(s, {"kind": str, "task": str,
+                          "distinct_best_configs": int, "cells": list}, where)
+        _require(len(s["cells"]) > 0, f"{where}: empty cells")
+        _require(0 <= s["distinct_best_configs"] <= len(s["cells"]),
+                 f"{where}: distinct_best_configs {s['distinct_best_configs']}"
+                 f" outside [0, {len(s['cells'])}]")
+        for j, c in enumerate(s["cells"]):
+            cwhere = f"{where}: cells[{j}]"
+            _require_keys(c, {"gpu": str, "tensor_cores": int,
+                              "best_gflops": NUMBER, "best_config": str,
+                              "valid_frac": NUMBER, "wall_ms": NUMBER},
+                          cwhere)
+            for key in ("tc_selected", "decisions_identical"):
+                _require(isinstance(c.get(key), bool),
+                         f"{cwhere}: key '{key}' must be a boolean")
+            _require(c["tensor_cores"] >= 0,
+                     f"{cwhere}: negative tensor_cores")
+            _require(c["best_gflops"] >= 0,
+                     f"{cwhere}: negative best_gflops")
+            _require(0.0 <= c["valid_frac"] <= 1.0,
+                     f"{cwhere}: valid_frac outside [0, 1]")
+            _require(c["wall_ms"] >= 0, f"{cwhere}: negative wall_ms")
+    for key in ("optima_move", "tc_selected_somewhere", "tc_never_on_plain",
+                "decisions_identical", "pass"):
+        _require(isinstance(doc["acceptance"].get(key), bool),
+                 f"{name}: acceptance key '{key}' must be a boolean")
+    return len(doc["scenario_sweeps"])
+
+
+# Per-kind distinct-optima floor enforced by --check-scenarios: across the
+# swept Blueprints, at least this many must disagree on the best config, or
+# the hardware embedding has nothing to learn from the new template kinds.
+SCENARIO_DISTINCT_FLOOR = 3
+
+
+def check_scenarios_gate(doc: object, name: str,
+                         floor: int = SCENARIO_DISTINCT_FLOOR) -> str:
+    """Gate a validated scenarios doc: optima must move across Blueprints,
+    the tensor-core path must win somewhere on TC silicon and never off it,
+    and every cell must be thread-count deterministic.
+
+    Never skipped: the measurer is simulated, so none of these properties
+    depend on the host. Returns a human-readable summary; raises
+    ValidationError on regression.
+    """
+    check_scenarios(doc, name)
+    tc_selected_somewhere = False
+    parts = []
+    for i, s in enumerate(doc["scenario_sweeps"]):
+        where = f"{name}: scenario_sweeps[{i}] ('{s['kind']}')"
+        _require(s["distinct_best_configs"] >= floor,
+                 f"{where}: only {s['distinct_best_configs']} distinct "
+                 f"optima across {len(s['cells'])} Blueprints (floor {floor};"
+                 f" hardware is not moving the optimum)")
+        for j, c in enumerate(s["cells"]):
+            cwhere = f"{where}: cells[{j}] ('{c['gpu']}')"
+            _require(c["decisions_identical"],
+                     f"{cwhere}: tuning decisions differ across thread "
+                     f"counts (this is a correctness bug, never skipped)")
+            if c["tc_selected"]:
+                _require(c["tensor_cores"] > 0,
+                         f"{cwhere}: tensor-core config selected on silicon "
+                         f"without tensor cores (resource gate is broken)")
+                tc_selected_somewhere = True
+        parts.append(f"{s['kind']} {s['distinct_best_configs']}/"
+                     f"{len(s['cells'])} optima")
+    _require(tc_selected_somewhere,
+             f"{name}: tensor-core path never selected on any tensor-core "
+             f"Blueprint (the fast path is not paying off)")
+    _require(doc["acceptance"]["pass"],
+             f"{name}: acceptance.pass is false (bench-side gate failed)")
+    return "scenarios gate passed: " + ", ".join(parts) + ", tc path selected"
+
+
 def check_journal_lines(lines: list[str], name: str) -> int:
     errors = {"none", "transient", "timeout", "corrupt"}
     n = 0
@@ -600,6 +698,8 @@ def sniff_kind(text: str) -> str:
         return "faults"
     if isinstance(doc, dict) and "sweeps" in doc:
         return "cache"
+    if isinstance(doc, dict) and "scenario_sweeps" in doc:
+        return "scenarios"
     if isinstance(doc, dict) and "scenarios" in doc:
         return "service"
     if isinstance(doc, dict) and "scaling_4v1" in doc:
@@ -610,9 +710,15 @@ def sniff_kind(text: str) -> str:
 
 
 def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
-               gate_fleet: bool = False, gate_warmstart: bool = False) -> str:
+               gate_fleet: bool = False, gate_warmstart: bool = False,
+               gate_scenarios: bool = False) -> str:
     text = path.read_text()
     kind = kind or sniff_kind(text)
+    if gate_scenarios:
+        _require(kind == "scenarios",
+                 f"{path}: --check-scenarios only applies to scenarios json "
+                 f"(sniffed '{kind}')")
+        return check_scenarios_gate(json.loads(text), str(path))
     if gate_speedup:
         _require(kind == "bench",
                  f"{path}: --check-speedup only applies to bench json "
@@ -662,6 +768,9 @@ def check_file(path: Path, kind: str | None, gate_speedup: bool = False,
     if kind == "warmstart":
         n = check_warmstart(json.loads(text), str(path))
         return f"warmstart json, {n} arm(s)"
+    if kind == "scenarios":
+        n = check_scenarios(json.loads(text), str(path))
+        return f"scenarios json, {n} sweep(s)"
     raise ValidationError(f"{path}: unknown kind '{kind}'")
 
 
@@ -811,6 +920,40 @@ VALID_WARMSTART = {
          "decisions_identical": True, "wall_ms": 1258.0},
     ],
 }
+
+def _scenario_cell(gpu, tensor_cores, best_gflops, best_config, tc_selected):
+    return {"gpu": gpu, "tensor_cores": tensor_cores,
+            "best_gflops": best_gflops, "best_config": best_config,
+            "tc_selected": tc_selected, "valid_frac": 0.62,
+            "decisions_identical": True, "wall_ms": 5000.0}
+
+
+VALID_SCENARIOS = {
+    "max_trials": 224,
+    "batch_size": 8,
+    "scenario_sweeps": [
+        {"kind": "attention", "task": "scenario.attention",
+         "distinct_best_configs": 5,
+         "cells": [
+             _scenario_cell("Jetson Nano", 0, 197.3, "cfgA", False),
+             _scenario_cell("Titan Xp", 0, 4777.7, "cfgB", False),
+             _scenario_cell("RTX 2080 Ti", 544, 10271.5, "cfgC", True),
+             _scenario_cell("A100 PCIe", 432, 12249.4, "cfgD", True),
+             _scenario_cell("H100 PCIe", 456, 12918.9, "cfgE", True)]},
+        {"kind": "depthwise_conv2d", "task": "scenario.depthwise",
+         "distinct_best_configs": 4,
+         "cells": [
+             _scenario_cell("Jetson Nano", 0, 14.1, "cfgF", False),
+             _scenario_cell("Titan Xp", 0, 301.2, "cfgG", False),
+             _scenario_cell("RTX 2080 Ti", 544, 414.9, "cfgG", False),
+             _scenario_cell("A100 PCIe", 432, 598.8, "cfgH", False),
+             _scenario_cell("H100 PCIe", 456, 731.0, "cfgI", False)]},
+    ],
+    "acceptance": {"optima_move": True, "tc_selected_somewhere": True,
+                   "tc_never_on_plain": True, "decisions_identical": True,
+                   "pass": True},
+}
+
 
 VALID_METRICS = "\n".join([
     json.dumps({"name": "session.trials", "type": "counter", "value": 64}),
@@ -988,6 +1131,41 @@ def selftest() -> int:
                   decisions_identical=False)])), False),
         ("warmstart gate rejects non-warmstart input", "warmstart-gate",
          json.dumps(VALID_FLEET), False),
+        ("valid scenarios sniffs without forced kind", None,
+         json.dumps(VALID_SCENARIOS), True),
+        ("scenarios cell missing tc_selected", "scenarios",
+         json.dumps(dict(VALID_SCENARIOS, scenario_sweeps=[
+             dict(VALID_SCENARIOS["scenario_sweeps"][0], cells=[
+                 {k: v for k, v in _scenario_cell("Titan Xp", 0, 1.0, "c",
+                                                  False).items()
+                  if k != "tc_selected"}])])), False),
+        ("scenarios valid_frac out of range", "scenarios",
+         json.dumps(VALID_SCENARIOS).replace('"valid_frac": 0.62',
+                                             '"valid_frac": 1.62', 1), False),
+        ("scenarios distinct count above cell count", "scenarios",
+         json.dumps(VALID_SCENARIOS).replace('"distinct_best_configs": 5',
+                                             '"distinct_best_configs": 9'),
+         False),
+        ("scenarios gate passes", "scenarios-gate",
+         json.dumps(VALID_SCENARIOS), True),
+        ("scenarios gate catches tc selected on plain silicon",
+         "scenarios-gate",
+         json.dumps(VALID_SCENARIOS).replace(
+             '"best_config": "cfgA", "tc_selected": false',
+             '"best_config": "cfgA", "tc_selected": true'), False),
+        ("scenarios gate catches too few distinct optima", "scenarios-gate",
+         json.dumps(VALID_SCENARIOS).replace('"distinct_best_configs": 4',
+                                             '"distinct_best_configs": 2'),
+         False),
+        ("scenarios gate catches nondeterminism", "scenarios-gate",
+         json.dumps(VALID_SCENARIOS).replace('"decisions_identical": true',
+                                             '"decisions_identical": false',
+                                             1), False),
+        ("scenarios gate catches a never-winning tc path", "scenarios-gate",
+         json.dumps(VALID_SCENARIOS).replace('"tc_selected": true',
+                                             '"tc_selected": false'), False),
+        ("scenarios gate rejects non-scenarios input", "scenarios-gate",
+         json.dumps(VALID_SERVICE), False),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="check_bench_json_") as tmp:
@@ -1001,6 +1179,8 @@ def selftest() -> int:
                     check_file(path, None, gate_fleet=True)
                 elif kind == "warmstart-gate":
                     check_file(path, None, gate_warmstart=True)
+                elif kind == "scenarios-gate":
+                    check_file(path, None, gate_scenarios=True)
                 else:
                     check_file(path, kind)
                 passed = True
@@ -1025,7 +1205,7 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--kind",
                         choices=["bench", "trace", "metrics", "faults",
                                  "journal", "cache", "service", "fleet",
-                                 "warmstart"],
+                                 "warmstart", "scenarios"],
                         help="force the file kind instead of sniffing")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in validator test cases")
@@ -1041,6 +1221,12 @@ def main(argv: list[str]) -> int:
                              "cold-run quality with >= 50%% fewer measurer "
                              "invocations and thread-count-identical "
                              "decisions (never skipped)")
+    parser.add_argument("--check-scenarios", action="store_true",
+                        help="gate scenarios files: per kind the optimum "
+                             "must move across >= 3 Blueprints, tensor "
+                             "cores must win on TC silicon and never off "
+                             "it, decisions thread-count-identical (never "
+                             "skipped)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -1052,7 +1238,7 @@ def main(argv: list[str]) -> int:
     for path in args.files:
         try:
             print(f"[ok] {path}: "
-                  f"{check_file(path, args.kind, args.check_speedup, args.check_fleet_scaling, args.check_warmstart)}")
+                  f"{check_file(path, args.kind, args.check_speedup, args.check_fleet_scaling, args.check_warmstart, args.check_scenarios)}")
         except FileNotFoundError:
             print(f"[FAIL] {path}: no such file", file=sys.stderr)
             status = 1
